@@ -1,0 +1,22 @@
+//! Figure 1 — per-SSD erase counts and write pages under Baseline:
+//! regenerates both panels and benchmarks a baseline replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edm_bench::{artifact_config, timed_config};
+use edm_harness::experiments::fig1;
+use edm_harness::runner::{run_cell, Cell};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig1::render(&fig1::run(&artifact_config(), 8)));
+
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    let cfg = timed_config();
+    g.bench_function("baseline_replay/home02@0.2%/8osd", |b| {
+        b.iter(|| run_cell(&Cell::new("home02", "Baseline", 8), &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 3 — measured vs estimated uᵣ(u): regenerates the four series
+//! and benchmarks a single-point uᵣ measurement plus the F(u) solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edm_bench::artifact_config;
+use edm_core::WearModel;
+use edm_harness::experiments::fig3;
+use edm_workload::harvard;
+use edm_workload::synth::synthesize;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let grid = fig3::default_grid();
+    println!("{}", fig3::render(&fig3::run(&artifact_config(), &grid)));
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    let trace = synthesize(&harvard::spec("deasna").scaled(0.002));
+    g.bench_function("measure_ur/deasna@0.2%/u=0.7", |b| {
+        b.iter(|| fig3::measure_ur(black_box(&trace), 0.7))
+    });
+    let model = WearModel::paper(32);
+    g.bench_function("f_of_u_solver", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..100 {
+                acc += model.f_of_u(black_box(i as f64 / 100.0));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 5 — aggregate throughput across traces, policies, and cluster
+//! sizes: regenerates the table (use EDM_BENCH_SCALE and EDM_BENCH_FULL
+//! to widen it) and benchmarks one cell per policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edm_bench::{artifact_config, timed_config};
+use edm_harness::experiments::fig56;
+use edm_harness::runner::{run_cell, Cell};
+
+fn bench(c: &mut Criterion) {
+    // Full paper matrix (7 traces × 16,20 OSDs) with EDM_BENCH_FULL=1;
+    // a 3-trace, 16-OSD slice otherwise to keep startup reasonable.
+    let cfg = artifact_config();
+    let m = if std::env::var("EDM_BENCH_FULL").is_ok() {
+        fig56::run_paper(&cfg)
+    } else {
+        fig56::run(&cfg, &[16], &["home02", "deasna", "lair62"])
+    };
+    println!("{}", fig56::render_fig5(&m));
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    let cfg = timed_config();
+    for policy in edm_core::POLICY_NAMES {
+        g.bench_function(format!("cell/home02@0.2%/{policy}"), |b| {
+            b.iter(|| run_cell(&Cell::new("home02", policy, 8), &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 6 — cluster-wide aggregate erase counts: regenerates the table
+//! (same sweep as Fig. 5) and benchmarks the wear-accounting replay under
+//! the two EDM policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edm_bench::{artifact_config, timed_config};
+use edm_harness::experiments::fig56;
+use edm_harness::runner::{run_cell, Cell};
+
+fn bench(c: &mut Criterion) {
+    let cfg = artifact_config();
+    let m = if std::env::var("EDM_BENCH_FULL").is_ok() {
+        fig56::run_paper(&cfg)
+    } else {
+        fig56::run(&cfg, &[16], &["home02", "deasna", "lair62"])
+    };
+    println!("{}", fig56::render_fig6(&m));
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    let cfg = timed_config();
+    for policy in ["EDM-HDF", "EDM-CDF"] {
+        g.bench_function(format!("cell/lair62@0.2%/{policy}"), |b| {
+            b.iter(|| run_cell(&Cell::new("lair62", policy, 8), &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 7 — mean response time during migration: regenerates the
+//! time series for the three motivation traces and benchmarks the
+//! windowed-metrics bookkeeping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edm_bench::{artifact_config, timed_config};
+use edm_cluster::metrics::ResponseSeries;
+use edm_harness::experiments::fig7;
+use edm_harness::runner::{run_cell, Cell};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig7::render(&fig7::run(&artifact_config(), 16)));
+
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    let cfg = timed_config();
+    g.bench_function("cell/home02@0.2%/EDM-HDF", |b| {
+        b.iter(|| run_cell(&Cell::new("home02", "EDM-HDF", 8), &cfg))
+    });
+    g.bench_function("response_series/1M_records", |b| {
+        b.iter(|| {
+            let mut s = ResponseSeries::new(180_000_000);
+            for i in 0..1_000_000u64 {
+                s.record(black_box(i * 37), black_box(i % 5_000));
+            }
+            s.windows().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 8 — total moved objects and remapping-table growth:
+//! regenerates the table and benchmarks the remapping table itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edm_bench::artifact_config;
+use edm_cluster::{ObjectId, OsdId, RemappingTable};
+use edm_harness::experiments::fig8;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = artifact_config();
+    let traces: Vec<&str> = if std::env::var("EDM_BENCH_FULL").is_ok() {
+        edm_workload::harvard::TRACE_NAMES.to_vec()
+    } else {
+        vec!["home02", "deasna", "lair62"]
+    };
+    println!("{}", fig8::render(&fig8::run(&cfg, 16, &traces)));
+
+    let mut g = c.benchmark_group("fig8");
+    g.bench_function("remap_table/100k_moves", |b| {
+        b.iter(|| {
+            let mut t = RemappingTable::new();
+            for i in 0..100_000u64 {
+                t.record_move(ObjectId(black_box(i % 10_000)), OsdId((i % 16) as u32));
+            }
+            t.len()
+        })
+    });
+    g.bench_function("remap_table/lookup_hit_and_miss", |b| {
+        let mut t = RemappingTable::new();
+        for i in 0..10_000u64 {
+            t.record_move(ObjectId(i), OsdId((i % 16) as u32));
+        }
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..20_000u64 {
+                if let Some(o) = t.lookup(ObjectId(black_box(i))) {
+                    acc = acc.wrapping_add(o.0);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

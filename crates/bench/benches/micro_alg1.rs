@@ -1,0 +1,47 @@
+//! Micro-benchmarks of Algorithm 1 and the wear model: planning cost at
+//! the paper's parameters (500 iterations, ε grid 0.001) and the ε-grid
+//! ablation of DESIGN.md §6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edm_core::{calculate_cdf, calculate_hdf, Alg1Config, WearModel};
+use std::hint::black_box;
+
+fn inputs(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let wc: Vec<f64> = (0..n)
+        .map(|i| 10_000.0 + (i as f64 * 9871.0) % 90_000.0)
+        .collect();
+    let u: Vec<f64> = (0..n).map(|i| 0.45 + (i as f64 * 0.37) % 0.4).collect();
+    (wc, u)
+}
+
+fn bench(c: &mut Criterion) {
+    let model = WearModel::paper(32);
+    let mut g = c.benchmark_group("micro_alg1");
+
+    for n in [4usize, 20, 100] {
+        let (wc, u) = inputs(n);
+        g.bench_function(format!("hdf/{n}_devices/paper_params"), |b| {
+            b.iter(|| calculate_hdf(black_box(&wc), black_box(&u), &model, &Alg1Config::default()))
+        });
+        g.bench_function(format!("cdf/{n}_devices/paper_params"), |b| {
+            b.iter(|| calculate_cdf(black_box(&wc), black_box(&u), &model, &Alg1Config::default()))
+        });
+    }
+
+    // ε-grid ablation: planning cost vs grid resolution.
+    let (wc, u) = inputs(20);
+    for eps in [0.01, 0.001, 0.0001] {
+        let cfg = Alg1Config {
+            eps_step: eps,
+            ..Alg1Config::default()
+        };
+        g.bench_function(format!("hdf/20_devices/eps_{eps}"), |b| {
+            b.iter(|| calculate_hdf(black_box(&wc), black_box(&u), &model, &cfg))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

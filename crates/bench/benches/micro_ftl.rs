@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the flash substrate: page writes, GC pressure,
+//! and the steady-state warm-up.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edm_ssd::{FtlConfig, Geometry, LatencyModel, PageLevelFtl, Ssd};
+use std::hint::black_box;
+
+fn small_geometry() -> Geometry {
+    Geometry {
+        page_size: 4096,
+        pages_per_block: 32,
+        blocks: 1024,
+        over_provision_ppt: 80,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_ftl");
+
+    let n_writes = 100_000u64;
+    g.throughput(Throughput::Elements(n_writes));
+    g.bench_function("sequential_writes/100k", |b| {
+        b.iter(|| {
+            let mut ftl = PageLevelFtl::new(small_geometry(), FtlConfig::default());
+            let lat = LatencyModel::INSTANT;
+            let exported = ftl.geometry().exported_pages();
+            for i in 0..n_writes {
+                ftl.write(black_box(i % exported), &lat).unwrap();
+            }
+            ftl.stats().block_erases
+        })
+    });
+
+    g.bench_function("hot_overwrites_with_gc/100k", |b| {
+        b.iter(|| {
+            let mut ftl = PageLevelFtl::new(small_geometry(), FtlConfig::default());
+            let lat = LatencyModel::INSTANT;
+            let exported = ftl.geometry().exported_pages();
+            let live = exported * 7 / 10;
+            for lpn in 0..live {
+                ftl.write(lpn, &lat).unwrap();
+            }
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for _ in 0..n_writes {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ftl.write((x >> 11) % live, &lat).unwrap();
+            }
+            ftl.stats().block_erases
+        })
+    });
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("warm_up/64MB", |b| {
+        b.iter(|| {
+            let mut ssd = Ssd::new(small_geometry(), LatencyModel::INSTANT);
+            ssd.write(0, 32 * 1024 * 1024).unwrap();
+            ssd.warm_up().unwrap();
+            ssd.utilization()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

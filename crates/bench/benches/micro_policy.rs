@@ -1,0 +1,101 @@
+//! Micro-benchmarks of the policy hot paths: access tracking (called on
+//! every object I/O), temperature queries, and full plan construction on
+//! a populated view.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edm_cluster::{
+    AccessEvent, AccessKind, ClusterView, GroupId, Migrator, ObjectId, ObjectView, OsdId, OsdView,
+};
+use edm_core::{AccessTracker, Cmt, EdmCdf, EdmHdf};
+use std::hint::black_box;
+
+fn synthetic_view(osds: u32, objects: u64) -> ClusterView {
+    ClusterView {
+        now_us: 60_000_000,
+        page_size: 4096,
+        pages_per_block: 32,
+        osds: (0..osds)
+            .map(|i| OsdView {
+                osd: OsdId(i),
+                group: GroupId(i % 4),
+                wc_pages: 10_000 + (i as u64 * 7919) % 60_000,
+                utilization: 0.45 + (i as f64 * 0.31) % 0.3,
+                measured_erases: 0,
+                ewma_latency_us: 500.0 + (i as f64 * 137.0) % 2_000.0,
+                free_bytes: 1 << 28,
+                capacity_bytes: 1 << 30,
+            })
+            .collect(),
+        objects: (0..objects)
+            .map(|i| ObjectView {
+                object: ObjectId(i),
+                osd: OsdId((i % osds as u64) as u32),
+                size_bytes: 64 * 1024 * (1 + i % 16),
+                remapped: i % 50 == 0,
+            })
+            .collect(),
+    }
+}
+
+fn heat_tracker(policy: &mut dyn Migrator, objects: u64, events: u64) {
+    let mut x = 0xDEADBEEFu64;
+    for _ in 0..events {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        policy.on_access(AccessEvent {
+            now_us: x % 120_000_000,
+            object: ObjectId((x >> 13) % objects),
+            kind: if x % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+            pages: 1 + x % 8,
+        });
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_policy");
+
+    let n = 1_000_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("access_tracker/record_1M", |b| {
+        b.iter(|| {
+            let mut t = AccessTracker::new(60_000_000);
+            let mut x = 1u64;
+            for _ in 0..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                t.record(AccessEvent {
+                    now_us: x % 600_000_000,
+                    object: ObjectId((x >> 20) % 40_000),
+                    kind: AccessKind::Write,
+                    pages: 2,
+                });
+            }
+            t.tracked_objects()
+        })
+    });
+
+    g.throughput(Throughput::Elements(1));
+    let view = synthetic_view(16, 40_000);
+    g.bench_function("plan/EDM-HDF/16osd_40k_objects", |b| {
+        let mut p = EdmHdf::default();
+        heat_tracker(&mut p, 40_000, 200_000);
+        b.iter(|| black_box(p.plan(&view)).len())
+    });
+    g.bench_function("plan/EDM-CDF/16osd_40k_objects", |b| {
+        let mut p = EdmCdf::default();
+        heat_tracker(&mut p, 40_000, 200_000);
+        b.iter(|| black_box(p.plan(&view)).len())
+    });
+    g.bench_function("plan/CMT/16osd_40k_objects", |b| {
+        let mut p = Cmt::default();
+        heat_tracker(&mut p, 40_000, 200_000);
+        b.iter(|| black_box(p.plan(&view)).len())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

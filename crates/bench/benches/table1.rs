@@ -1,0 +1,28 @@
+//! Table 1 — workload characteristics: regenerates the table and
+//! benchmarks trace synthesis.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use edm_bench::artifact_scale;
+use edm_harness::experiments::table1;
+use edm_workload::harvard;
+use edm_workload::synth::synthesize;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table1::render(&table1::run(artifact_scale())));
+
+    let mut g = c.benchmark_group("table1");
+    for name in ["home02", "deasna", "lair62"] {
+        let spec = harvard::spec(name).scaled(0.01);
+        g.bench_function(format!("synthesize/{name}@1%"), |b| {
+            b.iter_batched(
+                || spec.clone(),
+                |s| synthesize(&s),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Shared helpers for the Criterion bench suite.
+//!
+//! Every figure bench does two things:
+//!
+//! 1. **Regenerates its paper artifact** once at startup — the same
+//!    rendered rows/series `edm-exp` prints — at a scale controlled by
+//!    the `EDM_BENCH_SCALE` environment variable (default 0.01, i.e. 1 %
+//!    of the Table 1 op counts; pass 1.0 for the full-size workloads).
+//! 2. **Benchmarks** a representative unit of that experiment with
+//!    Criterion so regressions in simulation or policy cost are tracked.
+
+use edm_cluster::MigrationSchedule;
+use edm_harness::runner::RunConfig;
+
+/// Scale at which the artifact is regenerated at bench startup.
+pub fn artifact_scale() -> f64 {
+    std::env::var("EDM_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|s: &f64| *s > 0.0 && *s <= 1.0)
+        .unwrap_or(0.01)
+}
+
+/// Run configuration for the artifact regeneration.
+pub fn artifact_config() -> RunConfig {
+    RunConfig {
+        scale: artifact_scale(),
+        schedule: MigrationSchedule::Midpoint,
+        response_window_us: None,
+    }
+}
+
+/// Tiny configuration for the timed Criterion iterations.
+pub fn timed_config() -> RunConfig {
+    RunConfig {
+        scale: 0.002,
+        schedule: MigrationSchedule::Midpoint,
+        response_window_us: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_sane() {
+        assert!(artifact_scale() > 0.0 && artifact_scale() <= 1.0);
+        assert!(timed_config().scale > 0.0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Run metrics: aggregate throughput (Fig. 5), windowed mean response
+//! time (Fig. 7), and per-OSD wear summaries (Fig. 1, Fig. 6).
+
+use serde::{Deserialize, Serialize};
+
+use edm_ssd::WearStats;
+
+/// Mean response time of file operations completed in one reporting
+/// window (Fig. 7 plots one point per 3-minute window).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseWindow {
+    /// Window start, µs of virtual time.
+    pub start_us: u64,
+    pub completed_ops: u64,
+    pub mean_response_us: f64,
+}
+
+/// Accumulates response times into fixed-width windows.
+#[derive(Debug, Clone)]
+pub struct ResponseSeries {
+    window_us: u64,
+    /// (sum of response times, count) per window index.
+    buckets: Vec<(f64, u64)>,
+}
+
+impl ResponseSeries {
+    pub fn new(window_us: u64) -> Self {
+        assert!(window_us > 0);
+        ResponseSeries {
+            window_us,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Records one completed file op.
+    pub fn record(&mut self, completion_us: u64, response_us: u64) {
+        let idx = (completion_us / self.window_us) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, (0.0, 0));
+        }
+        self.buckets[idx].0 += response_us as f64;
+        self.buckets[idx].1 += 1;
+    }
+
+    /// Finished series, one point per window (empty windows yield a point
+    /// with zero ops and zero mean, keeping the time axis regular).
+    pub fn windows(&self) -> Vec<ResponseWindow> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &(sum, n))| ResponseWindow {
+                start_us: i as u64 * self.window_us,
+                completed_ops: n,
+                mean_response_us: if n > 0 { sum / n as f64 } else { 0.0 },
+            })
+            .collect()
+    }
+}
+
+/// Log-scale latency histogram: ~5 % relative precision from 1 µs to
+/// ~18 minutes in a fixed 512-bucket footprint, good enough for the
+/// response-time percentiles a run reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// bucket i covers [floor^i, floor^(i+1)) µs with floor = 2^(1/16).
+    buckets: Vec<u64>,
+    count: u64,
+    max_us: u64,
+}
+
+impl LatencyHistogram {
+    const BUCKETS: usize = 512;
+    /// 16 buckets per octave ⇒ ~4.4 % bucket width.
+    const PER_OCTAVE: f64 = 16.0;
+
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; Self::BUCKETS],
+            count: 0,
+            max_us: 0,
+        }
+    }
+
+    fn index(us: u64) -> usize {
+        if us <= 1 {
+            return 0;
+        }
+        let idx = ((us as f64).log2() * Self::PER_OCTAVE) as usize;
+        idx.min(Self::BUCKETS - 1)
+    }
+
+    pub fn record(&mut self, us: u64) {
+        self.buckets[Self::index(us)] += 1;
+        self.count += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Value at quantile `q` in [0, 1]; 0 when empty. Exact for the
+    /// maximum (`q = 1`), bucket-resolution otherwise.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max_us;
+        }
+        let target = (q * self.count as f64).floor() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > target {
+                // Upper edge of bucket i.
+                return (2f64.powf((i + 1) as f64 / Self::PER_OCTAVE)) as u64;
+            }
+        }
+        self.max_us
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Wear summary of one OSD at the end of a run (Fig. 1's two panels).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OsdWearSummary {
+    pub osd: u32,
+    pub erase_count: u64,
+    pub write_pages: u64,
+    pub gc_page_moves: u64,
+    pub utilization: f64,
+    /// Total device-busy time of the OSD over the run, µs (service time
+    /// including GC stalls); identifies the bottleneck device.
+    pub busy_us: u64,
+    /// Deepest request queue observed at this OSD during the run.
+    pub peak_queue_depth: u64,
+}
+
+/// Everything a simulation run reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    pub trace: String,
+    pub policy: String,
+    pub osds: u32,
+    /// Completed file operations (open/close/read/write all count; the
+    /// paper measures "the number of completed file operations", §V.B).
+    pub completed_ops: u64,
+    /// Virtual duration of the replay, µs.
+    pub duration_us: u64,
+    /// Mean response time over the whole run, µs.
+    pub mean_response_us: f64,
+    /// Response-time percentiles over the whole run, µs: (p50, p95, p99).
+    pub response_percentiles_us: (u64, u64, u64),
+    /// Windowed response-time series (Fig. 7).
+    pub response_windows: Vec<ResponseWindow>,
+    /// Per-OSD wear at end of run (Fig. 1).
+    pub per_osd: Vec<OsdWearSummary>,
+    /// Objects moved by migration (Fig. 8), counted per move action.
+    pub moved_objects: u64,
+    /// Distinct objects with remapping entries at end of run (§III.C).
+    pub remap_entries: u64,
+    /// Total objects in the cluster.
+    pub total_objects: u64,
+    /// Number of migration rounds that actually fired.
+    pub migrations_triggered: u64,
+    /// OSDs that failed during the run (injected, §III.D experiments).
+    pub failed_osds: Vec<u32>,
+    /// Sub-operations served in degraded RAID-5 mode.
+    pub degraded_ops: u64,
+    /// Sub-operations that hit unrecoverable (multi-failure) data loss.
+    pub lost_ops: u64,
+    /// Lost objects reconstructed onto surviving group members.
+    pub rebuilt_objects: u64,
+}
+
+impl RunReport {
+    /// Aggregate throughput in file operations per second of virtual time
+    /// (Fig. 5's y-axis).
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        if self.duration_us == 0 {
+            return 0.0;
+        }
+        self.completed_ops as f64 / (self.duration_us as f64 / 1e6)
+    }
+
+    /// Cluster-wide aggregate erase count (Fig. 6's y-axis).
+    pub fn aggregate_erases(&self) -> u64 {
+        self.per_osd.iter().map(|o| o.erase_count).sum()
+    }
+
+    /// Cluster-wide host page writes.
+    pub fn aggregate_write_pages(&self) -> u64 {
+        self.per_osd.iter().map(|o| o.write_pages).sum()
+    }
+
+    /// Relative standard deviation of per-OSD erase counts — the imbalance
+    /// metric of §III.B.2.
+    pub fn erase_rsd(&self) -> f64 {
+        rsd(self.per_osd.iter().map(|o| o.erase_count as f64))
+    }
+
+    /// Fraction of all objects that were moved (Fig. 8's labels).
+    pub fn moved_fraction(&self) -> f64 {
+        if self.total_objects == 0 {
+            return 0.0;
+        }
+        self.moved_objects as f64 / self.total_objects as f64
+    }
+}
+
+/// Relative standard deviation (σ/mean) of a sequence; 0 for empty or
+/// zero-mean input.
+pub fn rsd(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+    var.sqrt() / mean
+}
+
+/// Builds per-OSD wear summaries from device snapshots.
+pub fn summarize_osds<'a>(
+    snaps: impl Iterator<Item = (u32, &'a WearStats, f64, u64)>,
+) -> Vec<OsdWearSummary> {
+    snaps
+        .map(|(osd, wear, utilization, busy_us)| OsdWearSummary {
+            osd,
+            erase_count: wear.block_erases,
+            write_pages: wear.host_page_writes,
+            gc_page_moves: wear.gc_page_moves,
+            utilization,
+            busy_us,
+            peak_queue_depth: 0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_series_buckets_by_window() {
+        let mut s = ResponseSeries::new(100);
+        s.record(10, 5);
+        s.record(20, 15);
+        s.record(250, 100);
+        let w = s.windows();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].completed_ops, 2);
+        assert!((w[0].mean_response_us - 10.0).abs() < 1e-12);
+        assert_eq!(w[1].completed_ops, 0);
+        assert_eq!(w[1].mean_response_us, 0.0);
+        assert_eq!(w[2].completed_ops, 1);
+        assert_eq!(w[2].start_us, 200);
+    }
+
+    #[test]
+    fn throughput_is_ops_over_seconds() {
+        let r = RunReport {
+            trace: "t".into(),
+            policy: "p".into(),
+            osds: 4,
+            completed_ops: 500,
+            duration_us: 2_000_000,
+            mean_response_us: 0.0,
+            response_percentiles_us: (0, 0, 0),
+            response_windows: vec![],
+            per_osd: vec![],
+            moved_objects: 0,
+            remap_entries: 0,
+            total_objects: 100,
+            migrations_triggered: 0,
+            failed_osds: vec![],
+            degraded_ops: 0,
+            lost_ops: 0,
+            rebuilt_objects: 0,
+        };
+        assert!((r.throughput_ops_per_sec() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregates_sum_over_osds() {
+        let mk = |osd, e, w| OsdWearSummary {
+            osd,
+            erase_count: e,
+            write_pages: w,
+            gc_page_moves: 0,
+            utilization: 0.5,
+            busy_us: 0,
+            peak_queue_depth: 0,
+        };
+        let r = RunReport {
+            trace: "t".into(),
+            policy: "p".into(),
+            osds: 2,
+            completed_ops: 0,
+            duration_us: 0,
+            mean_response_us: 0.0,
+            response_percentiles_us: (0, 0, 0),
+            response_windows: vec![],
+            per_osd: vec![mk(0, 10, 100), mk(1, 30, 300)],
+            moved_objects: 5,
+            remap_entries: 3,
+            total_objects: 50,
+            migrations_triggered: 1,
+            failed_osds: vec![],
+            degraded_ops: 0,
+            lost_ops: 0,
+            rebuilt_objects: 0,
+        };
+        assert_eq!(r.aggregate_erases(), 40);
+        assert_eq!(r.aggregate_write_pages(), 400);
+        assert!((r.moved_fraction() - 0.1).abs() < 1e-12);
+        assert!(r.erase_rsd() > 0.0);
+        assert_eq!(r.throughput_ops_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn latency_histogram_quantiles() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for us in 1..=1000u64 {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        // ~5 % bucket resolution around the true median of 500.
+        assert!((450..=560).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((930..=1100).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn latency_histogram_handles_extremes() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert!(h.quantile(0.1) <= 2);
+    }
+
+    #[test]
+    fn rsd_of_uniform_is_zero() {
+        assert_eq!(rsd([5.0, 5.0, 5.0].into_iter()), 0.0);
+        assert_eq!(rsd(std::iter::empty()), 0.0);
+        assert_eq!(rsd([0.0, 0.0].into_iter()), 0.0);
+        let spread = rsd([1.0, 9.0].into_iter());
+        assert!((spread - 0.8).abs() < 1e-12);
+    }
+}

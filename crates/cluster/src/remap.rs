@@ -1,0 +1,142 @@
+//! The remapping table (§III.C).
+//!
+//! EDM keeps hash-based placement and overlays moved objects with a
+//! remapping table: object id → current OSD. Its size is proportional to
+//! the number of *distinct* moved objects, so both EDM policies prefer to
+//! re-migrate objects that already have an entry (moving such an object
+//! only updates its entry and does not grow the table).
+
+use std::collections::HashMap;
+
+use crate::ids::{ObjectId, OsdId};
+
+/// Overlay of moved objects on top of hash placement.
+#[derive(Debug, Clone, Default)]
+pub struct RemappingTable {
+    map: HashMap<ObjectId, OsdId>,
+    /// Total remap insert/update operations (monotone; counts every move).
+    moves_recorded: u64,
+}
+
+impl RemappingTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current location override for `object`, if it was ever moved.
+    pub fn lookup(&self, object: ObjectId) -> Option<OsdId> {
+        self.map.get(&object).copied()
+    }
+
+    /// True if the object already has an entry (moving it again is
+    /// "free" in table-growth terms, §III.C).
+    pub fn contains(&self, object: ObjectId) -> bool {
+        self.map.contains_key(&object)
+    }
+
+    /// Records a move. If the object lands back on `home` the entry could
+    /// be dropped; the paper's table keeps entries, so we do too unless
+    /// `home` is supplied.
+    pub fn record_move(&mut self, object: ObjectId, dest: OsdId) {
+        self.moves_recorded += 1;
+        self.map.insert(object, dest);
+    }
+
+    /// Records a move and prunes the entry when the object returned to its
+    /// home OSD.
+    pub fn record_move_with_home(&mut self, object: ObjectId, dest: OsdId, home: OsdId) {
+        self.moves_recorded += 1;
+        if dest == home {
+            self.map.remove(&object);
+        } else {
+            self.map.insert(object, dest);
+        }
+    }
+
+    /// Number of entries — the memory-consumption metric of Fig. 8's
+    /// discussion (table growth tracks distinct moved objects).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total moves ever recorded (≥ `len()`).
+    pub fn moves_recorded(&self) -> u64 {
+        self.moves_recorded
+    }
+
+    /// Iterates over (object, current OSD) entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, OsdId)> + '_ {
+        self.map.iter().map(|(o, d)| (*o, *d))
+    }
+
+    /// Bytes of memory an entry costs (object id + OSD id), used to report
+    /// table overhead.
+    pub const ENTRY_BYTES: usize = std::mem::size_of::<ObjectId>() + std::mem::size_of::<OsdId>();
+
+    pub fn approx_bytes(&self) -> usize {
+        self.len() * Self::ENTRY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_reflects_moves() {
+        let mut t = RemappingTable::new();
+        assert_eq!(t.lookup(ObjectId(1)), None);
+        t.record_move(ObjectId(1), OsdId(5));
+        assert_eq!(t.lookup(ObjectId(1)), Some(OsdId(5)));
+        t.record_move(ObjectId(1), OsdId(9));
+        assert_eq!(t.lookup(ObjectId(1)), Some(OsdId(9)));
+    }
+
+    #[test]
+    fn remigration_does_not_grow_table() {
+        let mut t = RemappingTable::new();
+        t.record_move(ObjectId(1), OsdId(5));
+        t.record_move(ObjectId(1), OsdId(9));
+        t.record_move(ObjectId(1), OsdId(13));
+        assert_eq!(t.len(), 1, "re-migrations must reuse the entry");
+        assert_eq!(t.moves_recorded(), 3);
+    }
+
+    #[test]
+    fn moving_home_prunes_entry() {
+        let mut t = RemappingTable::new();
+        t.record_move(ObjectId(7), OsdId(2));
+        assert_eq!(t.len(), 1);
+        t.record_move_with_home(ObjectId(7), OsdId(0), OsdId(0));
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.lookup(ObjectId(7)), None);
+        assert_eq!(t.moves_recorded(), 2);
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_entries() {
+        let mut t = RemappingTable::new();
+        assert_eq!(t.approx_bytes(), 0);
+        for i in 0..10 {
+            t.record_move(ObjectId(i), OsdId(0));
+        }
+        assert_eq!(t.approx_bytes(), 10 * RemappingTable::ENTRY_BYTES);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let mut t = RemappingTable::new();
+        t.record_move(ObjectId(1), OsdId(2));
+        t.record_move(ObjectId(3), OsdId(4));
+        let mut entries: Vec<_> = t.iter().collect();
+        entries.sort();
+        assert_eq!(
+            entries,
+            vec![(ObjectId(1), OsdId(2)), (ObjectId(3), OsdId(4))]
+        );
+    }
+}

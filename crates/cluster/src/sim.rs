@@ -1,0 +1,1199 @@
+//! The discrete-event replay engine.
+//!
+//! Closed-loop clients replay their share of the trace against serial
+//! OSDs (§IV–§V.A): each client keeps exactly one file operation in
+//! flight; a file operation fans out into object-level sub-requests via
+//! RAID-5 striping; every OSD services its FIFO queue one request at a
+//! time, charging flash latencies (and any garbage-collection stall) to
+//! the request being serviced. Migration runs through the same queues —
+//! one mover stream per source OSD, objects blocked while in flight
+//! ("all the requests related to the objects being moved are blocked",
+//! §V.D) — so migration traffic competes with foreground I/O exactly as
+//! in the paper.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use edm_workload::{FileOp, Trace};
+
+use crate::cluster::Cluster;
+use crate::ids::{ClientId, ObjectId, OsdId};
+use crate::metrics::{summarize_osds, LatencyHistogram, ResponseSeries, RunReport};
+use crate::migrate::{validate_plan, AccessEvent, AccessKind, Migrator, MoveAction};
+use crate::osd::OsdError;
+
+/// When the engine consults the migration policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationSchedule {
+    /// Never ask (pure baseline, regardless of policy).
+    Never,
+    /// Once, when half of the trace records have completed — the paper
+    /// enforces the shuffle "in the middle time point of trace replay"
+    /// (§V.A).
+    Midpoint,
+    /// On every wear-monitor tick (continuous mode; an extension beyond
+    /// the paper's forced-midpoint experiments).
+    EveryTick,
+}
+
+/// An injected OSD failure (reliability experiments, §III.D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureSpec {
+    /// Virtual time at which the OSD dies.
+    pub at_us: u64,
+    pub osd: OsdId,
+    /// Rebuild the lost objects onto surviving group members (RAID-5
+    /// reconstruction from the k−1 sibling objects).
+    pub rebuild: bool,
+}
+
+/// Everything the engine needs besides the cluster itself.
+#[derive(Debug, Clone, Default)]
+pub struct SimOptions {
+    pub schedule: MigrationSchedule,
+    /// OSD failures to inject during the replay.
+    pub failures: Vec<FailureSpec>,
+}
+
+impl Default for MigrationSchedule {
+    fn default() -> Self {
+        MigrationSchedule::Midpoint
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// The OSD finished servicing its current sub-request.
+    OsdDone(u32),
+    /// The MDS finished an open/close.
+    MdsDone(u64),
+    /// Wear-monitor tick (§III.B.2).
+    Tick,
+    /// Injected OSD failure.
+    Fail(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Payload {
+    /// Part of file operation `token`.
+    FileIo {
+        token: u64,
+        object: ObjectId,
+        offset: u64,
+        len: u64,
+        write: bool,
+        /// True when this sub-op was produced by degraded-mode expansion
+        /// (RAID-5 reconstruction reads); degraded ops are never expanded
+        /// again — hitting a second failed device means data loss.
+        degraded: bool,
+    },
+    /// Migration: source-side read of one transfer chunk.
+    MoveRead { object: ObjectId, offset: u64, len: u64 },
+    /// Migration: destination-side write of one transfer chunk.
+    MoveWrite { object: ObjectId, offset: u64, len: u64 },
+    /// Rebuild: full read of one surviving sibling of a lost object.
+    RebuildRead { lost: ObjectId, sibling: ObjectId },
+    /// Rebuild: destination-side write of one reconstruction chunk.
+    RebuildWrite { lost: ObjectId, offset: u64, len: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SubReq {
+    enqueued_us: u64,
+    payload: Payload,
+}
+
+struct Inflight {
+    client: ClientId,
+    issued_us: u64,
+    remaining: u32,
+}
+
+/// Progress of one lost-object reconstruction.
+struct RebuildState {
+    dest: OsdId,
+    /// Sibling reads still outstanding before writing can start.
+    pending_reads: u32,
+    size: u64,
+}
+
+struct Engine<'a> {
+    cluster: Cluster,
+    trace: &'a Trace,
+    policy: &'a mut dyn Migrator,
+    options: SimOptions,
+
+    heap: BinaryHeap<Reverse<(u64, u64, Event)>>,
+    seq: u64,
+    now: u64,
+
+    scripts: Vec<Vec<usize>>,
+    cursors: Vec<usize>,
+    /// File ops currently in flight per client (bounded by the configured
+    /// concurrency — the multi-threaded replayer of §IV).
+    outstanding: Vec<u32>,
+
+    inflight: HashMap<u64, Inflight>,
+    next_token: u64,
+
+    queues: Vec<VecDeque<SubReq>>,
+    current: Vec<Option<SubReq>>,
+    /// Accumulated service time per OSD (overhead + device, incl. GC).
+    busy_us: Vec<u64>,
+    /// Deepest queue ever observed per OSD.
+    peak_queue_depth: Vec<u64>,
+
+    /// Whether in-flight moves block requests (policy property).
+    blocking_moves: bool,
+    /// Objects whose move is in flight → parked sub-requests (always
+    /// empty lists when moves are non-blocking).
+    moving: HashMap<ObjectId, Vec<SubReq>>,
+    /// Source OSD and destination of each in-flight move.
+    move_routes: HashMap<ObjectId, MoveAction>,
+    /// Pending moves per source OSD (one stream per source).
+    move_queues: Vec<VecDeque<MoveAction>>,
+
+    /// OSDs that have failed so far.
+    failed: Vec<bool>,
+    /// In-flight rebuilds of lost objects.
+    rebuilds: HashMap<ObjectId, RebuildState>,
+    degraded_ops: u64,
+    lost_ops: u64,
+    rebuilt_objects: u64,
+
+    responses: ResponseSeries,
+    response_hist: LatencyHistogram,
+    response_sum: f64,
+    completed_ops: u64,
+    total_records: u64,
+    migration_fired: bool,
+    migrations_triggered: u64,
+    moved_objects: u64,
+    failed_moves: u64,
+    /// Time of the last request or move completion — the replay duration.
+    /// Deliberately not advanced by Tick events: a trailing wear-monitor
+    /// tick must not inflate the measured duration.
+    last_completion_us: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn push(&mut self, at: u64, ev: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, ev)));
+    }
+
+    /// Issues records for `client` until its concurrency window is full
+    /// or its script is exhausted.
+    fn fill_client(&mut self, client: ClientId) {
+        let limit = self.cluster.config.client_concurrency;
+        while self.outstanding[client.0 as usize] < limit && self.issue_next(client) {}
+    }
+
+    /// Issues the client's next record; returns false when the script is
+    /// exhausted.
+    fn issue_next(&mut self, client: ClientId) -> bool {
+        let c = client.0 as usize;
+        let Some(&idx) = self.scripts[c].get(self.cursors[c]) else {
+            return false; // this client is done
+        };
+        self.cursors[c] += 1;
+        self.outstanding[c] += 1;
+        let record = self.trace.records[idx];
+        let token = self.next_token;
+        self.next_token += 1;
+        match record.op {
+            FileOp::Open | FileOp::Close => {
+                self.inflight.insert(
+                    token,
+                    Inflight {
+                        client,
+                        issued_us: self.now,
+                        remaining: 1,
+                    },
+                );
+                let at = self.now + self.cluster.config.mds_latency_us;
+                self.push(at, Event::MdsDone(token));
+            }
+            FileOp::Read { offset, len } | FileOp::Write { offset, len } => {
+                let write = record.op.is_write();
+                let layout = *self.cluster.catalog.layout();
+                let ios = if write {
+                    layout.map_write(offset, len)
+                } else {
+                    layout.map_read(offset, len)
+                };
+                debug_assert!(!ios.is_empty());
+                let meta = self
+                    .cluster
+                    .catalog
+                    .file(record.file)
+                    .unwrap_or_else(|| panic!("trace references unknown file {:?}", record.file));
+                let objects = meta.objects.clone();
+                self.inflight.insert(
+                    token,
+                    Inflight {
+                        client,
+                        issued_us: self.now,
+                        remaining: ios.len() as u32,
+                    },
+                );
+                let page_size = self.cluster.osds[0].ssd().geometry().page_size;
+                for io in ios {
+                    let object = objects[io.object_index as usize];
+                    self.policy.on_access(AccessEvent {
+                        now_us: self.now,
+                        object,
+                        kind: if io.kind.is_write() {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        },
+                        pages: pages_spanned(io.offset, io.len, page_size),
+                    });
+                    let sub = SubReq {
+                        enqueued_us: self.now,
+                        payload: Payload::FileIo {
+                            token,
+                            object,
+                            offset: io.offset,
+                            len: io.len,
+                            write: io.kind.is_write(),
+                            degraded: false,
+                        },
+                    };
+                    self.route(sub);
+                }
+            }
+        }
+        true
+    }
+
+    /// Routes a sub-request to the current location of its object, parking
+    /// it if the object is being moved, and falling back to degraded
+    /// RAID-5 service when the object's device has failed.
+    fn route(&mut self, sub: SubReq) {
+        let object = match sub.payload {
+            Payload::FileIo { object, .. } => object,
+            // Move I/Os carry explicit endpoints and are enqueued directly.
+            _ => unreachable!("move I/O must not be routed"),
+        };
+        if self.blocking_moves {
+            if let Some(parked) = self.moving.get_mut(&object) {
+                parked.push(sub);
+                return;
+            }
+        }
+        let osd = self.cluster.catalog.locate(object);
+        if self.failed[osd.0 as usize] {
+            self.degrade(sub);
+            return;
+        }
+        self.enqueue(osd, sub);
+    }
+
+    /// Serves a sub-request whose target object lives on a failed device:
+    /// RAID-5 reconstructs the lost unit from the same extent of the k−1
+    /// sibling objects (our layout puts a stripe row at the same offset in
+    /// every object of the file). A write additionally updates one
+    /// surviving sibling (the row's redundancy). A degraded op that hits a
+    /// *second* failed device is data loss: it completes immediately and
+    /// is counted in `lost_ops`.
+    fn degrade(&mut self, sub: SubReq) {
+        let Payload::FileIo {
+            token,
+            object,
+            offset,
+            len,
+            write,
+            degraded,
+        } = sub.payload
+        else {
+            unreachable!("only file I/O can be degraded");
+        };
+        if degraded {
+            // Second failure on the same stripe: RAID-5 cannot recover.
+            self.lost_ops += 1;
+            self.finish_subop(token);
+            return;
+        }
+        let (file, _) = self.cluster.catalog.placement().object_owner(object);
+        let siblings: Vec<ObjectId> = self
+            .cluster
+            .catalog
+            .file(file)
+            .expect("degraded object has a file")
+            .objects
+            .iter()
+            .copied()
+            .filter(|&o| o != object)
+            .collect();
+        let alive: Vec<ObjectId> = siblings
+            .iter()
+            .copied()
+            .filter(|&o| {
+                let loc = self.cluster.catalog.locate(o);
+                !self.failed[loc.0 as usize]
+            })
+            .collect();
+        if alive.is_empty() {
+            self.lost_ops += 1;
+            self.finish_subop(token);
+            return;
+        }
+        self.degraded_ops += 1;
+        // Reconstruction: read the extent on every surviving sibling; a
+        // write turns the last of them into the redundancy update.
+        self.inflight
+            .get_mut(&token)
+            .expect("degraded sub-op has an op")
+            .remaining += alive.len() as u32 - 1;
+        let last = alive.len() - 1;
+        for (i, sibling) in alive.into_iter().enumerate() {
+            let sub = SubReq {
+                enqueued_us: sub.enqueued_us,
+                payload: Payload::FileIo {
+                    token,
+                    object: sibling,
+                    offset,
+                    len,
+                    write: write && i == last,
+                    degraded: true,
+                },
+            };
+            self.route(sub);
+        }
+    }
+
+    fn enqueue(&mut self, osd: OsdId, sub: SubReq) {
+        let o = osd.0 as usize;
+        self.queues[o].push_back(sub);
+        self.peak_queue_depth[o] = self.peak_queue_depth[o].max(self.queues[o].len() as u64);
+        if self.current[o].is_none() {
+            self.start_service(osd);
+        }
+    }
+
+    /// Enqueues a mover chunk at the head of the queue: the data mover is
+    /// a dedicated stream, and serving it first keeps the window during
+    /// which an object is blocked as short as possible (one foreground
+    /// request may still be mid-service ahead of it).
+    fn enqueue_mover(&mut self, osd: OsdId, sub: SubReq) {
+        self.queues[osd.0 as usize].push_front(sub);
+        if self.current[osd.0 as usize].is_none() {
+            self.start_service(osd);
+        }
+    }
+
+    /// Pops the head of the OSD queue, performs the device operation, and
+    /// schedules its completion.
+    fn start_service(&mut self, osd: OsdId) {
+        let o = osd.0 as usize;
+        debug_assert!(self.current[o].is_none(), "OSD {osd} double-booked");
+        let Some(sub) = self.queues[o].pop_front() else {
+            return;
+        };
+        let device = match sub.payload {
+            Payload::FileIo {
+                object,
+                offset,
+                len,
+                write,
+                ..
+            } => {
+                let dev = &mut self.cluster.osds[o];
+                if write {
+                    dev.write_object(object, offset, len)
+                } else {
+                    dev.read_object(object, offset, len)
+                }
+            }
+            Payload::MoveRead { object, offset, len } => {
+                self.cluster.osds[o].read_object(object, offset, len)
+            }
+            Payload::MoveWrite { object, offset, len } => {
+                self.cluster.osds[o].write_object(object, offset, len)
+            }
+            Payload::RebuildRead { sibling, .. } => {
+                self.cluster.osds[o].read_whole_object(sibling)
+            }
+            Payload::RebuildWrite { lost, offset, len } => {
+                self.cluster.osds[o].write_object(lost, offset, len)
+            }
+        }
+        .unwrap_or_else(|e| panic!("device op failed on {osd}: {e}"));
+        let service = self.cluster.config.osd_overhead_us + device.as_micros();
+        self.busy_us[o] += service;
+        self.current[o] = Some(sub);
+        self.push(self.now + service, Event::OsdDone(osd.0));
+    }
+
+    fn on_osd_done(&mut self, osd: OsdId) {
+        let o = osd.0 as usize;
+        let sub = self.current[o].take().expect("completion without service");
+        let sojourn = self.now - sub.enqueued_us;
+        self.cluster.osds[o].record_service(sojourn);
+        match sub.payload {
+            Payload::FileIo { token, .. } => self.finish_subop(token),
+            Payload::MoveRead { object, offset, len } => {
+                self.on_move_read_done(object, offset, len)
+            }
+            Payload::MoveWrite { object, offset, len } => {
+                self.on_move_write_done(object, offset, len)
+            }
+            Payload::RebuildRead { lost, .. } => self.on_rebuild_read_done(lost),
+            Payload::RebuildWrite { lost, offset, len } => {
+                self.on_rebuild_write_done(lost, offset, len)
+            }
+        }
+        // The completion handler may already have restarted this OSD (a
+        // released client can enqueue straight back onto it); only start
+        // the next service if the device is still idle. A failed device
+        // never resumes service.
+        if !self.failed[o] && self.current[o].is_none() && !self.queues[o].is_empty() {
+            self.start_service(osd);
+        }
+    }
+
+    /// One sibling read of a rebuild finished; once all have, start the
+    /// chunked reconstruction writes at the destination.
+    fn on_rebuild_read_done(&mut self, lost: ObjectId) {
+        let state = self
+            .rebuilds
+            .get_mut(&lost)
+            .expect("rebuild read for unknown rebuild");
+        state.pending_reads -= 1;
+        if state.pending_reads > 0 {
+            return;
+        }
+        let (dest, size) = (state.dest, state.size);
+        let chunk = size.min(self.cluster.config.move_chunk_bytes).max(1);
+        let sub = SubReq {
+            enqueued_us: self.now,
+            payload: Payload::RebuildWrite {
+                lost,
+                offset: 0,
+                len: chunk,
+            },
+        };
+        self.enqueue(dest, sub);
+    }
+
+    /// One reconstruction chunk landed; continue or finalize the rebuild.
+    fn on_rebuild_write_done(&mut self, lost: ObjectId, offset: u64, len: u64) {
+        let state = &self.rebuilds[&lost];
+        let (dest, size) = (state.dest, state.size);
+        let next = offset + len;
+        if next < size {
+            let chunk = (size - next).min(self.cluster.config.move_chunk_bytes);
+            let sub = SubReq {
+                enqueued_us: self.now,
+                payload: Payload::RebuildWrite {
+                    lost,
+                    offset: next,
+                    len: chunk,
+                },
+            };
+            self.enqueue(dest, sub);
+            return;
+        }
+        self.rebuilds.remove(&lost);
+        self.cluster.catalog.record_move(lost, dest);
+        self.rebuilt_objects += 1;
+        self.last_completion_us = self.now;
+    }
+
+    fn finish_subop(&mut self, token: u64) {
+        let done = {
+            let inflight = self
+                .inflight
+                .get_mut(&token)
+                .expect("sub-op for unknown file op");
+            inflight.remaining -= 1;
+            inflight.remaining == 0
+        };
+        if done {
+            let inflight = self.inflight.remove(&token).expect("just seen");
+            let response = self.now - inflight.issued_us;
+            self.responses.record(self.now, response);
+            self.response_hist.record(response);
+            self.response_sum += response as f64;
+            self.completed_ops += 1;
+            self.last_completion_us = self.now;
+            self.outstanding[inflight.client.0 as usize] -= 1;
+            if self.options.schedule == MigrationSchedule::Midpoint
+                && !self.migration_fired
+                && self.completed_ops * 2 >= self.total_records
+            {
+                self.migration_fired = true;
+                self.fire_migration();
+            }
+            self.fill_client(inflight.client);
+        }
+    }
+
+    /// A source chunk has been read: write it on the destination.
+    fn on_move_read_done(&mut self, object: ObjectId, offset: u64, len: u64) {
+        let Some(&action) = self.move_routes.get(&object) else {
+            return; // move aborted by a failure mid-chunk
+        };
+        let sub = SubReq {
+            enqueued_us: self.now,
+            payload: Payload::MoveWrite {
+                object,
+                offset,
+                len,
+            },
+        };
+        self.enqueue_mover(action.dest, sub);
+    }
+
+    /// A destination chunk has been written: continue with the next chunk
+    /// or finalize the move.
+    fn on_move_write_done(&mut self, object: ObjectId, offset: u64, len: u64) {
+        let Some(&action) = self.move_routes.get(&object) else {
+            return; // move aborted by a failure mid-chunk
+        };
+        let size = self
+            .cluster
+            .object_size(object)
+            .expect("moving unknown object");
+        let next = offset + len;
+        if next < size {
+            let chunk = (size - next).min(self.cluster.config.move_chunk_bytes);
+            let sub = SubReq {
+                enqueued_us: self.now,
+                payload: Payload::MoveRead {
+                    object,
+                    offset: next,
+                    len: chunk,
+                },
+            };
+            self.enqueue_mover(action.source, sub);
+            return;
+        }
+        // Requests for this object still queued at the source — enqueued
+        // before the move started (mover chunks overtake them in the
+        // queue), or during it for non-blocking lazy copies — must be
+        // redirected to the destination before the source copy disappears.
+        let mut redirected = Vec::new();
+        {
+            let queue = &mut self.queues[action.source.0 as usize];
+            let mut i = 0;
+            while i < queue.len() {
+                let matches = matches!(
+                    queue[i].payload,
+                    Payload::FileIo { object: o, .. } if o == object
+                );
+                if matches {
+                    redirected.push(queue.remove(i).expect("index checked"));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.cluster.osds[action.source.0 as usize]
+            .remove_object(object)
+            .expect("source copy must exist until the move completes");
+        self.cluster.catalog.record_move(object, action.dest);
+        self.moved_objects += 1;
+        self.last_completion_us = self.now;
+        self.unblock(object);
+        for sub in redirected {
+            self.route(sub);
+        }
+        self.start_next_move(action.source);
+    }
+
+    /// Releases the sub-requests parked on a finished (or aborted) move.
+    fn unblock(&mut self, object: ObjectId) {
+        self.move_routes.remove(&object);
+        let parked = self.moving.remove(&object).unwrap_or_default();
+        for sub in parked {
+            self.route(sub);
+        }
+    }
+
+    /// Starts the next queued move of one source OSD, if any: allocates
+    /// the destination copy and issues the first transfer chunk.
+    fn start_next_move(&mut self, source: OsdId) {
+        let Some(action) = self.move_queues[source.0 as usize].pop_front() else {
+            return;
+        };
+        let size = self
+            .cluster
+            .object_size(action.object)
+            .expect("moving unknown object");
+        match self.cluster.osds[action.dest.0 as usize].create_object(action.object, size, false)
+        {
+            Ok(_) => {}
+            Err(OsdError::NoSpace { .. }) => {
+                // Destination filled up since planning: skip this move.
+                self.failed_moves += 1;
+                self.start_next_move(source);
+                return;
+            }
+            Err(e) => panic!("move of {} to {}: {e}", action.object, action.dest),
+        }
+        self.moving.insert(action.object, Vec::new());
+        self.move_routes.insert(action.object, action);
+        let chunk = size.min(self.cluster.config.move_chunk_bytes).max(1);
+        let sub = SubReq {
+            enqueued_us: self.now,
+            payload: Payload::MoveRead {
+                object: action.object,
+                offset: 0,
+                len: chunk,
+            },
+        };
+        self.enqueue_mover(action.source, sub);
+    }
+
+    /// Kills an OSD: drops its queue (re-routing foreground requests into
+    /// degraded mode), aborts moves touching it, and — when requested —
+    /// starts RAID-5 reconstruction of its objects onto surviving group
+    /// members.
+    fn on_failure(&mut self, osd: OsdId) {
+        let o = osd.0 as usize;
+        if self.failed[o] {
+            return;
+        }
+        self.failed[o] = true;
+
+        // Abort every in-flight move that touches the dead device.
+        let touched: Vec<ObjectId> = self
+            .move_routes
+            .iter()
+            .filter(|(_, a)| a.source == osd || a.dest == osd)
+            .map(|(&obj, _)| obj)
+            .collect();
+        for obj in touched {
+            let action = self.move_routes[&obj];
+            // Drop the half-written destination copy (unless the dest
+            // itself is the dead device, whose state no longer matters).
+            if action.dest != osd && self.cluster.osds[action.dest.0 as usize].has_object(obj) {
+                self.cluster.osds[action.dest.0 as usize]
+                    .remove_object(obj)
+                    .expect("partial move copy exists");
+            }
+            self.failed_moves += 1;
+            self.unblock(obj);
+        }
+        self.move_queues[o].clear();
+        for q in &mut self.move_queues {
+            q.retain(|a| a.dest != osd);
+        }
+        // Purge mover chunks touching the dead device from every queue,
+        // then re-route the dead device's foreground requests.
+        let drained: Vec<SubReq> = self.queues[o].drain(..).collect();
+        for sub in drained {
+            if let Payload::FileIo { .. } = sub.payload {
+                self.route(sub);
+            }
+        }
+        let live_moves: std::collections::HashSet<ObjectId> =
+            self.move_routes.keys().copied().collect();
+        for q in &mut self.queues {
+            q.retain(|sub| {
+                !matches!(
+                    sub.payload,
+                    Payload::MoveRead { object, .. } | Payload::MoveWrite { object, .. }
+                        if !live_moves.contains(&object)
+                )
+            });
+        }
+
+        // Kick off reconstruction of the lost objects.
+        let rebuild = self
+            .options
+            .failures
+            .iter()
+            .any(|f| f.osd == osd && f.rebuild);
+        if !rebuild {
+            return;
+        }
+        let placement = *self.cluster.catalog.placement();
+        let lost: Vec<ObjectId> = self
+            .cluster
+            .view(self.now)
+            .objects
+            .iter()
+            .filter(|ov| ov.osd == osd)
+            .map(|ov| ov.object)
+            .collect();
+        for object in lost {
+            let (file, _) = placement.object_owner(object);
+            let meta = self.cluster.catalog.file(file).expect("lost object's file");
+            let size = meta.object_size;
+            let siblings: Vec<ObjectId> = meta
+                .objects
+                .iter()
+                .copied()
+                .filter(|&s| s != object)
+                .collect();
+            let alive: Vec<ObjectId> = siblings
+                .into_iter()
+                .filter(|&s| !self.failed[self.cluster.catalog.locate(s).0 as usize])
+                .collect();
+            if alive.is_empty() {
+                continue; // unrecoverable: left to the lost_ops accounting
+            }
+            // Destination: the surviving same-group device with the most
+            // free space (intra-group, preserving §III.D independence).
+            let group = placement.group_of(osd);
+            let Some(dest) = placement
+                .group_members(group)
+                .into_iter()
+                .filter(|&m| m != osd && !self.failed[m.0 as usize])
+                .max_by_key(|&m| self.cluster.osds[m.0 as usize].free_bytes())
+            else {
+                continue; // whole group gone
+            };
+            match self.cluster.osds[dest.0 as usize].create_object(object, size, false) {
+                Ok(_) => {}
+                Err(OsdError::NoSpace { .. }) => continue,
+                Err(e) => panic!("rebuild allocation on {dest}: {e}"),
+            }
+            self.rebuilds.insert(
+                object,
+                RebuildState {
+                    dest,
+                    pending_reads: alive.len() as u32,
+                    size,
+                },
+            );
+            for sibling in alive {
+                let at = self.cluster.catalog.locate(sibling);
+                let sub = SubReq {
+                    enqueued_us: self.now,
+                    payload: Payload::RebuildRead {
+                        lost: object,
+                        sibling,
+                    },
+                };
+                self.enqueue(at, sub);
+            }
+        }
+    }
+
+    fn fire_migration(&mut self) {
+        let view = self.cluster.view(self.now);
+        let plan = self.policy.plan(&view);
+        if plan.is_empty() {
+            return;
+        }
+        let placement = *self.cluster.catalog.placement();
+        validate_plan(&plan, &view, false, |o| placement.group_of(o))
+            .unwrap_or_else(|e| panic!("policy {} produced invalid plan: {e}", self.policy.name()));
+
+        // Capacity sanitation: never let a destination's free space drop
+        // below the configured reserve (§III.B.5 "to avoid disk
+        // saturation").
+        let mut projected_free: Vec<i64> = self
+            .cluster
+            .osds
+            .iter()
+            .map(|o| o.free_bytes() as i64)
+            .collect();
+        let reserve = (self.cluster.osds[0].capacity_bytes() as f64
+            * self.cluster.config.dest_free_reserve) as i64;
+        let mut accepted = 0u64;
+        for action in plan {
+            let size = self
+                .cluster
+                .object_size(action.object)
+                .expect("plan references unknown object") as i64;
+            let dest_free = &mut projected_free[action.dest.0 as usize];
+            if *dest_free - size < reserve {
+                self.failed_moves += 1;
+                continue;
+            }
+            *dest_free -= size;
+            projected_free[action.source.0 as usize] += size;
+            self.move_queues[action.source.0 as usize].push_back(action);
+            accepted += 1;
+        }
+        if accepted > 0 {
+            self.migrations_triggered += 1;
+        }
+        for source in 0..self.cluster.config.osds {
+            // Each source starts one mover stream; streams run in parallel
+            // across sources ("perform all the migration processes in
+            // parallel", §III.B.5).
+            if self
+                .move_routes
+                .values()
+                .all(|a| a.source != OsdId(source))
+            {
+                self.start_next_move(OsdId(source));
+            }
+        }
+    }
+
+    fn run(mut self) -> RunReport {
+        // Seed each client up to its concurrency window.
+        let clients = self.scripts.len() as u32;
+        for c in 0..clients {
+            self.fill_client(ClientId(c));
+        }
+        if self.total_records > 0 {
+            let tick = self.cluster.config.wear_tick_us;
+            self.push(tick, Event::Tick);
+        }
+        for f in self.options.failures.clone() {
+            assert!(
+                f.osd.0 < self.cluster.config.osds,
+                "failure injected for unknown {}",
+                f.osd
+            );
+            self.push(f.at_us, Event::Fail(f.osd.0));
+        }
+        while let Some(Reverse((at, _, ev))) = self.heap.pop() {
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            match ev {
+                Event::OsdDone(o) => self.on_osd_done(OsdId(o)),
+                Event::MdsDone(token) => self.finish_subop(token),
+                Event::Fail(o) => self.on_failure(OsdId(o)),
+                Event::Tick => {
+                    self.policy.on_tick(self.now);
+                    if self.options.schedule == MigrationSchedule::EveryTick {
+                        self.fire_migration();
+                        // Continuous mode measures per-period rates: close
+                        // the window on both sides (§III.B.2 recomputes
+                        // Eq. 4 every minute over that minute's writes).
+                        for osd in &mut self.cluster.osds {
+                            osd.reset_wc_window();
+                        }
+                        self.policy.on_window_reset();
+                    }
+                    // Keep ticking while the replay is still in progress.
+                    if self.completed_ops < self.total_records {
+                        let next = self.now + self.cluster.config.wear_tick_us;
+                        self.push(next, Event::Tick);
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            self.completed_ops, self.total_records,
+            "replay finished with unserved records"
+        );
+        assert!(self.moving.is_empty(), "moves left in flight");
+
+        let mut per_osd = summarize_osds(
+            self.cluster
+                .osds
+                .iter()
+                .map(|o| (o.id.0, o.ssd().wear(), o.utilization(), self.busy_us[o.id.0 as usize])),
+        );
+        for (summary, &peak) in per_osd.iter_mut().zip(&self.peak_queue_depth) {
+            summary.peak_queue_depth = peak;
+        }
+        RunReport {
+            trace: self.trace.name.clone(),
+            policy: self.policy.name().to_string(),
+            osds: self.cluster.config.osds,
+            completed_ops: self.completed_ops,
+            duration_us: self.last_completion_us,
+            mean_response_us: if self.completed_ops > 0 {
+                self.response_sum / self.completed_ops as f64
+            } else {
+                0.0
+            },
+            response_percentiles_us: (
+                self.response_hist.quantile(0.50),
+                self.response_hist.quantile(0.95),
+                self.response_hist.quantile(0.99),
+            ),
+            response_windows: self.responses.windows(),
+            per_osd,
+            moved_objects: self.moved_objects,
+            remap_entries: self.cluster.catalog.remap().len() as u64,
+            total_objects: self.cluster.catalog.total_objects(),
+            migrations_triggered: self.migrations_triggered,
+            failed_osds: (0..self.cluster.config.osds)
+                .filter(|&i| self.failed[i as usize])
+                .collect(),
+            degraded_ops: self.degraded_ops,
+            lost_ops: self.lost_ops,
+            rebuilt_objects: self.rebuilt_objects,
+        }
+    }
+}
+
+/// Number of pages an access `[offset, offset + len)` touches.
+fn pages_spanned(offset: u64, len: u64, page_size: u64) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    (offset + len - 1) / page_size - offset / page_size + 1
+}
+
+/// Replays `trace` against a freshly built cluster under `policy`.
+///
+/// This is the top-level entry point used by every experiment: build,
+/// warm up, replay, report.
+pub fn run_trace(
+    cluster: Cluster,
+    trace: &Trace,
+    policy: &mut dyn Migrator,
+    options: SimOptions,
+) -> RunReport {
+    let clients = cluster.config.client_count();
+    let scripts = edm_workload::replay::assign_clients(trace, clients)
+        .into_iter()
+        .map(|s| s.record_indices)
+        .collect::<Vec<_>>();
+    let osds = cluster.config.osds as usize;
+    let blocking_moves = policy.blocking_moves();
+    let engine = Engine {
+        cluster,
+        trace,
+        policy,
+        options,
+        heap: BinaryHeap::new(),
+        seq: 0,
+        now: 0,
+        cursors: vec![0; scripts.len()],
+        outstanding: vec![0; scripts.len()],
+        scripts,
+        inflight: HashMap::new(),
+        next_token: 0,
+        queues: (0..osds).map(|_| VecDeque::new()).collect(),
+        current: vec![None; osds],
+        busy_us: vec![0; osds],
+        peak_queue_depth: vec![0; osds],
+        blocking_moves,
+        moving: HashMap::new(),
+        move_routes: HashMap::new(),
+        move_queues: (0..osds).map(|_| VecDeque::new()).collect(),
+        failed: vec![false; osds],
+        rebuilds: HashMap::new(),
+        degraded_ops: 0,
+        lost_ops: 0,
+        rebuilt_objects: 0,
+        responses: ResponseSeries::new(1), // replaced below
+        response_hist: LatencyHistogram::new(),
+        response_sum: 0.0,
+        completed_ops: 0,
+        total_records: trace.records.len() as u64,
+        migration_fired: false,
+        migrations_triggered: 0,
+        moved_objects: 0,
+        failed_moves: 0,
+        last_completion_us: 0,
+    };
+    let window = engine.cluster.config.response_window_us;
+    let engine = Engine {
+        responses: ResponseSeries::new(window),
+        ..engine
+    };
+    engine.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::migrate::{ClusterView, NoMigration};
+    use edm_workload::{harvard, synth::synthesize};
+
+    fn small_trace() -> Trace {
+        synthesize(&harvard::spec("deasna").scaled(0.001))
+    }
+
+    fn run_baseline(schedule: MigrationSchedule) -> RunReport {
+        let trace = small_trace();
+        let cluster = Cluster::build(ClusterConfig::test_small(), &trace).unwrap();
+        run_trace(
+            cluster,
+            &trace,
+            &mut NoMigration,
+            SimOptions { schedule, failures: Vec::new() },
+        )
+    }
+
+    #[test]
+    fn baseline_completes_every_record() {
+        let trace = small_trace();
+        let report = run_baseline(MigrationSchedule::Never);
+        assert_eq!(report.completed_ops, trace.records.len() as u64);
+        assert!(report.duration_us > 0);
+        assert!(report.throughput_ops_per_sec() > 0.0);
+        assert!(report.mean_response_us > 0.0);
+        assert_eq!(report.moved_objects, 0);
+        assert_eq!(report.remap_entries, 0);
+    }
+
+    #[test]
+    fn baseline_wears_ssds() {
+        let report = run_baseline(MigrationSchedule::Never);
+        assert!(report.aggregate_write_pages() > 0);
+        // Per-OSD write pages roughly track the trace's skew: at least one
+        // OSD must have seen writes.
+        assert!(report.per_osd.iter().any(|o| o.write_pages > 0));
+    }
+
+    #[test]
+    fn midpoint_schedule_with_noop_policy_changes_nothing() {
+        let never = run_baseline(MigrationSchedule::Never);
+        let midpoint = run_baseline(MigrationSchedule::Midpoint);
+        assert_eq!(never.completed_ops, midpoint.completed_ops);
+        assert_eq!(never.duration_us, midpoint.duration_us);
+        assert_eq!(never.aggregate_erases(), midpoint.aggregate_erases());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_baseline(MigrationSchedule::Never);
+        let b = run_baseline(MigrationSchedule::Never);
+        assert_eq!(a.duration_us, b.duration_us);
+        assert_eq!(a.aggregate_erases(), b.aggregate_erases());
+        assert_eq!(a.mean_response_us, b.mean_response_us);
+    }
+
+    /// A policy that moves one object from the most-written OSD to the
+    /// least-written OSD of the same group.
+    struct MoveOne;
+
+    impl Migrator for MoveOne {
+        fn name(&self) -> &str {
+            "MoveOne"
+        }
+        fn plan(&mut self, view: &ClusterView) -> Vec<MoveAction> {
+            let mut osds = view.osds.clone();
+            osds.sort_by_key(|o| std::cmp::Reverse(o.wc_pages));
+            let source = &osds[0];
+            let dest = osds
+                .iter()
+                .rev()
+                .find(|o| o.group == source.group && o.osd != source.osd)
+                .expect("group has at least two members");
+            let obj = view
+                .objects_on(source.osd)
+                .next()
+                .expect("source holds objects");
+            vec![MoveAction {
+                object: obj.object,
+                source: source.osd,
+                dest: dest.osd,
+            }]
+        }
+    }
+
+    #[test]
+    fn migration_moves_objects_and_updates_remap() {
+        let trace = small_trace();
+        let cluster = Cluster::build(ClusterConfig::test_small(), &trace).unwrap();
+        let report = run_trace(
+            cluster,
+            &trace,
+            &mut MoveOne,
+            SimOptions {
+                schedule: MigrationSchedule::Midpoint,
+                failures: Vec::new(),
+            },
+        );
+        assert_eq!(report.completed_ops, trace.records.len() as u64);
+        assert_eq!(report.moved_objects, 1);
+        assert_eq!(report.remap_entries, 1);
+        assert_eq!(report.migrations_triggered, 1);
+    }
+
+    #[test]
+    fn response_windows_cover_the_run() {
+        let report = run_baseline(MigrationSchedule::Never);
+        assert!(!report.response_windows.is_empty());
+        let total: u64 = report
+            .response_windows
+            .iter()
+            .map(|w| w.completed_ops)
+            .sum();
+        assert_eq!(total, report.completed_ops);
+    }
+
+    #[test]
+    fn empty_trace_is_a_noop() {
+        let trace = Trace::new("empty");
+        // Build needs at least something to size capacity against; an
+        // empty trace gives minimal SSDs and zero events.
+        let cluster = Cluster::build(ClusterConfig::test_small(), &trace).unwrap();
+        let report = run_trace(cluster, &trace, &mut NoMigration, SimOptions::default());
+        assert_eq!(report.completed_ops, 0);
+        assert_eq!(report.duration_us, 0);
+        assert_eq!(report.throughput_ops_per_sec(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod blocking_tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::migrate::ClusterView;
+    use edm_workload::{harvard, synth::synthesize};
+
+    /// Moves every object of the busiest OSD (by object count) to its
+    /// least-populated group peer; used to compare blocking vs lazy moves.
+    struct MoveGroupmates {
+        blocking: bool,
+    }
+
+    impl Migrator for MoveGroupmates {
+        fn name(&self) -> &str {
+            "MoveGroupmates"
+        }
+        fn blocking_moves(&self) -> bool {
+            self.blocking
+        }
+        fn plan(&mut self, view: &ClusterView) -> Vec<MoveAction> {
+            let count = |osd: OsdId| view.objects_on(osd).count();
+            let src = view
+                .osds
+                .iter()
+                .max_by_key(|o| count(o.osd))
+                .expect("osds exist");
+            let dst = view
+                .osds
+                .iter()
+                .filter(|o| o.group == src.group && o.osd != src.osd)
+                .min_by_key(|o| count(o.osd))
+                .expect("group peer exists");
+            view.objects_on(src.osd)
+                .map(|o| MoveAction {
+                    object: o.object,
+                    source: src.osd,
+                    dest: dst.osd,
+                })
+                .collect()
+        }
+    }
+
+    fn run_mode(blocking: bool) -> RunReport {
+        let trace = synthesize(&harvard::spec("home02").scaled(0.002));
+        let cluster = Cluster::build(ClusterConfig::test_small(), &trace).unwrap();
+        let mut policy = MoveGroupmates { blocking };
+        run_trace(cluster, &trace, &mut policy, SimOptions::default())
+    }
+
+    #[test]
+    fn lazy_moves_disturb_foreground_less_than_blocking_moves() {
+        let blocking = run_mode(true);
+        let lazy = run_mode(false);
+        // Same plan, same destination state...
+        assert_eq!(blocking.moved_objects, lazy.moved_objects);
+        assert!(blocking.moved_objects > 0);
+        assert_eq!(
+            blocking.completed_ops, lazy.completed_ops,
+            "both modes serve everything"
+        );
+        // ...but blocking parks every request to the in-flight objects
+        // (§V.D's HDF spike), so its p99 cannot beat the lazy copier's.
+        let p99 = |r: &RunReport| r.response_percentiles_us.2;
+        assert!(
+            p99(&blocking) >= p99(&lazy),
+            "blocking p99 {} should be >= lazy p99 {}",
+            p99(&blocking),
+            p99(&lazy)
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the RAID-5 stripe layout and hash placement:
+//! mappings must partition the byte range, stay inside object bounds,
+//! keep parity separate from data, and preserve the group invariants for
+//! every (n, m, k) the validator admits.
+
+use edm_cluster::{IoKind, Placement, StripeLayout};
+use edm_workload::FileId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A read maps to chunks that exactly tile [offset, offset+len), in
+    /// order, each within one stripe unit of one object.
+    #[test]
+    fn read_mapping_tiles_the_range(
+        k in 2u32..8,
+        unit_kb in 1u64..128,
+        offset in 0u64..10_000_000,
+        len in 1u64..5_000_000,
+    ) {
+        let l = StripeLayout::new(k, unit_kb * 1024);
+        let ios = l.map_read(offset, len);
+        let total: u64 = ios.iter().map(|io| io.len).sum();
+        prop_assert_eq!(total, len, "bytes not conserved");
+        for io in &ios {
+            prop_assert!(io.kind == IoKind::DataRead);
+            prop_assert!(io.len <= l.unit);
+            prop_assert!(io.object_index < k);
+        }
+        // Chunks fit the object sized for this file span.
+        let osize = l.object_size(offset + len);
+        for io in &ios {
+            prop_assert!(io.offset + io.len <= osize);
+        }
+    }
+
+    /// A write's data chunks tile the range, every data chunk has exactly
+    /// one parity write of the same length on a *different* object, and
+    /// the RMW read pair precedes each write pair.
+    #[test]
+    fn write_mapping_pairs_data_with_parity(
+        k in 2u32..8,
+        unit_kb in 1u64..64,
+        offset in 0u64..5_000_000,
+        len in 1u64..2_000_000,
+    ) {
+        let l = StripeLayout::new(k, unit_kb * 1024);
+        let ios = l.map_write(offset, len);
+        let data: u64 = ios
+            .iter()
+            .filter(|io| io.kind == IoKind::DataWrite)
+            .map(|io| io.len)
+            .sum();
+        let parity: u64 = ios
+            .iter()
+            .filter(|io| io.kind == IoKind::ParityWrite)
+            .map(|io| io.len)
+            .sum();
+        prop_assert_eq!(data, len);
+        prop_assert_eq!(parity, len, "parity mirrors data bytes");
+        // Group by chunk: [RmwRead, ParityRead, DataWrite, ParityWrite].
+        prop_assert_eq!(ios.len() % 4, 0);
+        for chunk in ios.chunks(4) {
+            prop_assert_eq!(chunk[0].kind, IoKind::RmwRead);
+            prop_assert_eq!(chunk[1].kind, IoKind::ParityRead);
+            prop_assert_eq!(chunk[2].kind, IoKind::DataWrite);
+            prop_assert_eq!(chunk[3].kind, IoKind::ParityWrite);
+            prop_assert_ne!(chunk[2].object_index, chunk[3].object_index,
+                "parity must live on a different object");
+            prop_assert_eq!(chunk[2].offset, chunk[3].offset);
+            prop_assert_eq!(chunk[2].len, chunk[3].len);
+        }
+    }
+
+    /// Placement: every file's k objects land on k distinct OSDs in k
+    /// distinct groups, ids round-trip, and group membership is a
+    /// partition of the cluster.
+    #[test]
+    fn placement_invariants(
+        osds in 4u32..64,
+        inode in 0u64..1_000_000,
+    ) {
+        let m = 4u32.min(osds);
+        let k = m;
+        let p = Placement::new(osds, m, k);
+        let file = FileId(inode);
+        let mut seen_osds = std::collections::HashSet::new();
+        let mut seen_groups = std::collections::HashSet::new();
+        for i in 0..k {
+            let osd = p.home_osd(file, i);
+            prop_assert!(osd.0 < osds);
+            prop_assert!(seen_osds.insert(osd), "objects share an OSD");
+            prop_assert!(
+                seen_groups.insert(p.group_of(osd)),
+                "objects share a group (breaks SIII.D)"
+            );
+            let oid = p.object_id(file, i);
+            prop_assert_eq!(p.object_owner(oid), (file, i));
+        }
+        // Groups partition the OSDs.
+        let total: usize = (0..m)
+            .map(|g| p.group_members(edm_cluster::GroupId(g)).len())
+            .sum();
+        prop_assert_eq!(total, osds as usize);
+    }
+
+    /// Object size is monotone in file size and always covers the last
+    /// mapped byte.
+    #[test]
+    fn object_size_covers_every_access(
+        k in 2u32..6,
+        file_size in 1u64..20_000_000,
+    ) {
+        let l = StripeLayout::paper(k);
+        let osize = l.object_size(file_size);
+        prop_assert!(osize >= l.unit);
+        prop_assert!(l.object_size(file_size + 1) >= osize);
+        // The very last byte maps within bounds.
+        for io in l.map_write(file_size - 1, 1) {
+            prop_assert!(io.offset + io.len <= osize);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Plan-quality evaluation: what a migration plan is *predicted* to do to
+//! the cluster's wear balance, before any data moves.
+//!
+//! Algorithm 1 computes per-device deltas; the policies then approximate
+//! those deltas with whole objects. This module closes the loop: given the
+//! view and the concrete plan, it applies each move's estimated write-page
+//! and byte footprint to the per-device state and re-evaluates the wear
+//! model — so tests (and operators) can check that a plan actually
+//! improves the imbalance it was asked to fix, and by how much.
+
+use std::collections::HashMap;
+
+use edm_cluster::{ClusterView, MoveAction, ObjectId};
+use serde::{Deserialize, Serialize};
+
+use crate::temperature::AccessTracker;
+use crate::trigger;
+use crate::wear_model::WearModel;
+
+/// Predicted effect of a plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanAssessment {
+    /// Model erase counts per OSD before the plan.
+    pub erases_before: Vec<f64>,
+    /// Predicted model erase counts after the plan (write-page and byte
+    /// footprints shifted to the destinations).
+    pub erases_after: Vec<f64>,
+    /// Relative standard deviation before / after.
+    pub rsd_before: f64,
+    pub rsd_after: f64,
+    /// Total bytes the plan transfers.
+    pub moved_bytes: u64,
+    /// Total window write pages the plan shifts between devices.
+    pub moved_write_pages: u64,
+}
+
+impl PlanAssessment {
+    /// True when the predicted imbalance does not grow.
+    pub fn is_improvement(&self) -> bool {
+        self.rsd_after <= self.rsd_before + 1e-9
+    }
+
+    /// Predicted relative reduction of the wear imbalance (0 when the
+    /// cluster was already balanced).
+    pub fn rsd_reduction(&self) -> f64 {
+        if self.rsd_before == 0.0 {
+            0.0
+        } else {
+            1.0 - self.rsd_after / self.rsd_before
+        }
+    }
+}
+
+/// Assesses `plan` against `view`, using `tracker` for per-object write
+/// footprints (the same estimates the policies plan with).
+pub fn assess_plan(
+    view: &ClusterView,
+    plan: &[MoveAction],
+    tracker: &AccessTracker,
+    model: &WearModel,
+) -> PlanAssessment {
+    let n = view.osds.len();
+    let mut wc: Vec<f64> = view.osds.iter().map(|o| o.wc_pages as f64).collect();
+    let mut live_bytes: Vec<f64> = view
+        .osds
+        .iter()
+        .map(|o| o.utilization * o.capacity_bytes as f64)
+        .collect();
+    let capacity: Vec<f64> = view.osds.iter().map(|o| o.capacity_bytes as f64).collect();
+
+    let erases_before: Vec<f64> = (0..n)
+        .map(|i| model.erase_count(wc[i], (live_bytes[i] / capacity[i]).clamp(0.0, 1.0)))
+        .collect();
+
+    let sizes: HashMap<ObjectId, u64> = view
+        .objects
+        .iter()
+        .map(|o| (o.object, o.size_bytes))
+        .collect();
+
+    let mut moved_bytes = 0u64;
+    let mut moved_write_pages = 0u64;
+    for m in plan {
+        let size = sizes.get(&m.object).copied().unwrap_or(0);
+        let pages = tracker.heat(m.object, view.now_us).window_write_pages;
+        moved_bytes += size;
+        moved_write_pages += pages;
+        let (s, d) = (m.source.0 as usize, m.dest.0 as usize);
+        wc[s] -= pages as f64;
+        wc[d] += pages as f64;
+        live_bytes[s] -= size as f64;
+        live_bytes[d] += size as f64;
+    }
+
+    let erases_after: Vec<f64> = (0..n)
+        .map(|i| {
+            model.erase_count(
+                wc[i].max(0.0),
+                (live_bytes[i] / capacity[i]).clamp(0.0, 1.0),
+            )
+        })
+        .collect();
+
+    PlanAssessment {
+        rsd_before: trigger::evaluate(&erases_before, 0.0).rsd,
+        rsd_after: trigger::evaluate(&erases_after, 0.0).rsd,
+        erases_before,
+        erases_after,
+        moved_bytes,
+        moved_write_pages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_cluster::{AccessEvent, AccessKind, GroupId, ObjectView, OsdId, OsdView};
+
+    fn view() -> ClusterView {
+        ClusterView {
+            now_us: 1_000,
+            page_size: 4096,
+            pages_per_block: 32,
+            osds: (0..4)
+                .map(|i| OsdView {
+                    osd: OsdId(i),
+                    group: GroupId(i % 2),
+                    wc_pages: if i == 0 { 80_000 } else { 10_000 },
+                    utilization: 0.6,
+                    measured_erases: 0,
+                    ewma_latency_us: 0.0,
+                    free_bytes: 1 << 29,
+                    capacity_bytes: 1 << 30,
+                })
+                .collect(),
+            objects: vec![
+                ObjectView {
+                    object: ObjectId(1),
+                    osd: OsdId(0),
+                    size_bytes: 4 << 20,
+                    remapped: false,
+                },
+                ObjectView {
+                    object: ObjectId(2),
+                    osd: OsdId(0),
+                    size_bytes: 1 << 20,
+                    remapped: false,
+                },
+            ],
+        }
+    }
+
+    fn hot_tracker() -> AccessTracker {
+        let mut t = AccessTracker::new(60_000_000);
+        for _ in 0..100 {
+            t.record(AccessEvent {
+                now_us: 500,
+                object: ObjectId(1),
+                kind: AccessKind::Write,
+                pages: 350,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn moving_the_hot_object_improves_balance() {
+        let v = view();
+        let t = hot_tracker();
+        let model = WearModel::paper(32);
+        let plan = vec![MoveAction {
+            object: ObjectId(1),
+            source: OsdId(0),
+            dest: OsdId(2),
+        }];
+        let a = assess_plan(&v, &plan, &t, &model);
+        assert!(a.rsd_before > 0.5, "initial imbalance: {}", a.rsd_before);
+        assert!(a.is_improvement(), "{a:?}");
+        assert!(a.rsd_reduction() > 0.3, "{a:?}");
+        assert_eq!(a.moved_bytes, 4 << 20);
+        assert_eq!(a.moved_write_pages, 35_000);
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let v = view();
+        let t = hot_tracker();
+        let a = assess_plan(&v, &[], &t, &WearModel::paper(32));
+        assert_eq!(a.erases_before, a.erases_after);
+        assert_eq!(a.moved_bytes, 0);
+        assert!((a.rsd_reduction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_a_cold_object_to_the_hot_device_hurts() {
+        let v = view();
+        let mut t = AccessTracker::new(60_000_000);
+        t.record(AccessEvent {
+            now_us: 500,
+            object: ObjectId(2),
+            kind: AccessKind::Write,
+            pages: 10,
+        });
+        // Shifting extra writes ONTO the already-hottest device.
+        let plan = vec![MoveAction {
+            object: ObjectId(2),
+            source: OsdId(0),
+            dest: OsdId(1),
+        }];
+        // Object 2 moves off osd0 — that slightly helps; construct the
+        // reverse by assessing a plan targeting the hot device instead:
+        let v2 = {
+            let mut v2 = v.clone();
+            v2.objects[1].osd = OsdId(1);
+            v2
+        };
+        let plan_bad = vec![MoveAction {
+            object: ObjectId(2),
+            source: OsdId(1),
+            dest: OsdId(0),
+        }];
+        let good = assess_plan(&v, &plan, &t, &WearModel::paper(32));
+        let bad = assess_plan(&v2, &plan_bad, &t, &WearModel::paper(32));
+        assert!(good.rsd_after <= good.rsd_before);
+        assert!(bad.rsd_after >= bad.rsd_before);
+    }
+
+    /// The EDM policies' plans must always assess as improvements on the
+    /// views they were planned against.
+    #[test]
+    fn hdf_plans_assess_as_improvements() {
+        use crate::policy::EdmHdf;
+        use edm_cluster::Migrator;
+        let mut v = view();
+        // Give the hot device some movable objects with real heat.
+        v.objects = (0..8)
+            .map(|i| ObjectView {
+                object: ObjectId(i),
+                osd: OsdId((i % 2) as u32 * 2), // osds 0 and 2 (same group)
+                size_bytes: 1 << 20,
+                remapped: false,
+            })
+            .collect();
+        let mut p = EdmHdf::default();
+        for i in 0..8u64 {
+            let writes = if i % 2 == 0 { 200 } else { 2 };
+            for _ in 0..writes {
+                p.on_access(AccessEvent {
+                    now_us: 500,
+                    object: ObjectId(i),
+                    kind: AccessKind::Write,
+                    pages: 50,
+                });
+            }
+        }
+        let plan = p.plan(&v);
+        assert!(!plan.is_empty());
+        let a = assess_plan(&v, &plan, p.tracker(), &WearModel::paper(32));
+        assert!(a.is_improvement(), "{a:?}");
+    }
+}

@@ -1,0 +1,95 @@
+//! # edm-core — the EDM endurance-aware data migration scheme
+//!
+//! From-scratch reproduction of *EDM: an Endurance-aware Data Migration
+//! Scheme for Load Balancing in SSD Storage Clusters* (Ou, Shu, Lu, Yi,
+//! Wang — IPDPS 2014). EDM balances load in an SSD cluster by balancing
+//! *wear*, moving as little data as possible so the migration itself does
+//! not burn flash lifetime:
+//!
+//! * [`wear_model`] — the SSD wear model of Eq. 1–4: erase count as a
+//!   function of host write pages `Wc` and disk utilization `u`, with the
+//!   skew-corrected uᵣ relation (σ = 0.28, Fig. 3);
+//! * [`temperature`] — object temperature (Definition 1, Eq. 5/6) and the
+//!   access tracker of the EDM architecture (Fig. 4);
+//! * [`trigger`] — the wear-imbalance trigger: relative standard deviation
+//!   of per-device model erase counts vs. λ (§III.B.2);
+//! * [`alg1`] — Algorithm 1: iterative max/min pairing that computes how
+//!   many page writes (HDF) or how much utilization (CDF) each device
+//!   should shed or absorb;
+//! * [`policy`] — the [`EdmHdf`] (Hot-Data-First) and [`EdmCdf`]
+//!   (Cold-Data-First) policies plus the [`Cmt`] conventional-migration
+//!   baseline, all implementing [`edm_cluster::Migrator`];
+//! * [`plan`] — distributing selected objects over destinations "in
+//!   proportion to ΔWc" under free-space budgets;
+//! * [`config`] — the paper's tunables (λ, σ, 500 iterations, ε = 0.001,
+//!   the 50 % CDF floor).
+//!
+//! The remapping-table manager and data mover of Fig. 4 live in
+//! `edm-cluster` (`remap`, `sim`), where the moved objects are actually
+//! tracked and shuffled.
+//!
+//! ```
+//! use edm_core::wear_model::WearModel;
+//!
+//! // Eq. 4: a device with 100k page writes at 70 % utilization.
+//! let model = WearModel::paper(32);
+//! let erases = model.erase_count(100_000.0, 0.70);
+//! assert!(erases > 100_000.0 / 32.0); // GC overhead makes it worse than ideal
+//! ```
+
+pub mod alg1;
+pub mod config;
+pub mod evaluate;
+pub mod lifetime;
+pub mod plan;
+pub mod policy;
+pub mod temperature;
+pub mod trigger;
+pub mod wear_model;
+
+pub use alg1::{calculate_cdf, calculate_hdf, Alg1Config, MovementAmounts};
+pub use evaluate::{assess_plan, PlanAssessment};
+pub use lifetime::{DeviceLifetime, EnduranceSpec, Staggering};
+pub use config::EdmConfig;
+pub use policy::{Cmt, CmtConfig, EdmCdf, EdmHdf};
+pub use temperature::{AccessTracker, ObjectHeat};
+pub use trigger::TriggerDecision;
+pub use wear_model::{u_of_ur, WearModel, PAPER_SIGMA};
+
+use edm_cluster::{Migrator, NoMigration};
+
+/// All four systems of the evaluation (§V): Baseline, CMT, EDM-HDF,
+/// EDM-CDF — in the paper's plotting order.
+pub const POLICY_NAMES: [&str; 4] = ["Baseline", "CMT", "EDM-HDF", "EDM-CDF"];
+
+/// Instantiates a policy by its evaluation name.
+///
+/// # Panics
+/// Panics on an unknown name; see [`POLICY_NAMES`].
+pub fn make_policy(name: &str) -> Box<dyn Migrator> {
+    match name {
+        "Baseline" => Box::new(NoMigration),
+        "CMT" => Box::new(Cmt::default()),
+        "EDM-HDF" => Box::new(EdmHdf::default()),
+        "EDM-CDF" => Box::new(EdmCdf::default()),
+        other => panic!("unknown policy {other:?}; see POLICY_NAMES"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_policy_covers_all_names() {
+        for name in POLICY_NAMES {
+            assert_eq!(make_policy(name).name(), name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy")]
+    fn unknown_policy_panics() {
+        make_policy("nope");
+    }
+}

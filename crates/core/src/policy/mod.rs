@@ -1,0 +1,79 @@
+//! The migration policies: EDM-HDF, EDM-CDF (§III.B) and the
+//! Sorrento-derived conventional migration technique CMT (§V intro).
+
+mod cdf;
+mod cmt;
+mod hdf;
+
+pub use cdf::EdmCdf;
+pub use cmt::{Cmt, CmtConfig};
+pub use hdf::EdmHdf;
+
+use edm_cluster::{ClusterView, GroupId, OsdId};
+
+/// Group members (OSD indices into `view.osds`), keyed by group, each
+/// ascending. EDM plans per group because migration is intra-group only
+/// (§III.A).
+pub(crate) fn members_by_group(view: &ClusterView) -> Vec<(GroupId, Vec<OsdId>)> {
+    let mut groups: std::collections::BTreeMap<GroupId, Vec<OsdId>> =
+        std::collections::BTreeMap::new();
+    for o in &view.osds {
+        groups.entry(o.group).or_default().push(o.osd);
+    }
+    groups.into_iter().collect()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use edm_cluster::{ClusterView, GroupId, ObjectId, ObjectView, OsdId, OsdView};
+
+    /// A hand-built view: `osds[i] = (wc_pages, utilization, ewma)`,
+    /// groups assigned round-robin over `m`, and `objects[j] = (osd,
+    /// size)` with ids 0..len.
+    pub fn view(m: u32, osds: &[(u64, f64, f64)], objects: &[(u32, u64)]) -> ClusterView {
+        let capacity = 1u64 << 30;
+        ClusterView {
+            now_us: 1_000_000,
+            page_size: 4096,
+            pages_per_block: 32,
+            osds: osds
+                .iter()
+                .enumerate()
+                .map(|(i, &(wc, u, ewma))| OsdView {
+                    osd: OsdId(i as u32),
+                    group: GroupId(i as u32 % m),
+                    wc_pages: wc,
+                    utilization: u,
+                    measured_erases: 0,
+                    ewma_latency_us: ewma,
+                    free_bytes: ((1.0 - u) * capacity as f64) as u64,
+                    capacity_bytes: capacity,
+                })
+                .collect(),
+            objects: objects
+                .iter()
+                .enumerate()
+                .map(|(j, &(osd, size))| ObjectView {
+                    object: ObjectId(j as u64),
+                    osd: OsdId(osd),
+                    size_bytes: size,
+                    remapped: false,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_by_group_partitions_osds() {
+        let view = testutil::view(2, &[(0, 0.5, 0.0); 6], &[]);
+        let groups = members_by_group(&view);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].1, vec![OsdId(0), OsdId(2), OsdId(4)]);
+        assert_eq!(groups[1].1, vec![OsdId(1), OsdId(3), OsdId(5)]);
+    }
+}

@@ -1,0 +1,338 @@
+//! Object temperature (§III.B.3, Definition 1) and the access tracker of
+//! the EDM architecture (Fig. 4).
+//!
+//! The time-line since an object's creation is split into equal intervals;
+//! with `Aᵢ` accesses in interval `i`, the temperature at interval `k` is
+//!
+//! > Tₖ(O) = Σᵢ Aᵢ / 2^(k−i)                           (Eq. 5)
+//!
+//! maintained incrementally by the recurrence
+//!
+//! > Tₖ(O) = Tₖ₋₁(O)/2 + Aₖ                            (Eq. 6)
+//!
+//! HDF counts only writes in `Aᵢ` ("Aᵢ is the write frequency of an object
+//! (not including the read operations) for HDF"); CDF counts reads and
+//! writes ("Aᵢ represents the total access frequency ... for CDF",
+//! §III.B.5). The tracker maintains both, plus the per-object page-write
+//! tally of the current measurement window that HDF's object selection
+//! needs to satisfy ΔWc.
+
+use std::collections::HashMap;
+
+use edm_cluster::{AccessEvent, AccessKind, ObjectId};
+
+/// One object's decayed counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObjectHeat {
+    /// Write-only temperature (HDF's Tₖ).
+    pub write_temp: f64,
+    /// Read+write temperature (CDF's Tₖ).
+    pub total_temp: f64,
+    /// Interval index of the last decay applied.
+    last_interval: u64,
+    /// Host pages written to this object during the current measurement
+    /// window (not decayed; reset with the window).
+    pub window_write_pages: u64,
+    /// Pages accessed (read + write) during the current window.
+    pub window_access_pages: u64,
+}
+
+impl ObjectHeat {
+    /// Applies Eq. 6 lazily: decays by one halving per elapsed interval.
+    fn decay_to(&mut self, interval: u64) {
+        debug_assert!(interval >= self.last_interval);
+        let elapsed = interval - self.last_interval;
+        if elapsed > 0 {
+            // 2^-elapsed, exactly zero past the f64 exponent range.
+            let factor = if elapsed >= 1075 {
+                0.0
+            } else {
+                (0.5f64).powi(elapsed.min(i32::MAX as u64) as i32)
+            };
+            self.write_temp *= factor;
+            self.total_temp *= factor;
+            self.last_interval = interval;
+        }
+    }
+}
+
+/// The EDM access tracker: updates temperatures on every object access.
+///
+/// Optionally memory-bounded: §IV reduces memory consumption by caching
+/// "only part of the objects' metadata in memory, for example ... the k
+/// hottest objects". With a capacity set, the tracker prunes its coldest
+/// entries once it overflows 25 % past the cap (amortized O(n) per prune,
+/// O(1) per access).
+#[derive(Debug, Clone)]
+pub struct AccessTracker {
+    interval_us: u64,
+    heats: HashMap<ObjectId, ObjectHeat>,
+    capacity: Option<usize>,
+}
+
+impl AccessTracker {
+    /// The paper recomputes wear every minute (§III.B.2); one minute is
+    /// also our default temperature interval.
+    pub const DEFAULT_INTERVAL_US: u64 = 60 * 1_000_000;
+
+    pub fn new(interval_us: u64) -> Self {
+        assert!(interval_us > 0, "interval must be positive");
+        AccessTracker {
+            interval_us,
+            heats: HashMap::new(),
+            capacity: None,
+        }
+    }
+
+    /// A tracker that keeps at most ~`capacity` object entries, evicting
+    /// the coldest (by total temperature) when it overflows.
+    pub fn with_capacity(interval_us: u64, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        AccessTracker {
+            capacity: Some(capacity),
+            ..AccessTracker::new(interval_us)
+        }
+    }
+
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Evicts the coldest entries down to the capacity. Called once the
+    /// map overflows 25 % past the cap so the amortized per-access cost
+    /// stays constant.
+    fn prune(&mut self, now_interval: u64) {
+        let Some(cap) = self.capacity else {
+            return;
+        };
+        if self.heats.len() <= cap + cap / 4 {
+            return;
+        }
+        let mut temps: Vec<(ObjectId, f64)> = self
+            .heats
+            .iter()
+            .map(|(&o, h)| {
+                let mut h = *h;
+                h.decay_to(now_interval);
+                (o, h.total_temp)
+            })
+            .collect();
+        temps.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        for (o, _) in temps.into_iter().take(self.heats.len() - cap) {
+            self.heats.remove(&o);
+        }
+    }
+
+    pub fn interval_of(&self, now_us: u64) -> u64 {
+        now_us / self.interval_us
+    }
+
+    /// Records one object access (the cluster calls this for every
+    /// object-level I/O).
+    pub fn record(&mut self, event: AccessEvent) {
+        let interval = self.interval_of(event.now_us);
+        let heat = self.heats.entry(event.object).or_default();
+        heat.decay_to(interval);
+        heat.total_temp += 1.0;
+        heat.window_access_pages += event.pages;
+        if event.kind == AccessKind::Write {
+            heat.write_temp += 1.0;
+            heat.window_write_pages += event.pages;
+        }
+        self.prune(interval);
+    }
+
+    /// Temperature snapshot of one object at `now_us` (decayed to the
+    /// current interval; untouched objects are stone cold).
+    pub fn heat(&self, object: ObjectId, now_us: u64) -> ObjectHeat {
+        let interval = self.interval_of(now_us);
+        let mut h = self.heats.get(&object).copied().unwrap_or_default();
+        h.decay_to(interval);
+        h
+    }
+
+    /// Number of objects ever seen.
+    pub fn tracked_objects(&self) -> usize {
+        self.heats.len()
+    }
+
+    /// The `n` hottest objects by write temperature, hottest first — the
+    /// in-memory hot cache of Fig. 4 ("we only cache the k hottest objects
+    /// in memory for HDF").
+    pub fn hottest_by_write(&self, n: usize, now_us: u64) -> Vec<(ObjectId, ObjectHeat)> {
+        let mut v: Vec<(ObjectId, ObjectHeat)> = self
+            .heats
+            .keys()
+            .map(|&o| (o, self.heat(o, now_us)))
+            .collect();
+        v.sort_by(|a, b| {
+            b.1.write_temp
+                .partial_cmp(&a.1.write_temp)
+                .expect("temperatures are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        v.truncate(n);
+        v
+    }
+
+    /// Clears the per-window page counters (start of a new measurement
+    /// period); temperatures persist.
+    pub fn reset_window(&mut self) {
+        for h in self.heats.values_mut() {
+            h.window_write_pages = 0;
+            h.window_access_pages = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(now_us: u64, object: u64, kind: AccessKind, pages: u64) -> AccessEvent {
+        AccessEvent {
+            now_us,
+            object: ObjectId(object),
+            kind,
+            pages,
+        }
+    }
+
+    #[test]
+    fn accesses_accumulate_within_an_interval() {
+        let mut t = AccessTracker::new(1000);
+        t.record(ev(10, 1, AccessKind::Write, 2));
+        t.record(ev(20, 1, AccessKind::Read, 1));
+        t.record(ev(30, 1, AccessKind::Write, 3));
+        let h = t.heat(ObjectId(1), 40);
+        assert_eq!(h.write_temp, 2.0);
+        assert_eq!(h.total_temp, 3.0);
+        assert_eq!(h.window_write_pages, 5);
+        assert_eq!(h.window_access_pages, 6);
+    }
+
+    #[test]
+    fn recurrence_halves_per_interval() {
+        // Eq. 6: T_k = T_{k-1}/2 + A_k.
+        let mut t = AccessTracker::new(1000);
+        for _ in 0..4 {
+            t.record(ev(0, 1, AccessKind::Write, 1));
+        }
+        assert_eq!(t.heat(ObjectId(1), 999).write_temp, 4.0);
+        assert_eq!(t.heat(ObjectId(1), 1000).write_temp, 2.0);
+        assert_eq!(t.heat(ObjectId(1), 2000).write_temp, 1.0);
+        // New accesses add on top of the decayed value.
+        t.record(ev(2000, 1, AccessKind::Write, 1));
+        assert_eq!(t.heat(ObjectId(1), 2500).write_temp, 2.0);
+    }
+
+    #[test]
+    fn matches_eq5_closed_form() {
+        // A_1 = 3 (interval 1), A_2 = 5 (interval 2), A_3 = 2 (interval 3):
+        // T_3 = 3/4 + 5/2 + 2 = 5.25.
+        let mut t = AccessTracker::new(100);
+        for _ in 0..3 {
+            t.record(ev(150, 7, AccessKind::Write, 1));
+        }
+        for _ in 0..5 {
+            t.record(ev(250, 7, AccessKind::Write, 1));
+        }
+        for _ in 0..2 {
+            t.record(ev(350, 7, AccessKind::Write, 1));
+        }
+        assert!((t.heat(ObjectId(7), 399).write_temp - 5.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untouched_objects_are_cold() {
+        let t = AccessTracker::new(1000);
+        let h = t.heat(ObjectId(99), 5000);
+        assert_eq!(h.write_temp, 0.0);
+        assert_eq!(h.total_temp, 0.0);
+        assert_eq!(t.tracked_objects(), 0);
+    }
+
+    #[test]
+    fn reads_heat_total_but_not_write_temp() {
+        let mut t = AccessTracker::new(1000);
+        t.record(ev(0, 1, AccessKind::Read, 4));
+        let h = t.heat(ObjectId(1), 0);
+        assert_eq!(h.write_temp, 0.0);
+        assert_eq!(h.total_temp, 1.0);
+        assert_eq!(h.window_write_pages, 0);
+        assert_eq!(h.window_access_pages, 4);
+    }
+
+    #[test]
+    fn long_idle_decays_to_zero_without_overflow() {
+        let mut t = AccessTracker::new(1);
+        t.record(ev(0, 1, AccessKind::Write, 1));
+        let h = t.heat(ObjectId(1), u64::MAX);
+        assert_eq!(h.write_temp, 0.0);
+        assert!(h.write_temp.is_finite());
+    }
+
+    #[test]
+    fn hottest_by_write_ranks_correctly() {
+        let mut t = AccessTracker::new(1000);
+        for _ in 0..5 {
+            t.record(ev(0, 1, AccessKind::Write, 1));
+        }
+        for _ in 0..2 {
+            t.record(ev(0, 2, AccessKind::Write, 1));
+        }
+        for _ in 0..9 {
+            t.record(ev(0, 3, AccessKind::Read, 1)); // read-hot, write-cold
+        }
+        let top = t.hottest_by_write(2, 0);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, ObjectId(1));
+        assert_eq!(top[1].0, ObjectId(2));
+    }
+
+    #[test]
+    fn bounded_tracker_keeps_the_hot_and_evicts_the_cold() {
+        let mut t = AccessTracker::with_capacity(1000, 8);
+        assert_eq!(t.capacity(), Some(8));
+        // Heat objects 0..4 heavily, then stream 100 cold one-shot objects.
+        for hot in 0..4u64 {
+            for _ in 0..50 {
+                t.record(ev(0, hot, AccessKind::Write, 1));
+            }
+        }
+        for cold in 100..200u64 {
+            t.record(ev(0, cold, AccessKind::Read, 1));
+        }
+        assert!(
+            t.tracked_objects() <= 10,
+            "tracker exceeded its cap: {}",
+            t.tracked_objects()
+        );
+        for hot in 0..4u64 {
+            assert!(
+                t.heat(ObjectId(hot), 0).write_temp > 0.0,
+                "hot object {hot} was evicted"
+            );
+        }
+    }
+
+    #[test]
+    fn unbounded_tracker_never_evicts() {
+        let mut t = AccessTracker::new(1000);
+        for o in 0..500u64 {
+            t.record(ev(0, o, AccessKind::Read, 1));
+        }
+        assert_eq!(t.tracked_objects(), 500);
+    }
+
+    #[test]
+    fn reset_window_keeps_temperatures() {
+        let mut t = AccessTracker::new(1000);
+        t.record(ev(0, 1, AccessKind::Write, 7));
+        t.reset_window();
+        let h = t.heat(ObjectId(1), 0);
+        assert_eq!(h.window_write_pages, 0);
+        assert_eq!(h.window_access_pages, 0);
+        assert_eq!(h.write_temp, 1.0);
+    }
+}

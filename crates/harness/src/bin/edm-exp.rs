@@ -1,0 +1,168 @@
+//! `edm-exp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! edm-exp <experiment> [--scale F] [--osds N[,N...]] [--full]
+//!
+//! experiments: table1 fig1 fig3 fig5 fig6 fig7 fig8
+//!              ablate-sigma ablate-lambda ablate-groups all
+//! --scale F    trace scale factor in (0,1]; default 0.05
+//! --full       shorthand for --scale 1.0 (the paper's full Table 1 counts)
+//! --osds N     cluster sizes (default: paper's 16,20 where applicable)
+//! ```
+
+use edm_cluster::MigrationSchedule;
+use edm_harness::experiments::{
+    ablate, failure, fig1, fig3, fig56, fig7, fig8, reliability, table1, EXPERIMENT_IDS,
+};
+use edm_harness::runner::RunConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: edm-exp <experiment> [--scale F] [--osds N[,N...]] [--full]\n\
+         experiments: {} all",
+        EXPERIMENT_IDS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    experiment: String,
+    cfg: RunConfig,
+    osds: Vec<u32>,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let Some(experiment) = args.next() else {
+        usage();
+    };
+    let mut cfg = RunConfig {
+        scale: 0.05,
+        schedule: MigrationSchedule::Midpoint,
+        response_window_us: None,
+    };
+    let mut osds: Vec<u32> = vec![16, 20];
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.scale = v.parse().unwrap_or_else(|_| usage());
+                if !(cfg.scale > 0.0 && cfg.scale <= 1.0) {
+                    usage();
+                }
+            }
+            "--full" => cfg.scale = 1.0,
+            "--osds" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                osds = v
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if osds.is_empty() {
+                    usage();
+                }
+            }
+            _ => usage(),
+        }
+    }
+    Args {
+        experiment,
+        cfg,
+        osds,
+    }
+}
+
+fn run_one(id: &str, cfg: &RunConfig, osds: &[u32]) {
+    match id {
+        "table1" => println!("{}", table1::render(&table1::run(cfg.scale))),
+        "fig1" => println!("{}", fig1::render(&fig1::run(cfg, osds[0].min(8)))),
+        "fig3" => println!("{}", fig3::render(&fig3::run(cfg, &fig3::default_grid()))),
+        "fig5" | "fig6" => {
+            let m = fig56::run(
+                cfg,
+                osds,
+                &edm_workload::harvard::TRACE_NAMES
+                    .iter()
+                    .copied()
+                    .collect::<Vec<_>>(),
+            );
+            if id == "fig5" {
+                println!("{}", fig56::render_fig5(&m));
+            } else {
+                println!("{}", fig56::render_fig6(&m));
+            }
+        }
+        "fig7" => println!("{}", fig7::render(&fig7::run(cfg, osds[0]))),
+        "fig8" => {
+            let traces: Vec<&str> = edm_workload::harvard::TRACE_NAMES.to_vec();
+            println!("{}", fig8::render(&fig8::run(cfg, osds[0], &traces)))
+        }
+        "failure" => {
+            println!("{}", failure::render(&failure::run(cfg, osds[0], "home02")));
+        }
+        "reliability" => {
+            // An OSD count not divisible by the group count gives uneven
+            // groups (the SIII.D design); 18 -> groups of 5,5,4,4.
+            let n = osds.iter().copied().find(|n| n % 4 != 0).unwrap_or(18);
+            println!("{}", reliability::render(&reliability::run(cfg, n, "lair62")));
+        }
+        "ablate-sigma" => {
+            let sigmas: Vec<f64> = (0..=8).map(|i| i as f64 * 0.05).collect();
+            println!("{}", ablate::render_sigma(&ablate::sigma_sweep(cfg, &sigmas)));
+        }
+        "ablate-lambda" => {
+            let lambdas = [0.02, 0.05, 0.10, 0.20, 0.40, 0.80];
+            println!(
+                "{}",
+                ablate::render_lambda(&ablate::lambda_sweep(cfg, osds[0], &lambdas))
+            );
+        }
+        "ablate-gc" => {
+            println!(
+                "{}",
+                ablate::render_gc_policy(&ablate::gc_policy_sweep(cfg, osds[0]))
+            );
+        }
+        "ablate-decay" => {
+            println!(
+                "{}",
+                ablate::render_decay(&ablate::decay_sweep(cfg, osds[0]))
+            );
+        }
+        "ablate-continuous" => {
+            println!(
+                "{}",
+                ablate::render_continuous(&ablate::continuous_sweep(cfg, osds[0]))
+            );
+        }
+        "ablate-groups" => {
+            let groups = [2, 4, 8];
+            println!(
+                "{}",
+                ablate::render_groups(&ablate::group_sweep(cfg, osds[0], &groups))
+            );
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let started = std::time::Instant::now();
+    if args.experiment == "all" {
+        for id in EXPERIMENT_IDS {
+            eprintln!("== {id} ==");
+            run_one(id, &args.cfg, &args.osds);
+        }
+    } else {
+        run_one(&args.experiment, &args.cfg, &args.osds);
+    }
+    eprintln!(
+        "(scale {:.3}, wall time {:.1}s)",
+        args.cfg.scale,
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,65 @@
+//! `edm-probe` — diagnostic deep-dive into one run: windowed response
+//! times around the migration point and the per-OSD wear/load profile.
+//!
+//! ```text
+//! edm-probe <trace> <policy> [scale] [osds]
+//! ```
+
+use edm_cluster::{run_trace, Cluster, ClusterConfig, SimOptions};
+use edm_core::make_policy;
+use edm_workload::harvard;
+use edm_workload::synth::synthesize;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trace_name = args.next().unwrap_or_else(|| "home02".into());
+    let policy_name = args.next().unwrap_or_else(|| "EDM-HDF".into());
+    let scale: f64 = args.next().map(|s| s.parse().expect("scale")).unwrap_or(0.01);
+    let osds: u32 = args.next().map(|s| s.parse().expect("osds")).unwrap_or(16);
+
+    let trace = synthesize(&harvard::spec(&trace_name).scaled(scale));
+    let mut config = ClusterConfig::paper(osds);
+    // Scale the 3-minute reporting window with the trace scale so the
+    // series has a useful number of points at any scale.
+    config.response_window_us = ((180e6 * scale) as u64).max(50_000);
+    let cluster = Cluster::build(config, &trace).expect("build");
+    let mut policy = make_policy(&policy_name);
+    let report = run_trace(cluster, &trace, policy.as_mut(), SimOptions::default());
+
+    println!(
+        "{} on {} (scale {scale}, {osds} OSDs): {:.0} ops/s, mean {:.0}us, moved {}, {} erases",
+        report.policy,
+        report.trace,
+        report.throughput_ops_per_sec(),
+        report.mean_response_us,
+        report.moved_objects,
+        report.aggregate_erases()
+    );
+    let (p50, p95, p99) = report.response_percentiles_us;
+    println!("response percentiles: p50={p50}us p95={p95}us p99={p99}us");
+    println!("-- response windows ({}us each) --", 180_000_000 / 40);
+    for w in &report.response_windows {
+        if w.completed_ops == 0 {
+            continue;
+        }
+        println!(
+            "t={:>6.2}s ops={:>7} mean={:>8.0}us",
+            w.start_us as f64 / 1e6,
+            w.completed_ops,
+            w.mean_response_us
+        );
+    }
+    println!("-- per-OSD --");
+    for o in &report.per_osd {
+        println!(
+            "osd{:<2} erases={:>6} writes={:>8} gc_moves={:>8} util={:.3} busy={:.2}s ({:.0}%) peakq={}",
+            o.osd,
+            o.erase_count,
+            o.write_pages,
+            o.gc_page_moves,
+            o.utilization,
+            o.busy_us as f64 / 1e6,
+            o.busy_us as f64 / report.duration_us.max(1) as f64 * 100.0, o.peak_queue_depth
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! `edm-sim` — run a declarative scenario file.
+//!
+//! ```text
+//! edm-sim <scenario-file>
+//! edm-sim --example          # print a commented example scenario
+//! ```
+
+use edm_harness::scenario::{render_report, Scenario};
+
+const EXAMPLE: &str = "\
+# Example edm-sim scenario: lair62 under EDM-HDF with one failure.
+trace lair62          # Table 1 preset, or `random`
+scale 0.02            # fraction of the full Table 1 op counts
+osds 16
+groups 4
+objects_per_file 4
+policy EDM-HDF        # Baseline | CMT | EDM-HDF | EDM-CDF
+schedule midpoint     # never | midpoint | every-tick
+lambda 0.10
+force true            # skip the trigger check at plan time
+fail 2000000 3 rebuild  # at 2s of virtual time, OSD 3 dies; rebuild it
+";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("--example") => print!("{EXAMPLE}"),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let scenario = Scenario::parse(&text).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("running {scenario:?}");
+            match scenario.run() {
+                Ok(report) => print!("{}", render_report(&report)),
+                Err(e) => {
+                    eprintln!("scenario failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            eprintln!("usage: edm-sim <scenario-file> | edm-sim --example");
+            std::process::exit(2);
+        }
+    }
+}

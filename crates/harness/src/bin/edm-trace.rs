@@ -1,0 +1,144 @@
+//! `edm-trace` — workload tooling: synthesize the Table 1 presets to
+//! trace files, analyze a trace's skew/locality profile, and import
+//! Harvard-style NFS trace text.
+//!
+//! ```text
+//! edm-trace gen <preset|random> <out.trace> [--scale F] [--seed N]
+//! edm-trace stats <file.trace>
+//! edm-trace import <harvard.txt> <out.trace> [--name NAME]
+//! edm-trace list
+//! ```
+
+use edm_workload::analysis::profile;
+use edm_workload::harvard;
+use edm_workload::synth::synthesize;
+use edm_workload::Trace;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  edm-trace gen <preset|random> <out.trace> [--scale F] [--seed N]\n  \
+         edm-trace stats <file.trace>\n  \
+         edm-trace import <harvard.txt> <out.trace> [--name NAME]\n  \
+         edm-trace list"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Trace {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    Trace::from_text(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn save(trace: &Trace, path: &str) {
+    std::fs::write(path, trace.to_text()).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "wrote {path}: {} records, {} files, {:.1} MB footprint",
+        trace.records.len(),
+        trace.file_sizes.len(),
+        trace.footprint_bytes() as f64 / 1e6
+    );
+}
+
+fn print_stats(trace: &Trace) {
+    let s = trace.stats();
+    println!("trace    {}", trace.name);
+    println!("files    {}", s.file_cnt);
+    println!(
+        "writes   {} (avg {} B, total {:.1} MB)",
+        s.write_cnt,
+        s.avg_write_size,
+        s.total_write_bytes as f64 / 1e6
+    );
+    println!(
+        "reads    {} (avg {} B, total {:.1} MB)",
+        s.read_cnt,
+        s.avg_read_size,
+        s.total_read_bytes as f64 / 1e6
+    );
+    println!("opens    {} / closes {}", s.open_cnt, s.close_cnt);
+    println!("footprint {:.1} MB", trace.footprint_bytes() as f64 / 1e6);
+    let p = profile(trace);
+    println!("-- skew/locality profile --");
+    println!("write gini              {:.3}", p.write_gini);
+    println!("read gini               {:.3}", p.read_gini);
+    println!("write top-decile share  {:.3}", p.write_top_decile_share);
+    println!("read top-decile share   {:.3}", p.read_top_decile_share);
+    println!("hot-set overlap         {:.3}", p.hot_set_overlap);
+    println!("size-write correlation  {:.3}", p.size_write_correlation);
+    println!("sequential fraction     {:.3}", p.sequential_fraction);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("list") => {
+            println!("presets: {} random", harvard::TRACE_NAMES.join(" "));
+        }
+        Some("gen") => {
+            if args.len() < 3 {
+                usage();
+            }
+            let (preset, out) = (&args[1], &args[2]);
+            let mut scale = 0.01;
+            let mut seed: Option<u64> = None;
+            let mut it = args[3..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--scale" => {
+                        scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                    }
+                    "--seed" => {
+                        seed = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+                    }
+                    _ => usage(),
+                }
+            }
+            let mut spec = if preset == "random" {
+                harvard::random_spec()
+            } else {
+                harvard::spec(preset)
+            }
+            .scaled(scale);
+            if let Some(seed) = seed {
+                spec.seed = seed;
+            }
+            save(&synthesize(&spec), out);
+        }
+        Some("stats") => {
+            if args.len() != 2 {
+                usage();
+            }
+            print_stats(&load(&args[1]));
+        }
+        Some("import") => {
+            if args.len() < 3 {
+                usage();
+            }
+            let mut name = "imported".to_string();
+            if args.len() == 5 && args[3] == "--name" {
+                name = args[4].clone();
+            } else if args.len() != 3 {
+                usage();
+            }
+            let text = std::fs::read_to_string(&args[1]).unwrap_or_else(|e| {
+                eprintln!("cannot read {}: {e}", args[1]);
+                std::process::exit(1);
+            });
+            let trace = harvard::parse_harvard_text(&name, &text).unwrap_or_else(|e| {
+                eprintln!("cannot parse Harvard text: {e}");
+                std::process::exit(1);
+            });
+            save(&trace, &args[2]);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,171 @@
+//! Figures 5 and 6 — aggregate throughput and cluster-wide aggregate
+//! erase count for all seven traces under the four systems (Baseline,
+//! CMT, EDM-HDF, EDM-CDF) at 16 and 20 OSDs.
+//!
+//! The two figures come from the same runs, so one sweep feeds both.
+//! Expected shape (§V.B–C): migration lifts throughput 15–40 % over
+//! Baseline with HDF ≈ CMT ≳ CDF; HDF cuts aggregate erases in every
+//! case (up to ~40 % vs CMT) while CMT often *increases* them.
+
+use std::collections::HashMap;
+
+use edm_cluster::RunReport;
+use edm_core::POLICY_NAMES;
+use edm_workload::harvard::TRACE_NAMES;
+
+use crate::report::{grouped, render_table, signed_pct};
+use crate::runner::{run_matrix, Cell, RunConfig};
+
+/// All runs of the Fig. 5/6 matrix, keyed by cell.
+pub struct Matrix {
+    pub osds_list: Vec<u32>,
+    pub traces: Vec<String>,
+    pub reports: HashMap<Cell, RunReport>,
+}
+
+impl Matrix {
+    pub fn report(&self, trace: &str, policy: &str, osds: u32) -> &RunReport {
+        &self.reports[&Cell::new(trace, policy, osds)]
+    }
+
+    /// Throughput ratio of `policy` over Baseline for one cell.
+    pub fn throughput_gain(&self, trace: &str, policy: &str, osds: u32) -> f64 {
+        let base = self.report(trace, "Baseline", osds).throughput_ops_per_sec();
+        let p = self.report(trace, policy, osds).throughput_ops_per_sec();
+        p / base - 1.0
+    }
+
+    /// Erase-count delta of `policy` vs Baseline (the numbers above the
+    /// bars in Fig. 6).
+    pub fn erase_delta(&self, trace: &str, policy: &str, osds: u32) -> f64 {
+        let base = self.report(trace, "Baseline", osds).aggregate_erases() as f64;
+        let p = self.report(trace, policy, osds).aggregate_erases() as f64;
+        p / base - 1.0
+    }
+}
+
+/// Runs the full (trace × policy × osds) sweep.
+pub fn run(cfg: &RunConfig, osds_list: &[u32], traces: &[&str]) -> Matrix {
+    let cells: Vec<Cell> = osds_list
+        .iter()
+        .flat_map(|&n| {
+            traces.iter().flat_map(move |t| {
+                POLICY_NAMES
+                    .iter()
+                    .map(move |p| Cell::new(t, p, n))
+            })
+        })
+        .collect();
+    Matrix {
+        osds_list: osds_list.to_vec(),
+        traces: traces.iter().map(|t| t.to_string()).collect(),
+        reports: run_matrix(&cells, cfg),
+    }
+}
+
+/// The paper's full matrix: all seven traces, 16 and 20 OSDs.
+pub fn run_paper(cfg: &RunConfig) -> Matrix {
+    run(cfg, &[16, 20], &TRACE_NAMES)
+}
+
+/// Figure 5 rendering: aggregate throughput (file ops per second).
+pub fn render_fig5(m: &Matrix) -> String {
+    let mut out = String::new();
+    for &osds in &m.osds_list {
+        out.push_str(&format!(
+            "Figure 5 ({osds}-OSDs): aggregate throughput [ops/s]\n"
+        ));
+        let rows: Vec<Vec<String>> = m
+            .traces
+            .iter()
+            .map(|t| {
+                let mut row = vec![t.clone()];
+                for p in POLICY_NAMES {
+                    let r = m.report(t, p, osds);
+                    row.push(format!("{:.0}", r.throughput_ops_per_sec()));
+                }
+                for p in &POLICY_NAMES[1..] {
+                    row.push(signed_pct(m.throughput_gain(t, p, osds)));
+                }
+                row
+            })
+            .collect();
+        out.push_str(&render_table(
+            &[
+                "trace", "Baseline", "CMT", "EDM-HDF", "EDM-CDF", "CMT vs base", "HDF vs base",
+                "CDF vs base",
+            ],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 6 rendering: aggregate erase count among all OSDs, with the
+/// percentage deltas vs Baseline the paper prints above the bars.
+pub fn render_fig6(m: &Matrix) -> String {
+    let mut out = String::new();
+    for &osds in &m.osds_list {
+        out.push_str(&format!(
+            "Figure 6 ({osds}-OSDs): aggregate erase count among all OSDs\n"
+        ));
+        let rows: Vec<Vec<String>> = m
+            .traces
+            .iter()
+            .map(|t| {
+                let mut row = vec![t.clone()];
+                for p in POLICY_NAMES {
+                    row.push(grouped(m.report(t, p, osds).aggregate_erases()));
+                }
+                for p in &POLICY_NAMES[1..] {
+                    row.push(signed_pct(m.erase_delta(t, p, osds)));
+                }
+                row
+            })
+            .collect();
+        out.push_str(&render_table(
+            &[
+                "trace", "Baseline", "CMT", "EDM-HDF", "EDM-CDF", "CMT vs base", "HDF vs base",
+                "CDF vs base",
+            ],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_cluster::MigrationSchedule;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            scale: 0.002,
+            schedule: MigrationSchedule::Midpoint,
+            response_window_us: None,
+        }
+    }
+
+    #[test]
+    fn matrix_is_complete() {
+        let m = run(&tiny(), &[8], &["deasna"]);
+        assert_eq!(m.reports.len(), 4);
+        for p in POLICY_NAMES {
+            assert!(m.report("deasna", p, 8).completed_ops > 0);
+        }
+    }
+
+    #[test]
+    fn renders_include_deltas() {
+        let m = run(&tiny(), &[8], &["deasna"]);
+        let f5 = render_fig5(&m);
+        let f6 = render_fig6(&m);
+        assert!(f5.contains("Figure 5 (8-OSDs)"));
+        assert!(f6.contains("Figure 6 (8-OSDs)"));
+        assert!(f5.contains('%'));
+        assert!(f6.contains('%'));
+    }
+}

@@ -1,0 +1,138 @@
+//! Figure 7 — mean response time of file operations served during data
+//! migration, per 3-minute window, for home02, deasna and lair62 under
+//! Baseline, EDM-HDF and EDM-CDF.
+//!
+//! Expected shape (§V.D): HDF spikes when migration starts (requests to
+//! in-flight objects block) and then settles *below* the pre-migration
+//! level; CDF barely perturbs the series because the objects it moves are
+//! rarely accessed.
+
+use edm_cluster::{ResponseWindow, RunReport};
+use edm_workload::harvard::MOTIVATION_TRACES;
+
+use crate::report::render_table;
+use crate::runner::{run_matrix, Cell, RunConfig};
+
+/// The policies Fig. 7 compares.
+pub const FIG7_POLICIES: [&str; 3] = ["Baseline", "EDM-HDF", "EDM-CDF"];
+
+/// One trace's response-time series per policy.
+#[derive(Debug, Clone)]
+pub struct TraceSeries {
+    pub trace: String,
+    /// (policy name, series, whole-run mean µs, moved objects).
+    pub series: Vec<(String, Vec<ResponseWindow>, f64, u64)>,
+}
+
+pub fn run(cfg: &RunConfig, osds: u32) -> Vec<TraceSeries> {
+    // Fig. 7 needs a time *series*: use a window one tenth of the scaled
+    // default so the spike and recovery around the midpoint are visible.
+    let cfg = &RunConfig {
+        response_window_us: Some(
+            cfg.response_window_us
+                .unwrap_or(((180e6 * cfg.scale) as u64 / 10).max(20_000)),
+        ),
+        ..*cfg
+    };
+    let cells: Vec<Cell> = MOTIVATION_TRACES
+        .iter()
+        .flat_map(|t| FIG7_POLICIES.iter().map(move |p| Cell::new(t, p, osds)))
+        .collect();
+    let reports = run_matrix(&cells, cfg);
+    MOTIVATION_TRACES
+        .iter()
+        .map(|t| TraceSeries {
+            trace: t.to_string(),
+            series: FIG7_POLICIES
+                .iter()
+                .map(|p| {
+                    let r: &RunReport = &reports[&Cell::new(t, p, osds)];
+                    (
+                        p.to_string(),
+                        r.response_windows.clone(),
+                        r.mean_response_us,
+                        r.moved_objects,
+                    )
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+pub fn render(results: &[TraceSeries]) -> String {
+    let mut out = String::new();
+    for ts in results {
+        out.push_str(&format!(
+            "Figure 7: mean response time during migration — {}\n",
+            ts.trace
+        ));
+        // Align windows across policies (series can differ in length
+        // because migration changes the run's duration).
+        let max_windows = ts
+            .series
+            .iter()
+            .map(|(_, w, _, _)| w.len())
+            .max()
+            .unwrap_or(0);
+        let mut headers: Vec<String> = vec!["window".into()];
+        headers.extend(ts.series.iter().map(|(p, _, _, _)| p.clone()));
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let rows: Vec<Vec<String>> = (0..max_windows)
+            .map(|w| {
+                let mut row = vec![format!("t{w}")];
+                for (_, windows, _, _) in &ts.series {
+                    row.push(match windows.get(w) {
+                        Some(win) if win.completed_ops > 0 => {
+                            format!("{:.0}us", win.mean_response_us)
+                        }
+                        _ => "-".into(),
+                    });
+                }
+                row
+            })
+            .collect();
+        out.push_str(&render_table(&header_refs, &rows));
+        for (p, _, mean, moved) in &ts.series {
+            out.push_str(&format!(
+                "  {p}: whole-run mean {mean:.0}us, moved objects {moved}\n"
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_cluster::MigrationSchedule;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            scale: 0.002,
+            schedule: MigrationSchedule::Midpoint,
+            response_window_us: None,
+        }
+    }
+
+    #[test]
+    fn produces_series_for_each_trace_and_policy() {
+        let results = run(&tiny(), 8);
+        assert_eq!(results.len(), 3);
+        for ts in &results {
+            assert_eq!(ts.series.len(), 3);
+            for (p, windows, mean, _) in &ts.series {
+                assert!(!windows.is_empty(), "{p} empty series");
+                assert!(*mean > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn render_lists_policies_and_windows() {
+        let text = render(&run(&tiny(), 8));
+        assert!(text.contains("home02"));
+        assert!(text.contains("EDM-HDF"));
+        assert!(text.contains("moved objects"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Figure 8 — the total number of moved objects per trace for CMT,
+//! EDM-CDF and EDM-HDF (remapping-table overhead, §V.E).
+//!
+//! Expected shape: at most ~1 % of all objects move; CMT moves the most
+//! (it balances load *and* storage usage and is read/write agnostic),
+//! then CDF, then HDF.
+
+use std::collections::HashMap;
+
+use edm_cluster::RunReport;
+use edm_workload::harvard::TRACE_NAMES;
+
+use crate::report::{grouped, render_table};
+use crate::runner::{run_matrix, Cell, RunConfig};
+
+/// The migrating policies Fig. 8 compares (Baseline moves nothing).
+pub const FIG8_POLICIES: [&str; 3] = ["CMT", "EDM-CDF", "EDM-HDF"];
+
+/// Moved-object counts per trace and policy.
+pub struct MovedObjects {
+    pub osds: u32,
+    pub traces: Vec<String>,
+    pub reports: HashMap<Cell, RunReport>,
+}
+
+impl MovedObjects {
+    pub fn moved(&self, trace: &str, policy: &str) -> u64 {
+        self.reports[&Cell::new(trace, policy, self.osds)].moved_objects
+    }
+
+    pub fn moved_fraction(&self, trace: &str, policy: &str) -> f64 {
+        self.reports[&Cell::new(trace, policy, self.osds)].moved_fraction()
+    }
+
+    pub fn remap_entries(&self, trace: &str, policy: &str) -> u64 {
+        self.reports[&Cell::new(trace, policy, self.osds)].remap_entries
+    }
+}
+
+pub fn run(cfg: &RunConfig, osds: u32, traces: &[&str]) -> MovedObjects {
+    let cells: Vec<Cell> = traces
+        .iter()
+        .flat_map(|t| FIG8_POLICIES.iter().map(move |p| Cell::new(t, p, osds)))
+        .collect();
+    MovedObjects {
+        osds,
+        traces: traces.iter().map(|t| t.to_string()).collect(),
+        reports: run_matrix(&cells, cfg),
+    }
+}
+
+/// The paper's setup: all seven traces on 16 OSDs.
+pub fn run_paper(cfg: &RunConfig) -> MovedObjects {
+    run(cfg, 16, &TRACE_NAMES)
+}
+
+pub fn render(m: &MovedObjects) -> String {
+    let rows: Vec<Vec<String>> = m
+        .traces
+        .iter()
+        .map(|t| {
+            let mut row = vec![t.clone()];
+            for p in FIG8_POLICIES {
+                row.push(format!(
+                    "{} ({:.2}%)",
+                    grouped(m.moved(t, p)),
+                    m.moved_fraction(t, p) * 100.0
+                ));
+            }
+            for p in FIG8_POLICIES {
+                row.push(grouped(m.remap_entries(t, p)));
+            }
+            row
+        })
+        .collect();
+    format!(
+        "Figure 8 ({}-OSDs): total moved objects (and % of all objects)\n{}",
+        m.osds,
+        render_table(
+            &[
+                "trace",
+                "CMT moved",
+                "CDF moved",
+                "HDF moved",
+                "CMT remap",
+                "CDF remap",
+                "HDF remap",
+            ],
+            &rows,
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_cluster::MigrationSchedule;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            scale: 0.002,
+            schedule: MigrationSchedule::Midpoint,
+            response_window_us: None,
+        }
+    }
+
+    #[test]
+    fn migrating_policies_move_objects() {
+        let m = run(&tiny(), 8, &["home02"]);
+        for p in FIG8_POLICIES {
+            assert!(
+                m.moved("home02", p) > 0,
+                "{p} moved nothing on a skewed trace"
+            );
+        }
+    }
+
+    #[test]
+    fn remap_entries_bounded_by_moved() {
+        let m = run(&tiny(), 8, &["home02"]);
+        for p in FIG8_POLICIES {
+            assert!(m.remap_entries("home02", p) <= m.moved("home02", p));
+        }
+    }
+
+    #[test]
+    fn render_includes_percentages() {
+        let m = run(&tiny(), 8, &["home02"]);
+        let text = render(&m);
+        assert!(text.contains("Figure 8"));
+        assert!(text.contains('%'));
+    }
+}

@@ -1,0 +1,33 @@
+//! One module per paper artifact. Each experiment exposes a `run`
+//! function returning structured data plus a `render` into the ASCII
+//! rows/series the paper's table or figure reports, so the CLI, the
+//! integration tests, and the Criterion benches all share one code path.
+
+pub mod ablate;
+pub mod failure;
+pub mod fig1;
+pub mod fig3;
+pub mod fig56;
+pub mod fig7;
+pub mod fig8;
+pub mod reliability;
+pub mod table1;
+
+/// The canonical experiment ids accepted by `edm-exp`.
+pub const EXPERIMENT_IDS: [&str; 15] = [
+    "table1",
+    "fig1",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "reliability",
+    "failure",
+    "ablate-sigma",
+    "ablate-lambda",
+    "ablate-groups",
+    "ablate-continuous",
+    "ablate-decay",
+    "ablate-gc",
+];

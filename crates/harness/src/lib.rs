@@ -1,0 +1,17 @@
+//! # edm-harness — regenerating the paper's tables and figures
+//!
+//! One module per evaluation artifact of the paper (Table 1, Figures 1,
+//! 3, 5, 6, 7, 8) plus ablations, a parallel sweep [`runner`], and ASCII
+//! [`report`] rendering. The `edm-exp` binary dispatches by experiment id:
+//!
+//! ```text
+//! cargo run --release -p edm-harness --bin edm-exp -- fig5 --scale 0.05
+//! ```
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use runner::{run_cell, run_matrix, trace_for, Cell, RunConfig};
+pub use scenario::Scenario;

@@ -1,0 +1,165 @@
+//! Parallel experiment runner.
+//!
+//! The simulation itself is a deterministic single-threaded DES; the
+//! parallelism lives here: the (trace × policy × cluster-size) matrix fans
+//! out over crossbeam scoped threads, one cell per thread, bounded by the
+//! available cores.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use edm_cluster::{run_trace, Cluster, ClusterConfig, MigrationSchedule, RunReport, SimOptions};
+use edm_core::make_policy;
+use edm_workload::synth::synthesize;
+use edm_workload::{harvard, Trace};
+
+/// One cell of an experiment matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cell {
+    pub trace: String,
+    pub policy: String,
+    pub osds: u32,
+}
+
+impl Cell {
+    pub fn new(trace: &str, policy: &str, osds: u32) -> Self {
+        Cell {
+            trace: trace.into(),
+            policy: policy.into(),
+            osds,
+        }
+    }
+}
+
+/// Scaling and scheduling knobs of a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Trace scale factor in (0, 1]; 1.0 replays the full Table 1 counts.
+    pub scale: f64,
+    pub schedule: MigrationSchedule,
+    /// Response-window override, µs. `None` scales the paper's 3-minute
+    /// window by `scale`.
+    pub response_window_us: Option<u64>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            scale: 0.05,
+            schedule: MigrationSchedule::Midpoint,
+            response_window_us: None,
+        }
+    }
+}
+
+/// Synthesizes the named trace at the given scale (Harvard preset or the
+/// Fig. 3 `random` workload).
+pub fn trace_for(name: &str, scale: f64) -> Trace {
+    let spec = if name == "random" {
+        harvard::random_spec()
+    } else {
+        harvard::spec(name)
+    };
+    synthesize(&spec.scaled(scale))
+}
+
+/// Runs one cell end to end: synthesize → build → warm up → replay.
+///
+/// The response-time reporting window scales with the trace so a scaled
+/// run still yields a usable Fig. 7 series (3 minutes at full scale).
+pub fn run_cell(cell: &Cell, cfg: &RunConfig) -> RunReport {
+    let trace = trace_for(&cell.trace, cfg.scale);
+    let mut config = ClusterConfig::paper(cell.osds);
+    config.response_window_us = cfg
+        .response_window_us
+        .unwrap_or(((config.response_window_us as f64 * cfg.scale) as u64).max(50_000));
+    let cluster = Cluster::build(config, &trace).expect("cluster build failed");
+    let mut policy = make_policy(&cell.policy);
+    run_trace(
+        cluster,
+        &trace,
+        policy.as_mut(),
+        SimOptions {
+            schedule: cfg.schedule,
+            failures: Vec::new(),
+        },
+    )
+}
+
+/// Runs a whole matrix in parallel; results keyed by cell.
+pub fn run_matrix(cells: &[Cell], cfg: &RunConfig) -> HashMap<Cell, RunReport> {
+    let results = Mutex::new(HashMap::with_capacity(cells.len()));
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cells.len().max(1));
+    let queue = Mutex::new(cells.iter().cloned().collect::<Vec<_>>());
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let Some(cell) = queue.lock().pop() else {
+                    break;
+                };
+                let report = run_cell(&cell, cfg);
+                results.lock().insert(cell, report);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            scale: 0.001,
+            schedule: MigrationSchedule::Midpoint,
+            response_window_us: None,
+        }
+    }
+
+    #[test]
+    fn run_cell_produces_complete_report() {
+        let cell = Cell::new("deasna", "Baseline", 8);
+        let r = run_cell(&cell, &tiny());
+        assert_eq!(r.policy, "Baseline");
+        assert_eq!(r.osds, 8);
+        assert!(r.completed_ops > 0);
+    }
+
+    #[test]
+    fn run_matrix_covers_all_cells() {
+        let cells = vec![
+            Cell::new("deasna", "Baseline", 8),
+            Cell::new("deasna", "EDM-HDF", 8),
+        ];
+        let out = run_matrix(&cells, &tiny());
+        assert_eq!(out.len(), 2);
+        for c in &cells {
+            assert!(out.contains_key(c), "missing {c:?}");
+        }
+    }
+
+    #[test]
+    fn matrix_results_match_single_runs() {
+        // Parallel execution must not perturb the deterministic DES.
+        let cell = Cell::new("deasna", "EDM-CDF", 8);
+        let solo = run_cell(&cell, &tiny());
+        let matrix = run_matrix(std::slice::from_ref(&cell), &tiny());
+        let from_matrix = &matrix[&cell];
+        assert_eq!(solo.duration_us, from_matrix.duration_us);
+        assert_eq!(solo.aggregate_erases(), from_matrix.aggregate_erases());
+        assert_eq!(solo.moved_objects, from_matrix.moved_objects);
+    }
+
+    #[test]
+    fn trace_for_handles_random() {
+        let t = trace_for("random", 0.001);
+        assert_eq!(t.name, "random");
+        assert!(t.stats().write_cnt > 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Scenario files: declarative, reproducible simulation runs.
+//!
+//! A scenario is a small line-oriented text file (no external parser
+//! dependencies) describing one run — workload, cluster, policy,
+//! migration schedule, failures:
+//!
+//! ```text
+//! # lair62 under EDM-HDF with a mid-run failure
+//! trace lair62
+//! scale 0.05
+//! osds 16
+//! policy EDM-HDF
+//! schedule midpoint
+//! lambda 0.10
+//! force true
+//! fail 2000000 3 rebuild
+//! ```
+//!
+//! Unknown keys are rejected (typos should fail loudly, not silently run
+//! a different experiment).
+
+use edm_cluster::{
+    run_trace, Cluster, ClusterConfig, FailureSpec, MigrationSchedule, Migrator, OsdId, RunReport,
+    SimOptions,
+};
+use edm_core::{Cmt, CmtConfig, EdmCdf, EdmConfig, EdmHdf};
+use edm_cluster::NoMigration;
+use edm_workload::synth::synthesize;
+use edm_workload::harvard;
+
+/// A parsed scenario, ready to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    pub trace: String,
+    pub scale: f64,
+    pub osds: u32,
+    pub groups: u32,
+    pub objects_per_file: u32,
+    pub policy: String,
+    pub schedule: MigrationSchedule,
+    pub lambda: f64,
+    pub force: bool,
+    pub client_concurrency: Option<u32>,
+    pub failures: Vec<FailureSpec>,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            trace: "home02".into(),
+            scale: 0.01,
+            osds: 16,
+            groups: 4,
+            objects_per_file: 4,
+            policy: "EDM-HDF".into(),
+            schedule: MigrationSchedule::Midpoint,
+            lambda: 0.10,
+            force: true,
+            client_concurrency: None,
+            failures: Vec::new(),
+        }
+    }
+}
+
+impl Scenario {
+    /// Parses the scenario text format. Every line is `key value...`,
+    /// `#` starts a comment.
+    pub fn parse(text: &str) -> Result<Scenario, String> {
+        let mut s = Scenario::default();
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut it = line.split_ascii_whitespace();
+            let key = it.next().expect("non-empty line");
+            let mut next = |what: &str| -> Result<&str, String> {
+                it.next()
+                    .ok_or_else(|| format!("line {}: missing value for {what}", no + 1))
+            };
+            match key {
+                "trace" => s.trace = next("trace")?.to_string(),
+                "scale" => {
+                    s.scale = next("scale")?
+                        .parse()
+                        .map_err(|e| format!("line {}: bad scale: {e}", no + 1))?;
+                    if !(s.scale > 0.0 && s.scale <= 1.0) {
+                        return Err(format!("line {}: scale must be in (0, 1]", no + 1));
+                    }
+                }
+                "osds" => {
+                    s.osds = next("osds")?
+                        .parse()
+                        .map_err(|e| format!("line {}: bad osds: {e}", no + 1))?
+                }
+                "groups" => {
+                    s.groups = next("groups")?
+                        .parse()
+                        .map_err(|e| format!("line {}: bad groups: {e}", no + 1))?
+                }
+                "objects_per_file" => {
+                    s.objects_per_file = next("objects_per_file")?
+                        .parse()
+                        .map_err(|e| format!("line {}: bad objects_per_file: {e}", no + 1))?
+                }
+                "policy" => s.policy = next("policy")?.to_string(),
+                "schedule" => {
+                    s.schedule = match next("schedule")? {
+                        "never" => MigrationSchedule::Never,
+                        "midpoint" => MigrationSchedule::Midpoint,
+                        "every-tick" => MigrationSchedule::EveryTick,
+                        other => {
+                            return Err(format!(
+                                "line {}: unknown schedule {other:?} \
+                                 (never | midpoint | every-tick)",
+                                no + 1
+                            ))
+                        }
+                    }
+                }
+                "lambda" => {
+                    s.lambda = next("lambda")?
+                        .parse()
+                        .map_err(|e| format!("line {}: bad lambda: {e}", no + 1))?
+                }
+                "force" => {
+                    s.force = next("force")?
+                        .parse()
+                        .map_err(|e| format!("line {}: bad force: {e}", no + 1))?
+                }
+                "client_concurrency" => {
+                    s.client_concurrency = Some(
+                        next("client_concurrency")?
+                            .parse()
+                            .map_err(|e| format!("line {}: bad client_concurrency: {e}", no + 1))?,
+                    )
+                }
+                "fail" => {
+                    let at_us = next("fail time")?
+                        .parse()
+                        .map_err(|e| format!("line {}: bad fail time: {e}", no + 1))?;
+                    let osd = next("fail osd")?
+                        .parse()
+                        .map_err(|e| format!("line {}: bad fail osd: {e}", no + 1))?;
+                    let rebuild = match it.next() {
+                        None => false,
+                        Some("rebuild") => true,
+                        Some(other) => {
+                            return Err(format!(
+                                "line {}: unknown fail option {other:?}",
+                                no + 1
+                            ))
+                        }
+                    };
+                    s.failures.push(FailureSpec {
+                        at_us,
+                        osd: OsdId(osd),
+                        rebuild,
+                    });
+                }
+                other => return Err(format!("line {}: unknown key {other:?}", no + 1)),
+            }
+        }
+        Ok(s)
+    }
+
+    fn build_policy(&self) -> Result<Box<dyn Migrator>, String> {
+        let edm = EdmConfig {
+            lambda: self.lambda,
+            force: self.force,
+            ..EdmConfig::default()
+        };
+        Ok(match self.policy.as_str() {
+            "Baseline" => Box::new(NoMigration),
+            "CMT" => Box::new(Cmt::new(CmtConfig {
+                lambda: self.lambda,
+                force: self.force,
+                ..CmtConfig::default()
+            })),
+            "EDM-HDF" => Box::new(EdmHdf::new(edm)),
+            "EDM-CDF" => Box::new(EdmCdf::new(edm)),
+            other => return Err(format!("unknown policy {other:?}")),
+        })
+    }
+
+    /// Runs the scenario end to end.
+    pub fn run(&self) -> Result<RunReport, String> {
+        let spec = if self.trace == "random" {
+            harvard::random_spec()
+        } else {
+            harvard::spec(&self.trace)
+        };
+        let trace = synthesize(&spec.scaled(self.scale));
+        let mut config = ClusterConfig::paper(self.osds);
+        config.groups = self.groups;
+        config.objects_per_file = self.objects_per_file;
+        if let Some(cc) = self.client_concurrency {
+            config.client_concurrency = cc;
+        }
+        config.response_window_us =
+            ((config.response_window_us as f64 * self.scale) as u64).max(50_000);
+        config.wear_tick_us = ((config.wear_tick_us as f64 * self.scale) as u64).max(100_000);
+        let cluster = Cluster::build(config, &trace)?;
+        let mut policy = self.build_policy()?;
+        Ok(run_trace(
+            cluster,
+            &trace,
+            policy.as_mut(),
+            SimOptions {
+                schedule: self.schedule,
+                failures: self.failures.clone(),
+            },
+        ))
+    }
+}
+
+/// Renders a run summary for the CLI.
+pub fn render_report(r: &RunReport) -> String {
+    let (p50, p95, p99) = r.response_percentiles_us;
+    let mut out = format!(
+        "policy {} on {} ({} OSDs)\n\
+         completed ops      {}\n\
+         throughput         {:.0} ops/s\n\
+         mean response      {:.0} us (p50 {} / p95 {} / p99 {})\n\
+         aggregate erases   {}\n\
+         erase RSD          {:.3}\n\
+         moved objects      {} ({:.2}%) over {} rounds\n\
+         remap entries      {}\n",
+        r.policy,
+        r.trace,
+        r.osds,
+        r.completed_ops,
+        r.throughput_ops_per_sec(),
+        r.mean_response_us,
+        p50,
+        p95,
+        p99,
+        r.aggregate_erases(),
+        r.erase_rsd(),
+        r.moved_objects,
+        r.moved_fraction() * 100.0,
+        r.migrations_triggered,
+        r.remap_entries,
+    );
+    if !r.failed_osds.is_empty() {
+        out.push_str(&format!(
+            "failed OSDs        {:?}\ndegraded ops       {}\nlost ops           {}\nrebuilt objects    {}\n",
+            r.failed_osds, r.degraded_ops, r.lost_ops, r.rebuilt_objects
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_scenario() {
+        let s = Scenario::parse(
+            "# comment\n\
+             trace lair62\n\
+             scale 0.004\n\
+             osds 8\n\
+             policy EDM-CDF\n\
+             schedule every-tick\n\
+             lambda 0.2\n\
+             force false\n\
+             client_concurrency 16\n\
+             fail 5000 3 rebuild\n\
+             fail 9000 4\n",
+        )
+        .unwrap();
+        assert_eq!(s.trace, "lair62");
+        assert_eq!(s.osds, 8);
+        assert_eq!(s.policy, "EDM-CDF");
+        assert_eq!(s.schedule, MigrationSchedule::EveryTick);
+        assert!((s.lambda - 0.2).abs() < 1e-12);
+        assert!(!s.force);
+        assert_eq!(s.client_concurrency, Some(16));
+        assert_eq!(s.failures.len(), 2);
+        assert!(s.failures[0].rebuild);
+        assert!(!s.failures[1].rebuild);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Scenario::parse("frobnicate 3").is_err());
+        assert!(Scenario::parse("scale 2.0").is_err());
+        assert!(Scenario::parse("schedule sometimes").is_err());
+        assert!(Scenario::parse("fail 100").is_err());
+        assert!(Scenario::parse("fail 100 2 explode").is_err());
+        assert!(Scenario::parse("trace").is_err());
+    }
+
+    #[test]
+    fn empty_scenario_is_the_default() {
+        assert_eq!(Scenario::parse("").unwrap(), Scenario::default());
+    }
+
+    #[test]
+    fn scenario_runs_end_to_end() {
+        let s = Scenario::parse(
+            "trace deasna\nscale 0.002\nosds 8\npolicy EDM-HDF\nfail 2000 1 rebuild\n",
+        )
+        .unwrap();
+        let r = s.run().unwrap();
+        assert!(r.completed_ops > 0);
+        assert_eq!(r.failed_osds, vec![1]);
+        let text = render_report(&r);
+        assert!(text.contains("EDM-HDF"));
+        assert!(text.contains("failed OSDs"));
+    }
+
+    #[test]
+    fn unknown_policy_is_reported() {
+        let s = Scenario::parse("policy FancyPolicy\nscale 0.001\n").unwrap();
+        assert!(s.run().unwrap_err().contains("unknown policy"));
+    }
+}

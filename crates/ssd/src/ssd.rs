@@ -1,0 +1,248 @@
+//! The SSD device façade: byte-granular host interface over the page-level
+//! FTL, plus the steady-state warm-up procedure of §IV.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ftl::{FtlConfig, FtlError, PageLevelFtl};
+use crate::geometry::Geometry;
+use crate::latency::{DeviceTime, LatencyModel};
+use crate::wear::WearStats;
+
+/// Snapshot of an SSD's externally observable state, cheap to copy out of
+/// the simulation for reporting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SsdSnapshot {
+    pub wear: WearStats,
+    pub utilization: f64,
+    pub mapped_pages: u64,
+    pub exported_pages: u64,
+    pub measured_ur: Option<f64>,
+}
+
+/// One simulated NAND-flash SSD.
+///
+/// All operations return the [`DeviceTime`] they consumed, so a caller (the
+/// OSD service loop) can advance its virtual clock; garbage-collection
+/// stalls are charged to the operation that triggered them, which is
+/// exactly the blocking behaviour the paper identifies as the driver of
+/// load imbalance (§II).
+pub struct Ssd {
+    ftl: PageLevelFtl,
+    latency: LatencyModel,
+}
+
+impl Ssd {
+    pub fn new(geometry: Geometry, latency: LatencyModel) -> Self {
+        Ssd {
+            ftl: PageLevelFtl::new(geometry, FtlConfig::default()),
+            latency,
+        }
+    }
+
+    pub fn with_config(geometry: Geometry, latency: LatencyModel, config: FtlConfig) -> Self {
+        Ssd {
+            ftl: PageLevelFtl::new(geometry, config),
+            latency,
+        }
+    }
+
+    /// Convenience constructor: paper latencies, capacity in bytes.
+    pub fn with_capacity(exported_bytes: u64) -> Self {
+        Ssd::new(
+            Geometry::for_exported_capacity(exported_bytes),
+            LatencyModel::PAPER,
+        )
+    }
+
+    pub fn geometry(&self) -> &Geometry {
+        self.ftl.geometry()
+    }
+
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    pub fn wear(&self) -> &WearStats {
+        self.ftl.stats()
+    }
+
+    pub fn utilization(&self) -> f64 {
+        self.ftl.utilization()
+    }
+
+    pub fn mapped_pages(&self) -> u64 {
+        self.ftl.mapped_pages()
+    }
+
+    /// Free exported capacity, in bytes.
+    pub fn free_bytes(&self) -> u64 {
+        (self.geometry().exported_pages() - self.ftl.mapped_pages()) * self.geometry().page_size
+    }
+
+    pub fn snapshot(&self) -> SsdSnapshot {
+        SsdSnapshot {
+            wear: self.ftl.stats().clone(),
+            utilization: self.ftl.utilization(),
+            mapped_pages: self.ftl.mapped_pages(),
+            exported_pages: self.geometry().exported_pages(),
+            measured_ur: self
+                .ftl
+                .stats()
+                .measured_ur(self.geometry().pages_per_block),
+        }
+    }
+
+    /// Reads `len` bytes starting at logical byte `offset`.
+    pub fn read(&mut self, offset: u64, len: u64) -> Result<DeviceTime, FtlError> {
+        let mut elapsed = DeviceTime::ZERO;
+        for lpn in self.page_span(offset, len) {
+            elapsed += self.ftl.read(lpn, &self.latency.clone())?;
+        }
+        Ok(elapsed)
+    }
+
+    /// Writes `len` bytes starting at logical byte `offset` (out-of-place).
+    pub fn write(&mut self, offset: u64, len: u64) -> Result<DeviceTime, FtlError> {
+        let lat = self.latency;
+        let mut elapsed = DeviceTime::ZERO;
+        for lpn in self.page_span(offset, len) {
+            elapsed += self.ftl.write(lpn, &lat)?;
+        }
+        Ok(elapsed)
+    }
+
+    /// Unmaps `len` bytes starting at logical byte `offset`.
+    pub fn trim(&mut self, offset: u64, len: u64) -> Result<(), FtlError> {
+        for lpn in self.page_span(offset, len) {
+            self.ftl.trim(lpn)?;
+        }
+        Ok(())
+    }
+
+    fn page_span(&self, offset: u64, len: u64) -> std::ops::Range<u64> {
+        if len == 0 {
+            return 0..0;
+        }
+        let ps = self.geometry().page_size;
+        let first = offset / ps;
+        let last = (offset + len - 1) / ps;
+        first..last + 1
+    }
+
+    /// Steady-state warm-up (§IV): the paper first writes dummy data equal
+    /// to the SSD's capacity so erase counts are measured in steady state.
+    ///
+    /// We reproduce the effect while preserving the current utilization:
+    /// every mapped logical page is rewritten once and the unmapped logical
+    /// region is written then trimmed, so every physical block gets
+    /// exercised; wear counters are then reset so that subsequent
+    /// measurements exclude the cold-start.
+    pub fn warm_up(&mut self) -> Result<(), FtlError> {
+        let lat = self.latency;
+        let exported = self.geometry().exported_pages();
+        // Pass 1: rewrite live data (keeps it live, churns blocks).
+        for lpn in 0..exported {
+            if self.ftl.is_mapped(lpn) {
+                self.ftl.write(lpn, &lat)?;
+            }
+        }
+        // Pass 2: cycle the free logical space through the device once.
+        for lpn in 0..exported {
+            if !self.ftl.is_mapped(lpn) {
+                self.ftl.write(lpn, &lat)?;
+                self.ftl.trim(lpn)?;
+            }
+        }
+        self.ftl.stats_mut().reset();
+        Ok(())
+    }
+
+    /// Resets wear counters without touching data (used between measurement
+    /// phases).
+    pub fn reset_wear(&mut self) {
+        self.ftl.stats_mut().reset();
+    }
+
+    /// See [`PageLevelFtl::check_invariants`].
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.ftl.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Ssd {
+        Ssd::new(
+            Geometry {
+                page_size: 4096,
+                pages_per_block: 8,
+                blocks: 64,
+                over_provision_ppt: 100,
+            },
+            LatencyModel::PAPER,
+        )
+    }
+
+    #[test]
+    fn byte_ops_round_to_pages() {
+        let mut ssd = small();
+        // 1 byte still programs a whole page.
+        let t = ssd.write(0, 1).unwrap();
+        assert_eq!(t.as_micros(), 200);
+        // 4097 bytes spans two pages.
+        let t = ssd.write(8192, 4097).unwrap();
+        assert_eq!(t.as_micros(), 400);
+        // An unaligned 8 KB starting mid-page touches three pages.
+        let t = ssd.read(100, 8192).unwrap();
+        assert_eq!(t.as_micros(), 3 * 25);
+        // Zero-length I/O is free.
+        assert_eq!(ssd.read(0, 0).unwrap(), DeviceTime::ZERO);
+        assert_eq!(ssd.write(0, 0).unwrap(), DeviceTime::ZERO);
+    }
+
+    #[test]
+    fn trim_releases_capacity() {
+        let mut ssd = small();
+        let before = ssd.free_bytes();
+        ssd.write(0, 16 * 4096).unwrap();
+        assert_eq!(ssd.free_bytes(), before - 16 * 4096);
+        ssd.trim(0, 16 * 4096).unwrap();
+        assert_eq!(ssd.free_bytes(), before);
+    }
+
+    #[test]
+    fn warm_up_preserves_utilization_and_resets_wear() {
+        let mut ssd = small();
+        ssd.write(0, 64 * 4096).unwrap();
+        let util_before = ssd.utilization();
+        ssd.warm_up().unwrap();
+        assert!((ssd.utilization() - util_before).abs() < 1e-12);
+        assert_eq!(ssd.wear().host_page_writes, 0);
+        assert_eq!(ssd.wear().block_erases, 0);
+        ssd.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn warm_up_exercises_gc() {
+        let mut ssd = small();
+        ssd.write(0, 32 * 4096).unwrap();
+        // Warm-up writes ≈ exported capacity: that exceeds raw space, so
+        // the GC must have run at least once during it. We can't observe
+        // the reset counters, so run it twice and check invariants hold.
+        ssd.warm_up().unwrap();
+        ssd.warm_up().unwrap();
+        ssd.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let mut ssd = small();
+        ssd.write(0, 10 * 4096).unwrap();
+        let snap = ssd.snapshot();
+        assert_eq!(snap.mapped_pages, 10);
+        assert_eq!(snap.wear.host_page_writes, 10);
+        assert!(snap.utilization > 0.0);
+    }
+}

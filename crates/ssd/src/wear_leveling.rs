@@ -1,0 +1,218 @@
+//! Device-internal wear leveling.
+//!
+//! EDM balances wear *across* SSDs; inside each SSD the FTL must spread
+//! erases across blocks, or a hot block hits its P/E limit while its
+//! neighbours are fresh. The paper (and our lifetime projection in
+//! `edm-core`) assumes the device does this. Two standard mechanisms:
+//!
+//! * **Dynamic**: when the GC or the host needs a fresh block, prefer the
+//!   *least-worn* free block (implemented here as a wear-ordered free
+//!   pool).
+//! * **Static**: when the erase-count spread exceeds a threshold, relocate
+//!   long-lived cold data from the least-worn blocks so they re-enter
+//!   circulation (hooked into the GC path by the FTL).
+//!
+//! This module provides the bookkeeping: a wear-ordered free pool and the
+//! spread trigger.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Wear-leveling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WearLevelConfig {
+    /// Pick the least-worn free block instead of FIFO.
+    pub dynamic: bool,
+    /// Trigger static leveling when `max_erase - min_erase` over all
+    /// blocks exceeds this. 0 disables static leveling.
+    pub static_threshold: u64,
+}
+
+impl WearLevelConfig {
+    /// Leveling disabled entirely (the original FIFO free pool).
+    pub const OFF: WearLevelConfig = WearLevelConfig {
+        dynamic: false,
+        static_threshold: 0,
+    };
+
+    /// Typical production setting: dynamic leveling plus static leveling
+    /// at a spread of 32 erases.
+    pub const DEFAULT: WearLevelConfig = WearLevelConfig {
+        dynamic: true,
+        static_threshold: 32,
+    };
+}
+
+impl Default for WearLevelConfig {
+    fn default() -> Self {
+        WearLevelConfig::DEFAULT
+    }
+}
+
+/// A free-block pool that can hand out blocks FIFO (leveling off) or
+/// least-worn-first (dynamic leveling).
+#[derive(Debug, Clone)]
+pub struct FreePool {
+    /// FIFO order (always maintained; cheap).
+    fifo: std::collections::VecDeque<u32>,
+    /// Wear order: (erase_count, block). Maintained only when dynamic
+    /// leveling is on.
+    by_wear: BTreeSet<(u64, u32)>,
+    dynamic: bool,
+}
+
+impl FreePool {
+    pub fn new(blocks: impl IntoIterator<Item = u32>, dynamic: bool) -> Self {
+        let fifo: std::collections::VecDeque<u32> = blocks.into_iter().collect();
+        let by_wear = if dynamic {
+            fifo.iter().map(|&b| (0u64, b)).collect()
+        } else {
+            BTreeSet::new()
+        };
+        FreePool {
+            fifo,
+            by_wear,
+            dynamic,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// Returns a free block: least-worn first under dynamic leveling,
+    /// FIFO otherwise.
+    pub fn pop(&mut self) -> Option<u32> {
+        if self.dynamic {
+            let &(wear, block) = self.by_wear.iter().next()?;
+            self.by_wear.remove(&(wear, block));
+            let pos = self
+                .fifo
+                .iter()
+                .position(|&b| b == block)
+                .expect("pools agree");
+            self.fifo.remove(pos);
+            Some(block)
+        } else {
+            self.fifo.pop_front()
+        }
+    }
+
+    /// Returns an erased block to the pool with its current wear.
+    pub fn push(&mut self, block: u32, erase_count: u64) {
+        self.fifo.push_back(block);
+        if self.dynamic {
+            self.by_wear.insert((erase_count, block));
+        }
+    }
+
+    pub fn contains(&self, block: u32) -> bool {
+        self.fifo.contains(&block)
+    }
+
+    /// Iterates over the pool's blocks (FIFO order).
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.fifo.iter().copied()
+    }
+}
+
+/// Static-leveling trigger: true when the per-block erase spread warrants
+/// relocating cold data off the least-worn blocks.
+pub fn static_leveling_due(erase_counts: &[u64], threshold: u64) -> bool {
+    if threshold == 0 || erase_counts.is_empty() {
+        return false;
+    }
+    let max = erase_counts.iter().copied().max().expect("non-empty");
+    let min = erase_counts.iter().copied().min().expect("non-empty");
+    max - min > threshold
+}
+
+/// Spread statistics of per-block erase counts (for reporting and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WearSpread {
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+}
+
+pub fn wear_spread(erase_counts: &[u64]) -> WearSpread {
+    if erase_counts.is_empty() {
+        return WearSpread {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+        };
+    }
+    WearSpread {
+        min: erase_counts.iter().copied().min().expect("non-empty"),
+        max: erase_counts.iter().copied().max().expect("non-empty"),
+        mean: erase_counts.iter().sum::<u64>() as f64 / erase_counts.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_pool_preserves_order() {
+        let mut p = FreePool::new([3, 1, 2], false);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.pop(), Some(3));
+        assert_eq!(p.pop(), Some(1));
+        p.push(9, 100);
+        assert_eq!(p.pop(), Some(2));
+        assert_eq!(p.pop(), Some(9));
+        assert!(p.pop().is_none());
+    }
+
+    #[test]
+    fn dynamic_pool_hands_out_least_worn() {
+        let mut p = FreePool::new([], true);
+        p.push(1, 50);
+        p.push(2, 3);
+        p.push(3, 10);
+        assert_eq!(p.pop(), Some(2), "least worn first");
+        assert_eq!(p.pop(), Some(3));
+        assert_eq!(p.pop(), Some(1));
+    }
+
+    #[test]
+    fn dynamic_pool_ties_break_by_block_id() {
+        let mut p = FreePool::new([], true);
+        p.push(7, 4);
+        p.push(2, 4);
+        assert_eq!(p.pop(), Some(2));
+        assert_eq!(p.pop(), Some(7));
+    }
+
+    #[test]
+    fn static_trigger_fires_on_wide_spread() {
+        assert!(!static_leveling_due(&[5, 6, 7], 32));
+        assert!(static_leveling_due(&[0, 40], 32));
+        assert!(!static_leveling_due(&[0, 40], 0), "0 disables");
+        assert!(!static_leveling_due(&[], 32));
+    }
+
+    #[test]
+    fn spread_statistics() {
+        let s = wear_spread(&[2, 8, 5]);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert_eq!(wear_spread(&[]).max, 0);
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let mut p = FreePool::new([1], true);
+        assert!(p.contains(1));
+        p.pop();
+        assert!(!p.contains(1));
+    }
+}

@@ -1,0 +1,363 @@
+//! The seven Harvard NFS workloads of Table 1, as synthesizable specs,
+//! plus the `random` workload of Fig. 3.
+//!
+//! The paper replays traces "collected from the network storage servers in
+//! Harvard University \[8\]" (§V.A). We do not redistribute those traces;
+//! instead each preset pins the exact Table 1 aggregates (file count,
+//! write/read counts, mean sizes) and a documented skew profile chosen to
+//! reproduce the wear-variance behaviour the paper reports:
+//!
+//! * `home02` and `lair62` show the widest per-SSD erase variance in
+//!   Fig. 1(a) → steep write skew;
+//! * the `deasna` traces show the smallest variance (§V.B: "the wear
+//!   variance in this case is already very small") → mild skew;
+//! * the `home` traces are read-dominated (§V.B: "the home traces have
+//!   higher read ratio than others"), which Table 1 confirms.
+//!
+//! Users holding the real traces can instead import them with
+//! [`parse_harvard_text`].
+
+use crate::op::{FileId, FileOp, TraceRecord};
+use crate::spec::{FileSizeModel, SkewProfile, WorkloadSpec};
+use crate::trace::Trace;
+
+/// Names of the seven Table 1 workloads, in paper order.
+pub const TRACE_NAMES: [&str; 7] = [
+    "home02", "home03", "home04", "deasna", "deasna2", "lair62", "lair62b",
+];
+
+/// The three traces used for the motivation (Fig. 1) and the migration
+/// response-time study (Fig. 7).
+pub const MOTIVATION_TRACES: [&str; 3] = ["home02", "deasna", "lair62"];
+
+fn base(
+    name: &str,
+    file_cnt: u64,
+    write_cnt: u64,
+    avg_write_size: u64,
+    read_cnt: u64,
+    avg_read_size: u64,
+    skew: SkewProfile,
+    seed: u64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.into(),
+        file_cnt,
+        write_cnt,
+        avg_write_size,
+        read_cnt,
+        avg_read_size,
+        skew,
+        file_sizes: FileSizeModel::DEFAULT,
+        users: 64,
+        seed,
+    }
+}
+
+/// Returns the spec for one of the seven Table 1 workloads.
+///
+/// # Panics
+/// Panics on an unknown name; use [`TRACE_NAMES`] to enumerate.
+pub fn spec(name: &str) -> WorkloadSpec {
+    // Skew profiles (write θ, read θ, hot-set overlap) are our documented
+    // reconstruction, chosen so that relative wear variance across traces
+    // matches Fig. 1: home02/lair62 widest, deasna/deasna2 narrowest.
+    match name {
+        "home02" => base(
+            name,
+            10_931,
+            730_602,
+            8_048,
+            3_497_486,
+            8_191,
+            SkewProfile {
+                write_theta: 1.05,
+                read_theta: 0.85,
+                hot_overlap: 0.4,
+                size_coupling: 0.5,
+                phases: 1,
+            },
+            0xED01,
+        ),
+        "home03" => base(
+            name,
+            8_010,
+            355_091,
+            7_938,
+            2_624_676,
+            8_190,
+            SkewProfile {
+                write_theta: 0.95,
+                read_theta: 0.85,
+                hot_overlap: 0.45,
+                size_coupling: 0.5,
+                phases: 1,
+            },
+            0xED02,
+        ),
+        "home04" => base(
+            name,
+            7_798,
+            358_976,
+            8_013,
+            2_034_078,
+            8_192,
+            SkewProfile {
+                write_theta: 0.95,
+                read_theta: 0.85,
+                hot_overlap: 0.45,
+                size_coupling: 0.5,
+                phases: 1,
+            },
+            0xED03,
+        ),
+        "deasna" => base(
+            name,
+            9_727,
+            232_481,
+            24_167,
+            271_619,
+            23_869,
+            SkewProfile {
+                write_theta: 0.65,
+                read_theta: 0.65,
+                hot_overlap: 0.7,
+                size_coupling: 0.5,
+                phases: 1,
+            },
+            0xED04,
+        ),
+        "deasna2" => base(
+            name,
+            8_405,
+            269_936,
+            18_489,
+            372_750,
+            20_529,
+            SkewProfile {
+                write_theta: 0.70,
+                read_theta: 0.65,
+                hot_overlap: 0.7,
+                size_coupling: 0.5,
+                phases: 1,
+            },
+            0xED05,
+        ),
+        "lair62" => base(
+            name,
+            19_088,
+            740_831,
+            5_415,
+            890_680,
+            7_264,
+            SkewProfile {
+                write_theta: 1.10,
+                read_theta: 0.90,
+                hot_overlap: 0.35,
+                size_coupling: 0.5,
+                phases: 1,
+            },
+            0xED06,
+        ),
+        "lair62b" => base(
+            name,
+            27_228,
+            409_215,
+            5_496,
+            736_469,
+            7_612,
+            SkewProfile {
+                write_theta: 1.05,
+                read_theta: 0.90,
+                hot_overlap: 0.4,
+                size_coupling: 0.5,
+                phases: 1,
+            },
+            0xED07,
+        ),
+        other => panic!("unknown Harvard workload {other:?}; see TRACE_NAMES"),
+    }
+}
+
+/// All seven Table 1 specs, in paper order.
+pub fn all_specs() -> Vec<WorkloadSpec> {
+    TRACE_NAMES.iter().map(|n| spec(n)).collect()
+}
+
+/// The synthetic `random` workload of Fig. 3: uniformly random accesses
+/// with request sizes in 4–16 KB.
+pub fn random_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "random".into(),
+        file_cnt: 2_000,
+        write_cnt: 300_000,
+        avg_write_size: 10 * 1024, // uniform in [5 KB, 15 KB] ≈ paper's 4–16 KB
+        read_cnt: 300_000,
+        avg_read_size: 10 * 1024,
+        skew: SkewProfile::UNIFORM,
+        file_sizes: FileSizeModel::DEFAULT,
+        users: 64,
+        seed: 0xEDFF,
+    }
+}
+
+/// Parses a Harvard-style NFS trace in the simplified text form
+///
+/// ```text
+/// <time_seconds.frac> <user> <op> <file-id> [<offset> <len>]
+/// ```
+///
+/// where `op` ∈ {`open`, `close`, `read`, `write`}. File sizes are inferred
+/// as the maximal extent accessed (the paper pre-creates files "with
+/// sufficient data").
+pub fn parse_harvard_text(name: &str, text: &str) -> Result<Trace, String> {
+    let mut trace = Trace::new(name);
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        let time: f64 = it
+            .next()
+            .ok_or_else(|| format!("line {no}: missing time"))?
+            .parse()
+            .map_err(|e| format!("line {no}: bad time: {e}"))?;
+        let user: u32 = it
+            .next()
+            .ok_or_else(|| format!("line {no}: missing user"))?
+            .parse()
+            .map_err(|e| format!("line {no}: bad user: {e}"))?;
+        let kind = it.next().ok_or_else(|| format!("line {no}: missing op"))?;
+        let file = FileId(
+            it.next()
+                .ok_or_else(|| format!("line {no}: missing file"))?
+                .parse()
+                .map_err(|e| format!("line {no}: bad file: {e}"))?,
+        );
+        let mut next_u64 = |what: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("line {no}: missing {what}"))?
+                .parse::<u64>()
+                .map_err(|e| format!("line {no}: bad {what}: {e}"))
+        };
+        let op = match kind {
+            "open" => FileOp::Open,
+            "close" => FileOp::Close,
+            "read" => FileOp::Read {
+                offset: next_u64("offset")?,
+                len: next_u64("len")?,
+            },
+            "write" => FileOp::Write {
+                offset: next_u64("offset")?,
+                len: next_u64("len")?,
+            },
+            other => return Err(format!("line {no}: unknown op {other:?}")),
+        };
+        let record = TraceRecord {
+            time_us: (time * 1e6) as u64,
+            user,
+            file,
+            op,
+        };
+        let extent = match op {
+            FileOp::Read { offset, len } | FileOp::Write { offset, len } => offset + len,
+            _ => 0,
+        };
+        let size = trace.file_sizes.entry(file).or_insert(0);
+        *size = (*size).max(extent).max(1);
+        trace.records.push(record);
+    }
+    trace.records.sort_by_key(|r| r.time_us);
+    trace.validate()?;
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seven_specs_are_valid_and_match_table1() {
+        let specs = all_specs();
+        assert_eq!(specs.len(), 7);
+        for s in &specs {
+            s.validate().unwrap();
+        }
+        // Spot-check the exact Table 1 numbers.
+        let home02 = spec("home02");
+        assert_eq!(home02.file_cnt, 10_931);
+        assert_eq!(home02.write_cnt, 730_602);
+        assert_eq!(home02.avg_write_size, 8_048);
+        assert_eq!(home02.read_cnt, 3_497_486);
+        assert_eq!(home02.avg_read_size, 8_191);
+        let lair62b = spec("lair62b");
+        assert_eq!(lair62b.file_cnt, 27_228);
+        assert_eq!(lair62b.read_cnt, 736_469);
+    }
+
+    #[test]
+    fn home_traces_are_read_dominated() {
+        for name in ["home02", "home03", "home04"] {
+            let s = spec(name);
+            assert!(
+                s.read_cnt > 3 * s.write_cnt,
+                "{name} should be read-heavy"
+            );
+        }
+    }
+
+    #[test]
+    fn high_variance_traces_have_steeper_write_skew() {
+        assert!(spec("home02").skew.write_theta > spec("deasna").skew.write_theta);
+        assert!(spec("lair62").skew.write_theta > spec("deasna2").skew.write_theta);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown Harvard workload")]
+    fn unknown_name_panics() {
+        spec("nope");
+    }
+
+    #[test]
+    fn random_spec_is_uniform() {
+        let s = random_spec();
+        s.validate().unwrap();
+        assert_eq!(s.skew.write_theta, 0.0);
+        assert_eq!(s.skew.read_theta, 0.0);
+    }
+
+    #[test]
+    fn parse_harvard_roundtrip() {
+        let text = "\
+# comment
+0.000100 3 open 7
+0.000200 3 write 7 0 8192
+0.000400 3 read 7 4096 4096
+0.000500 3 close 7
+";
+        let t = parse_harvard_text("mini", text).unwrap();
+        assert_eq!(t.records.len(), 4);
+        assert_eq!(t.file_sizes[&FileId(7)], 8192);
+        let s = t.stats();
+        assert_eq!(s.write_cnt, 1);
+        assert_eq!(s.read_cnt, 1);
+    }
+
+    #[test]
+    fn parse_harvard_sorts_by_time() {
+        let text = "\
+0.5 0 write 1 0 100
+0.1 0 open 1
+";
+        let t = parse_harvard_text("x", text).unwrap();
+        assert_eq!(t.records[0].op, FileOp::Open);
+    }
+
+    #[test]
+    fn parse_harvard_rejects_bad_lines() {
+        assert!(parse_harvard_text("x", "abc").is_err());
+        assert!(parse_harvard_text("x", "0.1 0 explode 1").is_err());
+        assert!(parse_harvard_text("x", "0.1 0 read 1 0").is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # edm-workload — trace substrate for the EDM reproduction
+//!
+//! The paper (Ou et al., IPDPS 2014) evaluates EDM by replaying seven NFS
+//! traces from Harvard storage servers (Table 1) plus a synthetic `random`
+//! workload (Fig. 3). This crate provides:
+//!
+//! * [`op`] / [`trace`] — NFS-style trace records (open/close/read/write)
+//!   with a line-oriented text format;
+//! * [`zipf`] — exact Zipf sampling for skewed popularity;
+//! * [`spec`] — workload specifications: the Table 1 aggregates plus skew
+//!   knobs;
+//! * [`synth`] — a deterministic synthesizer that hits the Table 1 counts
+//!   exactly and reproduces the locality the Harvard traces exhibit;
+//! * [`harvard`] — the seven named presets, the `random` workload, and a
+//!   parser for real Harvard-style trace text;
+//! * [`replay`] — per-user assignment of records to load-generating
+//!   clients (§V.A).
+//!
+//! ```
+//! use edm_workload::harvard;
+//! use edm_workload::synth::synthesize;
+//!
+//! // A 0.1 %-scale home02 for a quick experiment:
+//! let spec = harvard::spec("home02").scaled(0.001);
+//! let trace = synthesize(&spec);
+//! assert_eq!(trace.stats().write_cnt, spec.write_cnt);
+//! ```
+
+pub mod analysis;
+pub mod harvard;
+pub mod op;
+pub mod replay;
+pub mod spec;
+pub mod synth;
+pub mod trace;
+pub mod transform;
+pub mod zipf;
+
+pub use op::{FileId, FileOp, TraceRecord};
+pub use spec::{FileSizeModel, SkewProfile, WorkloadSpec};
+pub use analysis::{profile, WorkloadProfile};
+pub use trace::{Trace, TraceStats};
+pub use zipf::Zipf;

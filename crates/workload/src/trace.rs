@@ -1,0 +1,334 @@
+//! The trace container: an ordered sequence of [`TraceRecord`]s plus the
+//! per-file sizes needed to pre-create and populate the files before
+//! replay (§V.A: "all files related in the trace file are pre-created and
+//! populated with sufficient data").
+//!
+//! Traces serialize to a line-oriented text format close to the Harvard
+//! NFS trace style, so users with the real traces can import them through
+//! [`crate::harvard::parse_harvard_text`].
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::{FileId, FileOp, TraceRecord};
+
+/// Aggregate statistics of a trace — the columns of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    pub file_cnt: u64,
+    pub write_cnt: u64,
+    pub avg_write_size: u64,
+    pub read_cnt: u64,
+    pub avg_read_size: u64,
+    pub open_cnt: u64,
+    pub close_cnt: u64,
+    pub total_write_bytes: u64,
+    pub total_read_bytes: u64,
+}
+
+/// A complete workload trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    pub name: String,
+    /// Records sorted by `time_us`.
+    pub records: Vec<TraceRecord>,
+    /// Size of each file referenced by the trace, in bytes.
+    pub file_sizes: BTreeMap<FileId, u64>,
+}
+
+impl Trace {
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            records: Vec::new(),
+            file_sizes: BTreeMap::new(),
+        }
+    }
+
+    /// Total bytes of all files (the dataset footprint that determines
+    /// cluster utilization).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.file_sizes.values().sum()
+    }
+
+    /// Computes Table 1-style statistics.
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats {
+            file_cnt: self.file_sizes.len() as u64,
+            write_cnt: 0,
+            avg_write_size: 0,
+            read_cnt: 0,
+            avg_read_size: 0,
+            open_cnt: 0,
+            close_cnt: 0,
+            total_write_bytes: 0,
+            total_read_bytes: 0,
+        };
+        for r in &self.records {
+            match r.op {
+                FileOp::Write { len, .. } => {
+                    s.write_cnt += 1;
+                    s.total_write_bytes += len;
+                }
+                FileOp::Read { len, .. } => {
+                    s.read_cnt += 1;
+                    s.total_read_bytes += len;
+                }
+                FileOp::Open => s.open_cnt += 1,
+                FileOp::Close => s.close_cnt += 1,
+            }
+        }
+        if s.write_cnt > 0 {
+            s.avg_write_size = s.total_write_bytes / s.write_cnt;
+        }
+        if s.read_cnt > 0 {
+            s.avg_read_size = s.total_read_bytes / s.read_cnt;
+        }
+        s
+    }
+
+    /// Checks structural well-formedness: records sorted by time, every
+    /// referenced file has a size, every access fits inside its file.
+    pub fn validate(&self) -> Result<(), String> {
+        for w in self.records.windows(2) {
+            if w[0].time_us > w[1].time_us {
+                return Err(format!(
+                    "records out of order: {} then {}",
+                    w[0].time_us, w[1].time_us
+                ));
+            }
+        }
+        for (i, r) in self.records.iter().enumerate() {
+            let Some(&size) = self.file_sizes.get(&r.file) else {
+                return Err(format!("record {i} references unknown file {:?}", r.file));
+            };
+            if let FileOp::Read { offset, len } | FileOp::Write { offset, len } = r.op {
+                if len == 0 {
+                    return Err(format!("record {i} has zero length"));
+                }
+                if offset + len > size {
+                    return Err(format!(
+                        "record {i} accesses [{offset}, {}) beyond file size {size}",
+                        offset + len
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to the line-oriented text format:
+    ///
+    /// ```text
+    /// # edm-trace v1 <name>
+    /// F <file> <size>
+    /// R <time_us> <user> <file> <op> [<offset> <len>]
+    /// ```
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(out, "# edm-trace v1 {}", self.name).expect("string write");
+        for (f, size) in &self.file_sizes {
+            writeln!(out, "F {} {}", f.0, size).expect("string write");
+        }
+        for r in &self.records {
+            match r.op {
+                FileOp::Open | FileOp::Close => writeln!(
+                    out,
+                    "R {} {} {} {}",
+                    r.time_us,
+                    r.user,
+                    r.file.0,
+                    r.op.kind_str()
+                ),
+                FileOp::Read { offset, len } | FileOp::Write { offset, len } => writeln!(
+                    out,
+                    "R {} {} {} {} {} {}",
+                    r.time_us,
+                    r.user,
+                    r.file.0,
+                    r.op.kind_str(),
+                    offset,
+                    len
+                ),
+            }
+            .expect("string write");
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`Trace::to_text`].
+    pub fn from_text(text: &str) -> Result<Trace, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty trace file")?;
+        let name = header
+            .strip_prefix("# edm-trace v1 ")
+            .ok_or_else(|| format!("bad header: {header:?}"))?
+            .to_string();
+        let mut trace = Trace::new(name);
+        for (no, line) in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_ascii_whitespace();
+            let tag = it.next().ok_or_else(|| format!("line {no}: empty"))?;
+            match tag {
+                "F" => {
+                    let file = FileId(next_u64(&mut it, no, "file id")?);
+                    let size = next_u64(&mut it, no, "size")?;
+                    trace.file_sizes.insert(file, size);
+                }
+                "R" => {
+                    let time_us = next_u64(&mut it, no, "time")?;
+                    let user = next_u64(&mut it, no, "user")? as u32;
+                    let file = FileId(next_u64(&mut it, no, "file id")?);
+                    let kind = it
+                        .next()
+                        .ok_or_else(|| format!("line {no}: missing op kind"))?;
+                    let op = match kind {
+                        "open" => FileOp::Open,
+                        "close" => FileOp::Close,
+                        "read" => FileOp::Read {
+                            offset: next_u64(&mut it, no, "offset")?,
+                            len: next_u64(&mut it, no, "len")?,
+                        },
+                        "write" => FileOp::Write {
+                            offset: next_u64(&mut it, no, "offset")?,
+                            len: next_u64(&mut it, no, "len")?,
+                        },
+                        other => return Err(format!("line {no}: unknown op {other:?}")),
+                    };
+                    trace.records.push(TraceRecord {
+                        time_us,
+                        user,
+                        file,
+                        op,
+                    });
+                }
+                other => return Err(format!("line {no}: unknown tag {other:?}")),
+            }
+        }
+        Ok(trace)
+    }
+}
+
+/// Parses the next whitespace token of `it` as a `u64`, with a
+/// line-and-field error message.
+fn next_u64<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    no: usize,
+    what: &str,
+) -> Result<u64, String> {
+    it.next()
+        .ok_or_else(|| format!("line {no}: missing {what}"))?
+        .parse::<u64>()
+        .map_err(|e| format!("line {no}: bad {what}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("sample");
+        t.file_sizes.insert(FileId(1), 100_000);
+        t.file_sizes.insert(FileId(2), 50_000);
+        t.records = vec![
+            TraceRecord {
+                time_us: 0,
+                user: 0,
+                file: FileId(1),
+                op: FileOp::Open,
+            },
+            TraceRecord {
+                time_us: 10,
+                user: 0,
+                file: FileId(1),
+                op: FileOp::Write {
+                    offset: 0,
+                    len: 8192,
+                },
+            },
+            TraceRecord {
+                time_us: 20,
+                user: 1,
+                file: FileId(2),
+                op: FileOp::Read {
+                    offset: 4096,
+                    len: 4096,
+                },
+            },
+            TraceRecord {
+                time_us: 30,
+                user: 0,
+                file: FileId(1),
+                op: FileOp::Close,
+            },
+        ];
+        t
+    }
+
+    #[test]
+    fn stats_count_by_kind() {
+        let s = sample().stats();
+        assert_eq!(s.file_cnt, 2);
+        assert_eq!(s.write_cnt, 1);
+        assert_eq!(s.read_cnt, 1);
+        assert_eq!(s.open_cnt, 1);
+        assert_eq!(s.close_cnt, 1);
+        assert_eq!(s.avg_write_size, 8192);
+        assert_eq!(s.avg_read_size, 4096);
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_out_of_order() {
+        let mut t = sample();
+        t.records.swap(0, 3);
+        assert!(t.validate().unwrap_err().contains("out of order"));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_file() {
+        let mut t = sample();
+        t.records[1].file = FileId(99);
+        assert!(t.validate().unwrap_err().contains("unknown file"));
+    }
+
+    #[test]
+    fn validate_rejects_access_beyond_eof() {
+        let mut t = sample();
+        t.records[1].op = FileOp::Write {
+            offset: 99_999,
+            len: 8192,
+        };
+        assert!(t.validate().unwrap_err().contains("beyond file size"));
+    }
+
+    #[test]
+    fn text_roundtrip_is_lossless() {
+        let t = sample();
+        let parsed = Trace::from_text(&t.to_text()).unwrap();
+        assert_eq!(t, parsed);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(Trace::from_text("").is_err());
+        assert!(Trace::from_text("junk header").is_err());
+        assert!(Trace::from_text("# edm-trace v1 x\nZ 1 2").is_err());
+        assert!(Trace::from_text("# edm-trace v1 x\nR 1 0 1 frobnicate").is_err());
+        assert!(Trace::from_text("# edm-trace v1 x\nR 1 0 1 read 0").is_err());
+    }
+
+    #[test]
+    fn footprint_sums_file_sizes() {
+        assert_eq!(sample().footprint_bytes(), 150_000);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the workload substrate: the synthesizer hits
+//! its targets for arbitrary specs, the trace text format round-trips,
+//! client assignment partitions, and the transforms preserve structure.
+
+use edm_workload::replay::assign_clients;
+use edm_workload::synth::synthesize;
+use edm_workload::trace::Trace;
+use edm_workload::transform::{dilate, merge, truncate};
+use edm_workload::{FileSizeModel, SkewProfile, WorkloadSpec};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        1u64..60,      // file_cnt
+        0u64..400,     // write_cnt
+        0u64..400,     // read_cnt
+        1u64..40_000,  // avg_write_size
+        1u64..40_000,  // avg_read_size
+        0.0f64..1.5,   // write_theta
+        0.0f64..1.5,   // read_theta
+        0.0f64..=1.0,  // hot_overlap
+        0.0f64..=1.0,  // size_coupling
+        1u32..5,       // phases
+        1u32..20,      // users
+        any::<u64>(),  // seed
+    )
+        .prop_filter_map("need at least one op", |t| {
+            let (files, w, r, aw, ar, wt, rt, ho, sc, ph, users, seed) = t;
+            if w + r == 0 {
+                return None;
+            }
+            Some(WorkloadSpec {
+                name: "prop".into(),
+                file_cnt: files,
+                write_cnt: w,
+                avg_write_size: aw,
+                read_cnt: r,
+                avg_read_size: ar,
+                skew: SkewProfile {
+                    write_theta: wt,
+                    read_theta: rt,
+                    hot_overlap: ho,
+                    size_coupling: sc,
+                    phases: ph,
+                },
+                file_sizes: FileSizeModel::DEFAULT,
+                users,
+                seed,
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Synthesis hits the exact op counts, validates, and is a pure
+    /// function of the spec, for any admissible spec.
+    #[test]
+    fn synthesis_hits_targets_for_any_spec(spec in spec_strategy()) {
+        let t = synthesize(&spec);
+        let s = t.stats();
+        prop_assert_eq!(s.write_cnt, spec.write_cnt);
+        prop_assert_eq!(s.read_cnt, spec.read_cnt);
+        prop_assert_eq!(s.file_cnt, spec.file_cnt);
+        prop_assert_eq!(s.open_cnt, s.close_cnt);
+        t.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(synthesize(&spec), t, "synthesis must be deterministic");
+    }
+
+    /// The trace text format round-trips losslessly for any synthesized
+    /// trace.
+    #[test]
+    fn text_format_roundtrips(spec in spec_strategy()) {
+        let t = synthesize(&spec);
+        let parsed = Trace::from_text(&t.to_text()).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(parsed, t);
+    }
+
+    /// Client assignment partitions the records for any client count.
+    #[test]
+    fn assignment_partitions(spec in spec_strategy(), clients in 1u32..12) {
+        let t = synthesize(&spec);
+        let scripts = assign_clients(&t, clients);
+        let total: usize = scripts.iter().map(|s| s.record_indices.len()).sum();
+        prop_assert_eq!(total, t.records.len());
+        let mut seen = vec![false; t.records.len()];
+        for s in &scripts {
+            for &i in &s.record_indices {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+    }
+
+    /// merge conserves records and footprint; dilate preserves counts and
+    /// validity; truncate yields a valid prefix.
+    #[test]
+    fn transforms_preserve_structure(
+        a in spec_strategy(),
+        b in spec_strategy(),
+        factor in 0.1f64..10.0,
+        keep in 0usize..200,
+    ) {
+        let (ta, tb) = (synthesize(&a), synthesize(&b));
+        let m = merge("mix", &[&ta, &tb]);
+        prop_assert_eq!(m.records.len(), ta.records.len() + tb.records.len());
+        prop_assert_eq!(
+            m.footprint_bytes(),
+            ta.footprint_bytes() + tb.footprint_bytes()
+        );
+        m.validate().map_err(TestCaseError::fail)?;
+
+        let d = dilate(&m, factor);
+        prop_assert_eq!(d.records.len(), m.records.len());
+        d.validate().map_err(TestCaseError::fail)?;
+
+        let cut = truncate(&m, keep);
+        prop_assert_eq!(cut.records.len(), keep.min(m.records.len()));
+        cut.validate().map_err(TestCaseError::fail)?;
+    }
+}

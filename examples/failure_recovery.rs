@@ -1,0 +1,73 @@
+//! Kill an SSD mid-replay and watch the cluster survive it: degraded
+//! RAID-5 reads reconstruct the lost units from sibling objects, and the
+//! rebuild restores redundancy onto a surviving group member — the
+//! fault-tolerance machinery behind §III.A's object-level RAID-5 and
+//! §III.D's group design.
+//!
+//! ```text
+//! cargo run --release -p edm-harness --example failure_recovery
+//! ```
+
+use edm_cluster::{
+    run_trace, Cluster, ClusterConfig, FailureSpec, MigrationSchedule, NoMigration, OsdId,
+    SimOptions,
+};
+use edm_workload::harvard;
+use edm_workload::synth::synthesize;
+
+fn main() {
+    let trace = synthesize(&harvard::spec("home02").scaled(0.01));
+    println!(
+        "replaying {} records over {} files on 8 OSDs; OSD 1 dies early\n",
+        trace.records.len(),
+        trace.file_sizes.len()
+    );
+
+    for (label, failures) in [
+        ("healthy", vec![]),
+        (
+            "OSD 1 fails (degraded service only)",
+            vec![FailureSpec {
+                at_us: 1_000,
+                osd: OsdId(1),
+                rebuild: false,
+            }],
+        ),
+        (
+            "OSD 1 fails, cluster rebuilds",
+            vec![FailureSpec {
+                at_us: 1_000,
+                osd: OsdId(1),
+                rebuild: true,
+            }],
+        ),
+    ] {
+        let cluster = Cluster::build(ClusterConfig::paper(8), &trace).expect("build");
+        let mut policy = NoMigration;
+        let r = run_trace(
+            cluster,
+            &trace,
+            &mut policy,
+            SimOptions {
+                schedule: MigrationSchedule::Never,
+                failures,
+            },
+        );
+        println!("== {label} ==");
+        println!(
+            "  throughput {:.0} ops/s | mean response {:.1} ms",
+            r.throughput_ops_per_sec(),
+            r.mean_response_us / 1000.0
+        );
+        println!(
+            "  degraded ops {} | lost ops {} | rebuilt objects {}",
+            r.degraded_ops, r.lost_ops, r.rebuilt_objects
+        );
+        println!();
+    }
+
+    println!("degraded mode costs throughput (every lost-unit access fans out to");
+    println!("k-1 sibling reads); the rebuild pays an extra burst of reconstruction");
+    println!("I/O but restores redundancy — and no data is ever lost with a single");
+    println!("failure, because no two objects of a file share an SSD group.");
+}
