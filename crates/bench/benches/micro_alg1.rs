@@ -21,10 +21,24 @@ fn bench(c: &mut Criterion) {
     for n in [4usize, 20, 100] {
         let (wc, u) = inputs(n);
         g.bench_function(format!("hdf/{n}_devices/paper_params"), |b| {
-            b.iter(|| calculate_hdf(black_box(&wc), black_box(&u), &model, &Alg1Config::default()))
+            b.iter(|| {
+                calculate_hdf(
+                    black_box(&wc),
+                    black_box(&u),
+                    &model,
+                    &Alg1Config::default(),
+                )
+            })
         });
         g.bench_function(format!("cdf/{n}_devices/paper_params"), |b| {
-            b.iter(|| calculate_cdf(black_box(&wc), black_box(&u), &model, &Alg1Config::default()))
+            b.iter(|| {
+                calculate_cdf(
+                    black_box(&wc),
+                    black_box(&u),
+                    &model,
+                    &Alg1Config::default(),
+                )
+            })
         });
     }
 

@@ -42,8 +42,52 @@ fn bench(c: &mut Criterion) {
             }
             let mut x = 0x9E3779B97F4A7C15u64;
             for _ in 0..n_writes {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ftl.write((x >> 11) % live, &lat).unwrap();
+            }
+            ftl.stats().block_erases
+        })
+    });
+
+    g.throughput(Throughput::Elements(n_writes));
+    g.bench_function("sequential_span_writes/100k", |b| {
+        b.iter(|| {
+            let mut ftl = PageLevelFtl::new(small_geometry(), FtlConfig::default());
+            let lat = LatencyModel::INSTANT;
+            let exported = ftl.geometry().exported_pages();
+            let span = 32u64;
+            let mut written = 0u64;
+            while written < n_writes {
+                let start = written % (exported - span);
+                ftl.write_span(black_box(start), span, &lat).unwrap();
+                written += span;
+            }
+            ftl.stats().block_erases
+        })
+    });
+
+    g.bench_function("hot_span_overwrites_with_gc/100k", |b| {
+        b.iter(|| {
+            let mut ftl = PageLevelFtl::new(small_geometry(), FtlConfig::default());
+            let lat = LatencyModel::INSTANT;
+            let exported = ftl.geometry().exported_pages();
+            let live = exported * 7 / 10;
+            let span = 32u64;
+            let extents = live / span;
+            for e in 0..extents {
+                ftl.write_span(e * span, span, &lat).unwrap();
+            }
+            let mut x = 0x9E3779B97F4A7C15u64;
+            let mut written = 0u64;
+            while written < n_writes {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let e = (x >> 11) % extents;
+                ftl.write_span(black_box(e * span), span, &lat).unwrap();
+                written += span;
             }
             ftl.stats().block_erases
         })

@@ -40,11 +40,13 @@ fn synthetic_view(osds: u32, objects: u64) -> ClusterView {
 fn heat_tracker(policy: &mut dyn Migrator, objects: u64, events: u64) {
     let mut x = 0xDEADBEEFu64;
     for _ in 0..events {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         policy.on_access(AccessEvent {
             now_us: x % 120_000_000,
             object: ObjectId((x >> 13) % objects),
-            kind: if x % 3 == 0 {
+            kind: if x.is_multiple_of(3) {
                 AccessKind::Write
             } else {
                 AccessKind::Read

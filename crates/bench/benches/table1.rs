@@ -14,11 +14,7 @@ fn bench(c: &mut Criterion) {
     for name in ["home02", "deasna", "lair62"] {
         let spec = harvard::spec(name).scaled(0.01);
         g.bench_function(format!("synthesize/{name}@1%"), |b| {
-            b.iter_batched(
-                || spec.clone(),
-                |s| synthesize(&s),
-                BatchSize::SmallInput,
-            )
+            b.iter_batched(|| spec.clone(), |s| synthesize(&s), BatchSize::SmallInput)
         });
     }
     g.finish();

@@ -110,7 +110,9 @@ impl Catalog {
     /// Current OSD of an object: remapping-table overlay over hash
     /// placement.
     pub fn locate(&self, object: ObjectId) -> OsdId {
-        self.remap.lookup(object).unwrap_or_else(|| self.home_of(object))
+        self.remap
+            .lookup(object)
+            .unwrap_or_else(|| self.home_of(object))
     }
 
     /// Records a migration in the remapping table.

@@ -195,10 +195,7 @@ mod tests {
     #[should_panic(expected = "beyond capacity")]
     fn free_out_of_bounds_panics() {
         let mut a = ExtentAllocator::new(100);
-        a.free(Extent {
-            start: 90,
-            len: 20,
-        });
+        a.free(Extent { start: 90, len: 20 });
     }
 
     #[test]

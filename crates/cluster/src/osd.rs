@@ -20,7 +20,10 @@ const EWMA_ALPHA: f64 = 0.05;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OsdError {
     /// Not enough contiguous logical space for the object.
-    NoSpace { needed: u64, free: u64 },
+    NoSpace {
+        needed: u64,
+        free: u64,
+    },
     UnknownObject(ObjectId),
     DuplicateObject(ObjectId),
     /// Access beyond the object's extent.
@@ -85,12 +88,7 @@ impl Osd {
 
     /// Builds an OSD with explicit FTL tunables (GC victim policy, wear
     /// leveling, watermarks).
-    pub fn with_ftl(
-        id: OsdId,
-        capacity_bytes: u64,
-        latency: LatencyModel,
-        ftl: FtlConfig,
-    ) -> Self {
+    pub fn with_ftl(id: OsdId, capacity_bytes: u64, latency: LatencyModel, ftl: FtlConfig) -> Self {
         let geometry = Geometry::for_exported_capacity(capacity_bytes);
         let ssd = Ssd::with_config(geometry, latency, ftl);
         let exported = ssd.geometry().exported_bytes();
@@ -254,8 +252,9 @@ impl Osd {
     }
 }
 
-/// Number of pages an access `[offset, offset + len)` touches.
-fn pages_spanned(offset: u64, len: u64, page_size: u64) -> u64 {
+/// Number of pages an access `[offset, offset + len)` touches. Shared
+/// with the replay engine's access accounting.
+pub(crate) fn pages_spanned(offset: u64, len: u64, page_size: u64) -> u64 {
     if len == 0 {
         return 0;
     }

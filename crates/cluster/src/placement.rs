@@ -95,7 +95,7 @@ impl Placement {
     /// guarantee.
     pub fn home_osd(&self, file: FileId, index: u32) -> OsdId {
         debug_assert!(index < self.objects_per_file);
-        if self.osds % self.groups == 0 {
+        if self.osds.is_multiple_of(self.groups) {
             return OsdId(((file.0 + index as u64) % self.osds as u64) as u32);
         }
         let group = ((file.0 + index as u64) % self.groups as u64) as u32;
@@ -185,9 +185,8 @@ mod tests {
     fn uneven_clusters_place_objects_on_distinct_osds() {
         let p = Placement::new(18, 4, 4);
         for inode in 0..200u64 {
-            let osds: std::collections::HashSet<OsdId> = (0..4)
-                .map(|i| p.home_osd(FileId(inode), i))
-                .collect();
+            let osds: std::collections::HashSet<OsdId> =
+                (0..4).map(|i| p.home_osd(FileId(inode), i)).collect();
             assert_eq!(osds.len(), 4, "inode {inode}");
             for o in &osds {
                 assert!(o.0 < 18);
@@ -233,9 +232,7 @@ mod tests {
         // §III.D differentiates the number of SSDs per group; 18 OSDs in 4
         // groups gives groups of 5, 5, 4, 4.
         let p = Placement::new(18, 4, 4);
-        let sizes: Vec<usize> = (0..4)
-            .map(|g| p.group_members(GroupId(g)).len())
-            .collect();
+        let sizes: Vec<usize> = (0..4).map(|g| p.group_members(GroupId(g)).len()).collect();
         assert_eq!(sizes, vec![5, 5, 4, 4]);
     }
 

@@ -55,7 +55,10 @@ impl StripeLayout {
     pub const DEFAULT_UNIT: u64 = 64 * 1024;
 
     pub fn new(k: u32, unit: u64) -> Self {
-        assert!(k >= 2, "RAID-5 needs at least 2 objects (k-1 data + parity)");
+        assert!(
+            k >= 2,
+            "RAID-5 needs at least 2 objects (k-1 data + parity)"
+        );
         assert!(unit > 0, "stripe unit must be positive");
         StripeLayout { k, unit }
     }

@@ -20,16 +20,17 @@ use crate::cluster::Cluster;
 use crate::ids::{ClientId, ObjectId, OsdId};
 use crate::metrics::{summarize_osds, LatencyHistogram, ResponseSeries, RunReport};
 use crate::migrate::{validate_plan, AccessEvent, AccessKind, Migrator, MoveAction};
-use crate::osd::OsdError;
+use crate::osd::{pages_spanned, OsdError};
 
 /// When the engine consults the migration policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MigrationSchedule {
     /// Never ask (pure baseline, regardless of policy).
     Never,
     /// Once, when half of the trace records have completed — the paper
     /// enforces the shuffle "in the middle time point of trace replay"
     /// (§V.A).
+    #[default]
     Midpoint,
     /// On every wear-monitor tick (continuous mode; an extension beyond
     /// the paper's forced-midpoint experiments).
@@ -53,12 +54,6 @@ pub struct SimOptions {
     pub schedule: MigrationSchedule,
     /// OSD failures to inject during the replay.
     pub failures: Vec<FailureSpec>,
-}
-
-impl Default for MigrationSchedule {
-    fn default() -> Self {
-        MigrationSchedule::Midpoint
-    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -88,13 +83,25 @@ enum Payload {
         degraded: bool,
     },
     /// Migration: source-side read of one transfer chunk.
-    MoveRead { object: ObjectId, offset: u64, len: u64 },
+    MoveRead {
+        object: ObjectId,
+        offset: u64,
+        len: u64,
+    },
     /// Migration: destination-side write of one transfer chunk.
-    MoveWrite { object: ObjectId, offset: u64, len: u64 },
+    MoveWrite {
+        object: ObjectId,
+        offset: u64,
+        len: u64,
+    },
     /// Rebuild: full read of one surviving sibling of a lost object.
     RebuildRead { lost: ObjectId, sibling: ObjectId },
     /// Rebuild: destination-side write of one reconstruction chunk.
-    RebuildWrite { lost: ObjectId, offset: u64, len: u64 },
+    RebuildWrite {
+        lost: ObjectId,
+        offset: u64,
+        len: u64,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -223,12 +230,15 @@ impl<'a> Engine<'a> {
                     layout.map_read(offset, len)
                 };
                 debug_assert!(!ios.is_empty());
-                let meta = self
-                    .cluster
-                    .catalog
-                    .file(record.file)
-                    .unwrap_or_else(|| panic!("trace references unknown file {:?}", record.file));
-                let objects = meta.objects.clone();
+                assert!(
+                    self.cluster.catalog.file(record.file).is_some(),
+                    "trace references unknown file {:?}",
+                    record.file
+                );
+                // Object ids are a pure function of (file, stripe index) —
+                // see `Catalog::create_file` — so there is no need to clone
+                // the file's object list on every record.
+                let placement = *self.cluster.catalog.placement();
                 self.inflight.insert(
                     token,
                     Inflight {
@@ -239,7 +249,7 @@ impl<'a> Engine<'a> {
                 );
                 let page_size = self.cluster.osds[0].ssd().geometry().page_size;
                 for io in ios {
-                    let object = objects[io.object_index as usize];
+                    let object = placement.object_id(record.file, io.object_index);
                     self.policy.on_access(AccessEvent {
                         now_us: self.now,
                         object,
@@ -407,15 +417,17 @@ impl<'a> Engine<'a> {
                     dev.read_object(object, offset, len)
                 }
             }
-            Payload::MoveRead { object, offset, len } => {
-                self.cluster.osds[o].read_object(object, offset, len)
-            }
-            Payload::MoveWrite { object, offset, len } => {
-                self.cluster.osds[o].write_object(object, offset, len)
-            }
-            Payload::RebuildRead { sibling, .. } => {
-                self.cluster.osds[o].read_whole_object(sibling)
-            }
+            Payload::MoveRead {
+                object,
+                offset,
+                len,
+            } => self.cluster.osds[o].read_object(object, offset, len),
+            Payload::MoveWrite {
+                object,
+                offset,
+                len,
+            } => self.cluster.osds[o].write_object(object, offset, len),
+            Payload::RebuildRead { sibling, .. } => self.cluster.osds[o].read_whole_object(sibling),
             Payload::RebuildWrite { lost, offset, len } => {
                 self.cluster.osds[o].write_object(lost, offset, len)
             }
@@ -434,12 +446,16 @@ impl<'a> Engine<'a> {
         self.cluster.osds[o].record_service(sojourn);
         match sub.payload {
             Payload::FileIo { token, .. } => self.finish_subop(token),
-            Payload::MoveRead { object, offset, len } => {
-                self.on_move_read_done(object, offset, len)
-            }
-            Payload::MoveWrite { object, offset, len } => {
-                self.on_move_write_done(object, offset, len)
-            }
+            Payload::MoveRead {
+                object,
+                offset,
+                len,
+            } => self.on_move_read_done(object, offset, len),
+            Payload::MoveWrite {
+                object,
+                offset,
+                len,
+            } => self.on_move_write_done(object, offset, len),
             Payload::RebuildRead { lost, .. } => self.on_rebuild_read_done(lost),
             Payload::RebuildWrite { lost, offset, len } => {
                 self.on_rebuild_write_done(lost, offset, len)
@@ -623,8 +639,7 @@ impl<'a> Engine<'a> {
             .cluster
             .object_size(action.object)
             .expect("moving unknown object");
-        match self.cluster.osds[action.dest.0 as usize].create_object(action.object, size, false)
-        {
+        match self.cluster.osds[action.dest.0 as usize].create_object(action.object, size, false) {
             Ok(_) => {}
             Err(OsdError::NoSpace { .. }) => {
                 // Destination filled up since planning: skip this move.
@@ -798,6 +813,13 @@ impl<'a> Engine<'a> {
             * self.cluster.config.dest_free_reserve) as i64;
         let mut accepted = 0u64;
         for action in plan {
+            // Policies see failed devices in the view (their last measured
+            // stats are real); the engine is responsible for never routing
+            // a move through one.
+            if self.failed[action.source.0 as usize] || self.failed[action.dest.0 as usize] {
+                self.failed_moves += 1;
+                continue;
+            }
             let size = self
                 .cluster
                 .object_size(action.object)
@@ -819,11 +841,7 @@ impl<'a> Engine<'a> {
             // Each source starts one mover stream; streams run in parallel
             // across sources ("perform all the migration processes in
             // parallel", §III.B.5).
-            if self
-                .move_routes
-                .values()
-                .all(|a| a.source != OsdId(source))
-            {
+            if self.move_routes.values().all(|a| a.source != OsdId(source)) {
                 self.start_next_move(OsdId(source));
             }
         }
@@ -839,7 +857,8 @@ impl<'a> Engine<'a> {
             let tick = self.cluster.config.wear_tick_us;
             self.push(tick, Event::Tick);
         }
-        for f in self.options.failures.clone() {
+        for i in 0..self.options.failures.len() {
+            let f = self.options.failures[i];
             assert!(
                 f.osd.0 < self.cluster.config.osds,
                 "failure injected for unknown {}",
@@ -880,12 +899,14 @@ impl<'a> Engine<'a> {
         );
         assert!(self.moving.is_empty(), "moves left in flight");
 
-        let mut per_osd = summarize_osds(
-            self.cluster
-                .osds
-                .iter()
-                .map(|o| (o.id.0, o.ssd().wear(), o.utilization(), self.busy_us[o.id.0 as usize])),
-        );
+        let mut per_osd = summarize_osds(self.cluster.osds.iter().map(|o| {
+            (
+                o.id.0,
+                o.ssd().wear(),
+                o.utilization(),
+                self.busy_us[o.id.0 as usize],
+            )
+        }));
         for (summary, &peak) in per_osd.iter_mut().zip(&self.peak_queue_depth) {
             summary.peak_queue_depth = peak;
         }
@@ -919,14 +940,6 @@ impl<'a> Engine<'a> {
             rebuilt_objects: self.rebuilt_objects,
         }
     }
-}
-
-/// Number of pages an access `[offset, offset + len)` touches.
-fn pages_spanned(offset: u64, len: u64, page_size: u64) -> u64 {
-    if len == 0 {
-        return 0;
-    }
-    (offset + len - 1) / page_size - offset / page_size + 1
 }
 
 /// Replays `trace` against a freshly built cluster under `policy`.
@@ -1009,7 +1022,10 @@ mod tests {
             cluster,
             &trace,
             &mut NoMigration,
-            SimOptions { schedule, failures: Vec::new() },
+            SimOptions {
+                schedule,
+                failures: Vec::new(),
+            },
         )
     }
 

@@ -13,15 +13,14 @@ use proptest::prelude::*;
 /// Builds a small but varied trace from proptest-chosen parameters.
 fn trace_strategy() -> impl Strategy<Value = Trace> {
     (
-        2u64..20,                                       // files
+        2u64..20, // files
         prop::collection::vec((0u64..20, 0u8..4, 1u64..60_000, 0u64..200_000), 1..120),
-        1u64..3,                                        // size multiplier
+        1u64..3, // size multiplier
     )
         .prop_map(|(files, ops, mult)| {
             let mut t = Trace::new("prop");
             for f in 0..files {
-                t.file_sizes
-                    .insert(FileId(f), 64 * 1024 + f * 9_000 * mult);
+                t.file_sizes.insert(FileId(f), 64 * 1024 + f * 9_000 * mult);
             }
             let mut clock = 0u64;
             for (f, kind, len, offset) in ops {
@@ -72,8 +71,10 @@ impl Migrator for RandomMigrator {
         let mut x = self.seed | 1;
         let mut plan = Vec::new();
         for o in &view.objects {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            if x % 5 != 0 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if !x.is_multiple_of(5) {
                 continue;
             }
             // Pick an intra-group destination different from the source.

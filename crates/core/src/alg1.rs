@@ -138,7 +138,9 @@ pub fn calculate_cdf(
     let mut delta = vec![0.0; n];
     let mut used = 0;
     for _ in 0..cfg.iterations {
-        let ec: Vec<f64> = (0..n).map(|i| model.erase_count(wc_pages[i], u[i])).collect();
+        let ec: Vec<f64> = (0..n)
+            .map(|i| model.erase_count(wc_pages[i], u[i]))
+            .collect();
         if rsd(&ec) < cfg.stop_rsd {
             break;
         }
@@ -181,7 +183,9 @@ pub fn calculate_cdf(
         u[y] += shift;
         used += 1;
     }
-    let final_erases = (0..n).map(|i| model.erase_count(wc_pages[i], u[i])).collect();
+    let final_erases = (0..n)
+        .map(|i| model.erase_count(wc_pages[i], u[i]))
+        .collect();
     MovementAmounts {
         delta,
         final_erases,
@@ -308,7 +312,11 @@ mod tests {
         let out = calculate_cdf(&wc, &u, &model(), &Alg1Config::default());
         let total: f64 = out.delta.iter().sum();
         assert!(total.abs() < 1e-9);
-        assert!(out.delta[0] < 0.0, "fullest device must shed: {:?}", out.delta);
+        assert!(
+            out.delta[0] < 0.0,
+            "fullest device must shed: {:?}",
+            out.delta
+        );
     }
 
     #[test]
@@ -375,7 +383,10 @@ mod tests {
         );
         let r_fine = rsd(fine.final_erases.iter().copied());
         let r_coarse = rsd(coarse.final_erases.iter().copied());
-        assert!(r_coarse < 0.15, "coarse grid should still balance: {r_coarse}");
+        assert!(
+            r_coarse < 0.15,
+            "coarse grid should still balance: {r_coarse}"
+        );
         assert!(r_fine <= r_coarse + 0.05);
     }
 

@@ -89,16 +89,22 @@ mod tests {
 
     #[test]
     fn bad_configs_rejected() {
-        let mut c = EdmConfig::default();
-        c.lambda = -0.1;
+        let c = EdmConfig {
+            lambda: -0.1,
+            ..EdmConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = EdmConfig::default();
-        c.sigma = 1.0;
+        let c = EdmConfig {
+            sigma: 1.0,
+            ..EdmConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = EdmConfig::default();
-        c.temperature_interval_us = 0;
+        let c = EdmConfig {
+            temperature_interval_us: 0,
+            ..EdmConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

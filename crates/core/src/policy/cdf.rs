@@ -90,10 +90,7 @@ impl Migrator for EdmCdf {
                 .iter()
                 .map(|&m| view.osd(m).wc_pages as f64)
                 .collect();
-            let u: Vec<f64> = members
-                .iter()
-                .map(|&m| view.osd(m).utilization)
-                .collect();
+            let u: Vec<f64> = members.iter().map(|&m| view.osd(m).utilization).collect();
             // Algorithm 1 (CDF variant): how much utilization to shed.
             let amounts = calculate_cdf(&wc, &u, &model, &self.cfg.alg1);
 
@@ -237,8 +234,10 @@ mod tests {
 
     #[test]
     fn trigger_check_blocks_balanced_cluster() {
-        let mut cfg = EdmConfig::default();
-        cfg.force = false;
+        let cfg = EdmConfig {
+            force: false,
+            ..EdmConfig::default()
+        };
         let mut p = EdmCdf::new(cfg);
         let v = view(2, &[(10_000, 0.6, 0.0); 4], &[(0, 1 << 20)]);
         assert!(p.plan(&v).is_empty());

@@ -244,8 +244,8 @@ impl Migrator for Cmt {
         // Sorrento weighs storage usage alongside load: a destination may
         // be filled only up to the cluster-mean utilization plus margin,
         // never into GC-thrash territory.
-        let mean_util = view.osds.iter().map(|o| o.utilization).sum::<f64>()
-            / view.osds.len().max(1) as f64;
+        let mean_util =
+            view.osds.iter().map(|o| o.utilization).sum::<f64>() / view.osds.len().max(1) as f64;
         let mut budgets: Vec<i64> = view
             .osds
             .iter()
@@ -323,8 +323,10 @@ mod tests {
 
     #[test]
     fn trigger_check_respects_balanced_load() {
-        let mut cfg = CmtConfig::default();
-        cfg.force = false;
+        let cfg = CmtConfig {
+            force: false,
+            ..CmtConfig::default()
+        };
         let mut p = Cmt::new(cfg);
         touch(&mut p, 0, 100, AccessKind::Read);
         let v = view(

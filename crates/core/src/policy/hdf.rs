@@ -92,10 +92,7 @@ impl Migrator for EdmHdf {
                 .iter()
                 .map(|&m| view.osd(m).wc_pages as f64)
                 .collect();
-            let u: Vec<f64> = members
-                .iter()
-                .map(|&m| view.osd(m).utilization)
-                .collect();
+            let u: Vec<f64> = members.iter().map(|&m| view.osd(m).utilization).collect();
             // Algorithm 1 (HDF variant): how many page writes to shift.
             let amounts = calculate_hdf(&wc, &u, &model, &self.cfg.alg1);
 
@@ -191,7 +188,14 @@ mod tests {
                 (20_000, 0.6, 0.0),
             ],
             // Objects 0..4 on OSD 0, 4..6 on OSD 2.
-            &[(0, 1 << 20), (0, 1 << 20), (0, 1 << 20), (0, 1 << 20), (2, 1 << 20), (2, 1 << 20)],
+            &[
+                (0, 1 << 20),
+                (0, 1 << 20),
+                (0, 1 << 20),
+                (0, 1 << 20),
+                (2, 1 << 20),
+                (2, 1 << 20),
+            ],
         )
     }
 
@@ -236,15 +240,13 @@ mod tests {
 
     #[test]
     fn balanced_cluster_with_trigger_check_stays_put() {
-        let mut cfg = EdmConfig::default();
-        cfg.force = false;
+        let cfg = EdmConfig {
+            force: false,
+            ..EdmConfig::default()
+        };
         let mut p = EdmHdf::new(cfg);
         heat_object(&mut p, 0, 10, 10);
-        let v = view(
-            2,
-            &[(10_000, 0.6, 0.0); 4],
-            &[(0, 1 << 20), (1, 1 << 20)],
-        );
+        let v = view(2, &[(10_000, 0.6, 0.0); 4], &[(0, 1 << 20), (1, 1 << 20)]);
         assert!(p.plan(&v).is_empty());
     }
 

@@ -1,0 +1,102 @@
+//! Session-local determinism digest: prints pinned observables of fixed
+//! cells and FTL micro-workloads so a refactor can be checked for
+//! bit-identical behavior. Not part of the test suite.
+
+use edm_cluster::MigrationSchedule;
+use edm_harness::runner::{run_cell, Cell, RunConfig};
+use edm_ssd::{
+    DeviceTime, FtlConfig, Geometry, LatencyModel, PageLevelFtl, Ssd, VictimPolicy, WearLevelConfig,
+};
+
+fn main() {
+    let cfg = RunConfig {
+        scale: 0.002,
+        schedule: MigrationSchedule::Midpoint,
+        response_window_us: None,
+    };
+    for (t, p) in [
+        ("home02", "EDM-HDF"),
+        ("deasna", "EDM-CDF"),
+        ("lair62", "CMT"),
+        ("random", "Baseline"),
+    ] {
+        let r = run_cell(&Cell::new(t, p, 8), &cfg);
+        println!(
+            "cell {t}/{p}: duration_us={} erases={} moved={} completed={} mean_resp={:.6}",
+            r.duration_us,
+            r.aggregate_erases(),
+            r.moved_objects,
+            r.completed_ops,
+            r.mean_response_us
+        );
+    }
+
+    let geom = Geometry {
+        page_size: 4096,
+        pages_per_block: 32,
+        blocks: 256,
+        over_provision_ppt: 80,
+    };
+    for policy in [
+        VictimPolicy::Greedy,
+        VictimPolicy::CostBenefit,
+        VictimPolicy::Fifo,
+    ] {
+        for threshold in [0u64, 8] {
+            let mut ftl = PageLevelFtl::new(
+                geom,
+                FtlConfig {
+                    victim_policy: policy,
+                    wear_leveling: WearLevelConfig {
+                        static_threshold: threshold,
+                        ..WearLevelConfig::DEFAULT
+                    },
+                    ..FtlConfig::default()
+                },
+            );
+            let lat = LatencyModel::PAPER;
+            let exported = ftl.geometry().exported_pages();
+            let live = exported * 7 / 10;
+            let mut total = DeviceTime(0);
+            for lpn in 0..live {
+                total += ftl.write(lpn, &lat).unwrap();
+            }
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for _ in 0..400_000u64 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                total += ftl.write((x >> 11) % live, &lat).unwrap();
+            }
+            for lpn in (0..live).step_by(3) {
+                total += ftl.read(lpn, &lat).unwrap();
+            }
+            for lpn in (0..live).step_by(7) {
+                ftl.trim(lpn).unwrap();
+            }
+            let ec = ftl.block_erase_counts();
+            let s = ftl.stats();
+            println!(
+                "ftl {policy:?}/t{threshold}: time={} erases={} ec_sum={} ec_min={} ec_max={} mapped={} wear={:?}",
+                total.0,
+                s.block_erases,
+                ec.iter().sum::<u64>(),
+                ec.iter().min().unwrap(),
+                ec.iter().max().unwrap(),
+                ftl.mapped_pages(),
+                s
+            );
+        }
+    }
+
+    // Ssd-level warm_up digest.
+    let mut ssd = Ssd::new(geom, LatencyModel::PAPER);
+    ssd.write(0, 13 * 1024 * 1024).unwrap();
+    ssd.warm_up().unwrap();
+    println!(
+        "ssd warmup: util={:.9} wear={:?} free={}",
+        ssd.utilization(),
+        ssd.wear(),
+        ssd.free_bytes()
+    );
+}

@@ -78,14 +78,7 @@ fn run_one(id: &str, cfg: &RunConfig, osds: &[u32]) {
         "fig1" => println!("{}", fig1::render(&fig1::run(cfg, osds[0].min(8)))),
         "fig3" => println!("{}", fig3::render(&fig3::run(cfg, &fig3::default_grid()))),
         "fig5" | "fig6" => {
-            let m = fig56::run(
-                cfg,
-                osds,
-                &edm_workload::harvard::TRACE_NAMES
-                    .iter()
-                    .copied()
-                    .collect::<Vec<_>>(),
-            );
+            let m = fig56::run(cfg, osds, &edm_workload::harvard::TRACE_NAMES);
             if id == "fig5" {
                 println!("{}", fig56::render_fig5(&m));
             } else {
@@ -104,11 +97,17 @@ fn run_one(id: &str, cfg: &RunConfig, osds: &[u32]) {
             // An OSD count not divisible by the group count gives uneven
             // groups (the SIII.D design); 18 -> groups of 5,5,4,4.
             let n = osds.iter().copied().find(|n| n % 4 != 0).unwrap_or(18);
-            println!("{}", reliability::render(&reliability::run(cfg, n, "lair62")));
+            println!(
+                "{}",
+                reliability::render(&reliability::run(cfg, n, "lair62"))
+            );
         }
         "ablate-sigma" => {
             let sigmas: Vec<f64> = (0..=8).map(|i| i as f64 * 0.05).collect();
-            println!("{}", ablate::render_sigma(&ablate::sigma_sweep(cfg, &sigmas)));
+            println!(
+                "{}",
+                ablate::render_sigma(&ablate::sigma_sweep(cfg, &sigmas))
+            );
         }
         "ablate-lambda" => {
             let lambdas = [0.02, 0.05, 0.10, 0.20, 0.40, 0.80];

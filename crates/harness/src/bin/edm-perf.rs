@@ -1,0 +1,211 @@
+//! edm-perf: tracked performance harness.
+//!
+//! Runs pinned workloads with wall-clock timing and appends the results
+//! to `BENCH_edm.json`, so simulator throughput is tracked the same way
+//! the paper's figures are:
+//!
+//! * `ftl_micro_*` — a skewed-overwrite microbenchmark through the SSD's
+//!   byte interface (≥1M page writes at full size), run twice: once as
+//!   page-sized (4 KiB) device calls, once as extent-sized span calls —
+//!   the same batching the cluster OSD performs per object I/O. The two
+//!   variants perform identical logical work (the span path is
+//!   bit-identical by construction — the harness asserts the erase counts
+//!   and wear stats match), so their ratio isolates the per-call overhead
+//!   the span batching removes.
+//! * `fig5_*` — one end-to-end cluster cell per trace class (harvard
+//!   presets + the Fig. 3 random workload), timing the full
+//!   synthesize → build → warm-up → replay pipeline.
+//!
+//! `--smoke` shrinks every workload to a few seconds' worth for CI-style
+//! sanity runs (`scripts/check.sh`); the JSON schema is identical.
+
+use std::time::Instant;
+
+use edm_cluster::MigrationSchedule;
+use edm_harness::runner::{run_cell, Cell, RunConfig};
+use edm_ssd::{Geometry, LatencyModel, Ssd, WearStats};
+
+struct BenchResult {
+    name: String,
+    wall_ms: f64,
+    ops_per_sec: f64,
+    erases: u64,
+}
+
+/// The microbenchmark's fixed geometry: 128 blocks × 32 pages, 8 % OP —
+/// small enough that the mapping tables stay cache-resident, so the
+/// measurement isolates per-call FTL overhead rather than DRAM misses.
+fn micro_geometry() -> Geometry {
+    Geometry {
+        page_size: 4096,
+        pages_per_block: 32,
+        blocks: 128,
+        over_provision_ppt: 80,
+    }
+}
+
+/// Skewed extent-aligned overwrites: 90 % of extents land in the hot
+/// tenth of the live range. Extent alignment keeps the page-by-page and
+/// span variants on the exact same logical access sequence.
+fn ftl_micro(page_writes: u64, span_pages: u64, use_span: bool) -> (f64, u64, WearStats) {
+    let g = micro_geometry();
+    let mut ssd = Ssd::new(g, LatencyModel::PAPER);
+    let ps = g.page_size;
+    let live_extents = (g.exported_pages() * 11 / 20) / span_pages;
+    let hot_extents = (live_extents / 10).max(1);
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let started = Instant::now();
+    // Fill the live range once, then hammer it with skewed overwrites.
+    let mut written = 0u64;
+    for e in 0..live_extents {
+        write_extent(&mut ssd, e * span_pages * ps, span_pages, ps, use_span);
+        written += span_pages;
+    }
+    while written < page_writes {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let r = x >> 11;
+        let extent = if r % 10 < 9 {
+            r % hot_extents
+        } else {
+            r % live_extents
+        };
+        write_extent(&mut ssd, extent * span_pages * ps, span_pages, ps, use_span);
+        written += span_pages;
+    }
+    let wall = started.elapsed().as_secs_f64();
+    ssd.check_invariants().expect("SSD invariants violated");
+    (wall, written, ssd.wear().clone())
+}
+
+fn write_extent(ssd: &mut Ssd, offset: u64, pages: u64, page_size: u64, use_span: bool) {
+    if use_span {
+        ssd.write(offset, pages * page_size)
+            .expect("span write failed");
+    } else {
+        for p in 0..pages {
+            ssd.write(offset + p * page_size, page_size)
+                .expect("page write failed");
+        }
+    }
+}
+
+fn run_micro(page_writes: u64, span_pages: u64, reps: u32, results: &mut Vec<BenchResult>) {
+    // Best-of-N wall time: the workload is deterministic, so the fastest
+    // repetition is the least-perturbed measurement of the same work.
+    let best = |use_span: bool| {
+        let mut best: Option<(f64, u64, WearStats)> = None;
+        for _ in 0..reps {
+            let run = ftl_micro(page_writes, span_pages, use_span);
+            if best.as_ref().is_none_or(|b| run.0 < b.0) {
+                best = Some(run);
+            }
+        }
+        best.expect("at least one repetition")
+    };
+    let (page_wall, page_written, page_stats) = best(false);
+    let (span_wall, span_written, span_stats) = best(true);
+    assert_eq!(page_written, span_written);
+    assert_eq!(
+        page_stats, span_stats,
+        "span and per-page variants diverged — determinism broken"
+    );
+    let page_ops = page_written as f64 / page_wall;
+    let span_ops = span_written as f64 / span_wall;
+    results.push(BenchResult {
+        name: "ftl_micro_per_page".into(),
+        wall_ms: page_wall * 1e3,
+        ops_per_sec: page_ops,
+        erases: page_stats.block_erases,
+    });
+    results.push(BenchResult {
+        name: "ftl_micro_span".into(),
+        wall_ms: span_wall * 1e3,
+        ops_per_sec: span_ops,
+        erases: span_stats.block_erases,
+    });
+    println!(
+        "ftl_micro: {page_written} page writes, per-page {:.0} pages/s, span {:.0} pages/s \
+         ({:.2}x), {} erases",
+        page_ops,
+        span_ops,
+        span_ops / page_ops,
+        page_stats.block_erases
+    );
+}
+
+fn run_fig5_cells(scale: f64, results: &mut Vec<BenchResult>) {
+    let cfg = RunConfig {
+        scale,
+        schedule: MigrationSchedule::Midpoint,
+        response_window_us: None,
+    };
+    for (trace, policy) in [
+        ("home02", "EDM-HDF"),
+        ("deasna", "EDM-CDF"),
+        ("lair62", "CMT"),
+        ("random", "Baseline"),
+    ] {
+        let cell = Cell::new(trace, policy, 8);
+        let started = Instant::now();
+        let report = run_cell(&cell, &cfg);
+        let wall = started.elapsed().as_secs_f64();
+        let ops = report.completed_ops as f64 / wall;
+        println!(
+            "fig5_{trace}_{policy}: {:.1} ms wall, {:.0} ops/s, {} erases",
+            wall * 1e3,
+            ops,
+            report.aggregate_erases()
+        );
+        results.push(BenchResult {
+            name: format!("fig5_{trace}_{policy}"),
+            wall_ms: wall * 1e3,
+            ops_per_sec: ops,
+            erases: report.aggregate_erases(),
+        });
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn write_json(path: &str, results: &[BenchResult]) -> std::io::Result<()> {
+    let mut s = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"ops_per_sec\": {:.1}, \"erases\": {}}}{}\n",
+            json_escape(&r.name),
+            r.wall_ms,
+            r.ops_per_sec,
+            r.erases,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push(']');
+    s.push('\n');
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut results = Vec::new();
+    if smoke {
+        // A few seconds total: enough to catch harness rot, not enough to
+        // be a meaningful measurement.
+        run_micro(100_000, 32, 1, &mut results);
+        run_fig5_cells(0.001, &mut results);
+    } else {
+        run_micro(1_500_000, 32, 3, &mut results);
+        run_fig5_cells(0.005, &mut results);
+    }
+    write_json("BENCH_edm.json", &results).expect("writing BENCH_edm.json failed");
+    println!("wrote BENCH_edm.json ({} entries)", results.len());
+}

@@ -14,7 +14,10 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let trace_name = args.next().unwrap_or_else(|| "home02".into());
     let policy_name = args.next().unwrap_or_else(|| "EDM-HDF".into());
-    let scale: f64 = args.next().map(|s| s.parse().expect("scale")).unwrap_or(0.01);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale"))
+        .unwrap_or(0.01);
     let osds: u32 = args.next().map(|s| s.parse().expect("osds")).unwrap_or(16);
 
     let trace = synthesize(&harvard::spec(&trace_name).scaled(scale));

@@ -94,10 +94,17 @@ fn main() {
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--scale" => {
-                        scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                        scale = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
                     }
                     "--seed" => {
-                        seed = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+                        seed = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
                     }
                     _ => usage(),
                 }

@@ -6,8 +6,8 @@ use edm_cluster::{run_trace, Cluster, ClusterConfig, NoMigration, RunReport, Sim
 use edm_cluster::{MigrationSchedule, Migrator};
 use edm_core::{EdmConfig, EdmHdf, WearModel};
 use edm_ssd::ftl::VictimPolicy;
-use edm_workload::synth::synthesize;
 use edm_workload::harvard;
+use edm_workload::synth::synthesize;
 
 use crate::experiments::fig3;
 use crate::report::render_table;
@@ -163,8 +163,8 @@ pub fn policy_label(policy: &dyn Migrator) -> &str {
 pub fn continuous_sweep(cfg: &RunConfig, osds: u32) -> Vec<(&'static str, RunReport)> {
     let trace = trace_for("home02", cfg.scale);
     let run_mode = |label: &'static str,
-                        schedule: MigrationSchedule,
-                        force: bool|
+                    schedule: MigrationSchedule,
+                    force: bool|
      -> (&'static str, RunReport) {
         let mut cluster_cfg = ClusterConfig::paper(osds);
         // Scale the 1-minute wear tick with the trace so continuous mode
@@ -190,7 +190,11 @@ pub fn continuous_sweep(cfg: &RunConfig, osds: u32) -> Vec<(&'static str, RunRep
     vec![
         run_mode("never", MigrationSchedule::Never, false),
         run_mode("forced midpoint", MigrationSchedule::Midpoint, true),
-        run_mode("continuous (trigger-gated)", MigrationSchedule::EveryTick, false),
+        run_mode(
+            "continuous (trigger-gated)",
+            MigrationSchedule::EveryTick,
+            false,
+        ),
     ]
 }
 
@@ -242,7 +246,12 @@ pub fn render_gc_policy(rows: &[(&'static str, RunReport)]) -> String {
         "Ablation: GC victim policy (Baseline replay, home02)
 {}",
         render_table(
-            &["victim policy", "aggregate erases", "gc page moves", "ops/s"],
+            &[
+                "victim policy",
+                "aggregate erases",
+                "gc page moves",
+                "ops/s"
+            ],
             &table
         )
     )

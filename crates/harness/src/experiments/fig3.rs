@@ -125,9 +125,7 @@ pub fn default_grid() -> Vec<f64> {
 }
 
 pub fn render(series: &[Series]) -> String {
-    let mut out = String::from(
-        "Figure 3: measured and estimated u_r vs disk utilization u\n",
-    );
+    let mut out = String::from("Figure 3: measured and estimated u_r vs disk utilization u\n");
     for s in series {
         out.push_str(&format!("workload {}\n", s.workload));
         let rows: Vec<Vec<String>> = s

@@ -30,7 +30,9 @@ impl Matrix {
 
     /// Throughput ratio of `policy` over Baseline for one cell.
     pub fn throughput_gain(&self, trace: &str, policy: &str, osds: u32) -> f64 {
-        let base = self.report(trace, "Baseline", osds).throughput_ops_per_sec();
+        let base = self
+            .report(trace, "Baseline", osds)
+            .throughput_ops_per_sec();
         let p = self.report(trace, policy, osds).throughput_ops_per_sec();
         p / base - 1.0
     }
@@ -49,11 +51,9 @@ pub fn run(cfg: &RunConfig, osds_list: &[u32], traces: &[&str]) -> Matrix {
     let cells: Vec<Cell> = osds_list
         .iter()
         .flat_map(|&n| {
-            traces.iter().flat_map(move |t| {
-                POLICY_NAMES
-                    .iter()
-                    .map(move |p| Cell::new(t, p, n))
-            })
+            traces
+                .iter()
+                .flat_map(move |t| POLICY_NAMES.iter().map(move |p| Cell::new(t, p, n)))
         })
         .collect();
     Matrix {
@@ -92,7 +92,13 @@ pub fn render_fig5(m: &Matrix) -> String {
             .collect();
         out.push_str(&render_table(
             &[
-                "trace", "Baseline", "CMT", "EDM-HDF", "EDM-CDF", "CMT vs base", "HDF vs base",
+                "trace",
+                "Baseline",
+                "CMT",
+                "EDM-HDF",
+                "EDM-CDF",
+                "CMT vs base",
+                "HDF vs base",
                 "CDF vs base",
             ],
             &rows,
@@ -126,7 +132,13 @@ pub fn render_fig6(m: &Matrix) -> String {
             .collect();
         out.push_str(&render_table(
             &[
-                "trace", "Baseline", "CMT", "EDM-HDF", "EDM-CDF", "CMT vs base", "HDF vs base",
+                "trace",
+                "Baseline",
+                "CMT",
+                "EDM-HDF",
+                "EDM-CDF",
+                "CMT vs base",
+                "HDF vs base",
                 "CDF vs base",
             ],
             &rows,

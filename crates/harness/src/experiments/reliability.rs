@@ -105,7 +105,7 @@ pub fn run(cfg: &RunConfig, osds: u32, trace_name: &str) -> Reliability {
     let lifetimes = project(
         &spec,
         report.per_osd.iter().map(|o| o.erase_count),
-        std::iter::repeat(0).take(report.per_osd.len()),
+        std::iter::repeat_n(0, report.per_osd.len()),
     );
     let periods_to_wearout: Vec<f64> = lifetimes.iter().map(|l| l.periods_to_wearout).collect();
     let groups = (0..placement.groups)

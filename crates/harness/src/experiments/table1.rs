@@ -104,7 +104,11 @@ mod tests {
     fn counts_exact_sizes_close() {
         for row in run(0.01) {
             assert_eq!(row.measured.file_cnt, row.target_files, "{}", row.workload);
-            assert_eq!(row.measured.write_cnt, row.target_writes, "{}", row.workload);
+            assert_eq!(
+                row.measured.write_cnt, row.target_writes,
+                "{}",
+                row.workload
+            );
             assert_eq!(row.measured.read_cnt, row.target_reads, "{}", row.workload);
             assert!(
                 row.worst_relative_error() < 0.05,

@@ -2,12 +2,11 @@
 //!
 //! The simulation itself is a deterministic single-threaded DES; the
 //! parallelism lives here: the (trace × policy × cluster-size) matrix fans
-//! out over crossbeam scoped threads, one cell per thread, bounded by the
-//! available cores.
+//! out over scoped threads pulling cells off a shared queue, bounded by
+//! the available cores.
 
 use std::collections::HashMap;
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use edm_cluster::{run_trace, Cluster, ClusterConfig, MigrationSchedule, RunReport, SimOptions};
 use edm_core::make_policy;
@@ -94,20 +93,22 @@ pub fn run_matrix(cells: &[Cell], cfg: &RunConfig) -> HashMap<Cell, RunReport> {
         .map(|n| n.get())
         .unwrap_or(4)
         .min(cells.len().max(1));
-    let queue = Mutex::new(cells.iter().cloned().collect::<Vec<_>>());
-    crossbeam::scope(|scope| {
+    let queue = Mutex::new(cells.to_vec());
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let Some(cell) = queue.lock().pop() else {
+            scope.spawn(|| loop {
+                let Some(cell) = queue.lock().expect("queue poisoned").pop() else {
                     break;
                 };
                 let report = run_cell(&cell, cfg);
-                results.lock().insert(cell, report);
+                results
+                    .lock()
+                    .expect("results poisoned")
+                    .insert(cell, report);
             });
         }
-    })
-    .expect("worker panicked");
-    results.into_inner()
+    });
+    results.into_inner().expect("results poisoned")
 }
 
 #[cfg(test)]
@@ -146,14 +147,29 @@ mod tests {
 
     #[test]
     fn matrix_results_match_single_runs() {
-        // Parallel execution must not perturb the deterministic DES.
-        let cell = Cell::new("deasna", "EDM-CDF", 8);
-        let solo = run_cell(&cell, &tiny());
-        let matrix = run_matrix(std::slice::from_ref(&cell), &tiny());
-        let from_matrix = &matrix[&cell];
-        assert_eq!(solo.duration_us, from_matrix.duration_us);
-        assert_eq!(solo.aggregate_erases(), from_matrix.aggregate_erases());
-        assert_eq!(solo.moved_objects, from_matrix.moved_objects);
+        // Parallel execution must not perturb the deterministic DES: every
+        // cell of a mixed trace × policy matrix must reproduce its solo
+        // run exactly, however the worker threads interleave.
+        let cells = vec![
+            Cell::new("deasna", "EDM-CDF", 8),
+            Cell::new("deasna", "Baseline", 8),
+            Cell::new("home02", "EDM-HDF", 8),
+            Cell::new("lair62", "CMT", 8),
+        ];
+        let matrix = run_matrix(&cells, &tiny());
+        assert_eq!(matrix.len(), cells.len());
+        for cell in &cells {
+            let solo = run_cell(cell, &tiny());
+            let from_matrix = &matrix[cell];
+            assert_eq!(solo.duration_us, from_matrix.duration_us, "{cell:?}");
+            assert_eq!(
+                solo.aggregate_erases(),
+                from_matrix.aggregate_erases(),
+                "{cell:?}"
+            );
+            assert_eq!(solo.moved_objects, from_matrix.moved_objects, "{cell:?}");
+            assert_eq!(solo.completed_ops, from_matrix.completed_ops, "{cell:?}");
+        }
     }
 
     #[test]

@@ -19,14 +19,14 @@
 //! Unknown keys are rejected (typos should fail loudly, not silently run
 //! a different experiment).
 
+use edm_cluster::NoMigration;
 use edm_cluster::{
     run_trace, Cluster, ClusterConfig, FailureSpec, MigrationSchedule, Migrator, OsdId, RunReport,
     SimOptions,
 };
 use edm_core::{Cmt, CmtConfig, EdmCdf, EdmConfig, EdmHdf};
-use edm_cluster::NoMigration;
-use edm_workload::synth::synthesize;
 use edm_workload::harvard;
+use edm_workload::synth::synthesize;
 
 /// A parsed scenario, ready to run.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,10 +146,7 @@ impl Scenario {
                         None => false,
                         Some("rebuild") => true,
                         Some(other) => {
-                            return Err(format!(
-                                "line {}: unknown fail option {other:?}",
-                                no + 1
-                            ))
+                            return Err(format!("line {}: unknown fail option {other:?}", no + 1))
                         }
                     };
                     s.failures.push(FailureSpec {

@@ -119,6 +119,15 @@ impl Block {
             .filter(|(_, s)| **s == PageState::Valid)
             .map(|(i, _)| i as u32)
     }
+
+    /// First valid page at index `from` or later, if any. Lets the GC walk
+    /// a victim's live pages with a cursor instead of collecting them —
+    /// states may change (invalidations) between steps without the cursor
+    /// going stale, because relocation only ever invalidates pages it has
+    /// already passed.
+    pub fn next_valid_page(&self, from: u32) -> Option<u32> {
+        (from..self.pages_per_block()).find(|&i| self.pages[i as usize] == PageState::Valid)
+    }
 }
 
 #[cfg(test)]
@@ -207,5 +216,25 @@ mod tests {
         b.invalidate(1);
         let idx: Vec<u32> = b.valid_page_indices().collect();
         assert_eq!(idx, vec![0, 2]);
+    }
+
+    #[test]
+    fn next_valid_page_walks_like_the_index_list() {
+        let mut b = Block::new(6);
+        for _ in 0..5 {
+            b.program();
+        }
+        b.invalidate(0);
+        b.invalidate(3);
+        let mut cursor = Vec::new();
+        let mut from = 0;
+        while let Some(p) = b.next_valid_page(from) {
+            cursor.push(p);
+            from = p + 1;
+        }
+        let listed: Vec<u32> = b.valid_page_indices().collect();
+        assert_eq!(cursor, listed);
+        assert_eq!(cursor, vec![1, 2, 4]);
+        assert_eq!(b.next_valid_page(5), None);
     }
 }

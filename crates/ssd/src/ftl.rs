@@ -10,15 +10,16 @@
 //! Out-of-place update: a logical overwrite programs a fresh physical page
 //! and invalidates the old copy; erases happen only through GC.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
 use crate::block::Block;
 use crate::geometry::Geometry;
 use crate::latency::{DeviceTime, LatencyModel};
+use crate::victim::VictimBuckets;
 use crate::wear::WearStats;
-use crate::wear_leveling::{static_leveling_due, FreePool, WearLevelConfig};
+use crate::wear_leveling::{FreePool, SpreadTracker, WearLevelConfig};
 
 /// A physical page address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -115,10 +116,16 @@ pub struct PageLevelFtl {
     /// Current target of GC relocation writes (kept separate from `active`
     /// so a GC pass can always make forward progress).
     gc_active: Option<u32>,
-    /// Full blocks eligible as GC victims, ordered by (valid pages, index).
-    candidates: BTreeSet<(u32, u32)>,
-    /// Retirement order of full blocks (for the FIFO victim policy).
+    /// Full blocks eligible as GC victims, bucketed by valid-page count
+    /// so the per-invalidation update is O(1).
+    candidates: VictimBuckets,
+    /// Retirement order of full blocks. Maintained only under the FIFO
+    /// victim policy — the other policies never read it, and feeding it
+    /// anyway made it grow without bound (nothing ever drained it).
     retire_order: VecDeque<u32>,
+    /// Incremental per-block erase-count extremes for the static-leveling
+    /// trigger (replaces an O(blocks) scan per GC collection).
+    spread: SpreadTracker,
     /// Monotonic retirement stamps (age proxy for cost-benefit cleaning).
     retire_seq: Vec<u64>,
     next_seq: u64,
@@ -150,8 +157,9 @@ impl PageLevelFtl {
             free_blocks: FreePool::new(0..geometry.blocks, config.wear_leveling.dynamic),
             active: None,
             gc_active: None,
-            candidates: BTreeSet::new(),
+            candidates: VictimBuckets::new(geometry.blocks, geometry.pages_per_block),
             retire_order: VecDeque::new(),
+            spread: SpreadTracker::new(geometry.blocks),
             retire_seq: vec![0; geometry.blocks as usize],
             next_seq: 0,
             mapped_pages: 0,
@@ -190,60 +198,174 @@ impl PageLevelFtl {
         (lpn as usize) < self.l2p.len() && self.l2p[lpn as usize].is_some()
     }
 
-    fn check_range(&self, lpn: u64) -> Result<(), FtlError> {
-        let exported = self.geometry.exported_pages();
-        if lpn >= exported {
-            return Err(FtlError::OutOfRange { lpn, exported });
-        }
-        Ok(())
-    }
-
     /// Host read of one logical page. Unmapped pages read as erased data
     /// and still cost a page read (the device cannot tell).
     pub fn read(&mut self, lpn: u64, latency: &LatencyModel) -> Result<DeviceTime, FtlError> {
-        self.check_range(lpn)?;
-        self.stats.host_page_reads += 1;
-        Ok(latency.read_pages(1))
+        self.read_span(lpn, 1, latency)
     }
 
     /// Host write of one logical page (out-of-place update). Returns the
     /// device time consumed, including any garbage collection it triggered.
     pub fn write(&mut self, lpn: u64, latency: &LatencyModel) -> Result<DeviceTime, FtlError> {
-        self.check_range(lpn)?;
-        let overwrite = self.l2p[lpn as usize].is_some();
-        if !overwrite && self.mapped_pages >= self.geometry.exported_pages() {
-            return Err(FtlError::DeviceFull);
-        }
-        let mut elapsed = DeviceTime::ZERO;
-        elapsed += self.ensure_host_active(latency)?;
-        // Invalidate the superseded copy before programming the new one so
-        // a concurrent GC pass never relocates stale data.
-        if let Some(old) = self.l2p[lpn as usize].take() {
-            self.invalidate_phys(old);
-        } else {
-            self.mapped_pages += 1;
-        }
-        let active = self.active.expect("ensure_host_active provides a block");
-        let page = self.program_into(active, lpn);
-        self.l2p[lpn as usize] = Some(PhysPage {
-            block: active,
-            page,
-        });
-        if self.blocks[active as usize].is_full() {
-            self.retire(active);
-            self.active = None;
-        }
-        self.stats.host_page_writes += 1;
-        elapsed += latency.write_pages(1);
-        Ok(elapsed)
+        self.write_span(lpn, 1, latency)
     }
 
     /// Unmaps a logical page (object deletion / hole punch). Free.
     pub fn trim(&mut self, lpn: u64) -> Result<(), FtlError> {
-        self.check_range(lpn)?;
-        if let Some(phys) = self.l2p[lpn as usize].take() {
-            self.invalidate_phys(phys);
-            self.mapped_pages -= 1;
+        self.trim_span(lpn, 1)
+    }
+
+    /// Host read of `n` consecutive logical pages starting at `start`.
+    ///
+    /// Equivalent to `n` single-page reads, but validates the range once
+    /// and charges the latency in one batch. On a span that runs past the
+    /// exported capacity the in-range prefix is still accounted (exactly
+    /// what the per-page loop did before failing) and the error carries
+    /// the first out-of-range page.
+    pub fn read_span(
+        &mut self,
+        start: u64,
+        n: u64,
+        latency: &LatencyModel,
+    ) -> Result<DeviceTime, FtlError> {
+        if n == 0 {
+            return Ok(DeviceTime::ZERO);
+        }
+        let exported = self.geometry.exported_pages();
+        if start >= exported {
+            return Err(FtlError::OutOfRange {
+                lpn: start,
+                exported,
+            });
+        }
+        let in_range = n.min(exported - start);
+        self.stats.host_page_reads += in_range;
+        if in_range < n {
+            return Err(FtlError::OutOfRange {
+                lpn: exported,
+                exported,
+            });
+        }
+        Ok(latency.read_pages(n))
+    }
+
+    /// Host write of `n` consecutive logical pages starting at `start`
+    /// (out-of-place updates). Returns the device time consumed, including
+    /// any garbage collection the span triggered.
+    ///
+    /// Equivalent to `n` single-page writes: same mapping evolution, same
+    /// GC decisions, same total time (per-page program latencies are
+    /// linear, so they are charged in one batch at the end). A mid-span
+    /// error (device full, or the span running past the exported range)
+    /// leaves the successfully written prefix in place, as the per-page
+    /// loop did.
+    pub fn write_span(
+        &mut self,
+        start: u64,
+        n: u64,
+        latency: &LatencyModel,
+    ) -> Result<DeviceTime, FtlError> {
+        if n == 0 {
+            return Ok(DeviceTime::ZERO);
+        }
+        let exported = self.geometry.exported_pages();
+        if start >= exported {
+            return Err(FtlError::OutOfRange {
+                lpn: start,
+                exported,
+            });
+        }
+        let in_range = n.min(exported - start);
+        let mut result = if in_range < n {
+            Err(FtlError::OutOfRange {
+                lpn: exported,
+                exported,
+            })
+        } else {
+            Ok(())
+        };
+        let mut elapsed = DeviceTime::ZERO;
+        let mut written = 0u64;
+        let end = start + in_range;
+        let mut lpn = start;
+        // Walk the span in runs bounded by the active block's free pages:
+        // the per-page loop re-checks the active block on every write, but
+        // within a run it cannot fill up, so the block setup (and the GC
+        // trigger) happens once per run instead of once per page.
+        'span: while lpn < end {
+            // The per-page path reports DeviceFull *before* it would
+            // trigger GC for that page; probe the run's first page the
+            // same way so an error leaves identical wear behind.
+            if self.l2p[lpn as usize].is_none() && self.mapped_pages >= exported {
+                result = Err(FtlError::DeviceFull);
+                break;
+            }
+            match self.ensure_host_active(latency) {
+                Ok(gc_time) => elapsed += gc_time,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+            let active = self.active.expect("ensure_host_active provides a block");
+            let run = (end - lpn).min(self.blocks[active as usize].free_pages() as u64);
+            for _ in 0..run {
+                if let Some(old) = self.l2p[lpn as usize].take() {
+                    self.invalidate_phys(old);
+                } else {
+                    if self.mapped_pages >= exported {
+                        result = Err(FtlError::DeviceFull);
+                        break 'span;
+                    }
+                    self.mapped_pages += 1;
+                }
+                let page = self.program_into(active, lpn);
+                self.l2p[lpn as usize] = Some(PhysPage {
+                    block: active,
+                    page,
+                });
+                written += 1;
+                lpn += 1;
+            }
+            if self.blocks[active as usize].is_full() {
+                self.retire(active);
+                self.active = None;
+            }
+        }
+        self.stats.host_page_writes += written;
+        result?;
+        Ok(elapsed + latency.write_pages(written))
+    }
+
+    /// Unmaps `n` consecutive logical pages starting at `start`. Free.
+    ///
+    /// Like the per-page loop, an over-long span still trims the in-range
+    /// prefix before reporting the first out-of-range page.
+    pub fn trim_span(&mut self, start: u64, n: u64) -> Result<(), FtlError> {
+        if n == 0 {
+            return Ok(());
+        }
+        let exported = self.geometry.exported_pages();
+        if start >= exported {
+            return Err(FtlError::OutOfRange {
+                lpn: start,
+                exported,
+            });
+        }
+        let in_range = n.min(exported - start);
+        let mut unmapped = 0u64;
+        for lpn in start..start + in_range {
+            if let Some(phys) = self.l2p[lpn as usize].take() {
+                self.invalidate_phys(phys);
+                unmapped += 1;
+            }
+        }
+        self.mapped_pages -= unmapped;
+        if in_range < n {
+            return Err(FtlError::OutOfRange {
+                lpn: exported,
+                exported,
+            });
         }
         Ok(())
     }
@@ -259,22 +381,21 @@ impl PageLevelFtl {
 
     fn invalidate_phys(&mut self, phys: PhysPage) {
         let block = phys.block;
-        let old_valid = self.blocks[block as usize].valid_pages();
-        // Keep the victim-candidate ordering in sync with the new count.
-        let was_candidate = self.candidates.remove(&(old_valid, block));
+        // Keep the victim-candidate bucketing in sync with the new count;
+        // a no-op for non-candidates (active blocks, GC victims in flight).
+        self.candidates.decrement(block);
         self.blocks[block as usize].invalidate(phys.page);
         self.p2l[phys.linear(self.geometry.pages_per_block)] = None;
-        if was_candidate {
-            self.candidates.insert((old_valid - 1, block));
-        }
     }
 
     /// Moves a just-filled block into the victim-candidate set.
     fn retire(&mut self, block: u32) {
         debug_assert!(self.blocks[block as usize].is_full());
         self.candidates
-            .insert((self.blocks[block as usize].valid_pages(), block));
-        self.retire_order.push_back(block);
+            .insert(block, self.blocks[block as usize].valid_pages());
+        if self.config.victim_policy == VictimPolicy::Fifo {
+            self.retire_order.push_back(block);
+        }
         self.next_seq += 1;
         self.retire_seq[block as usize] = self.next_seq;
     }
@@ -285,7 +406,7 @@ impl PageLevelFtl {
     fn select_victim(&mut self) -> Option<(u32, u32)> {
         match self.config.victim_policy {
             VictimPolicy::Greedy => {
-                let &(valid, victim) = self.candidates.iter().next()?;
+                let (valid, victim) = self.candidates.peek_min()?;
                 if valid == self.geometry.pages_per_block {
                     // Every candidate is fully valid: erasing frees nothing.
                     return None;
@@ -294,17 +415,26 @@ impl PageLevelFtl {
             }
             VictimPolicy::CostBenefit => {
                 // Linear scan: maximize age·(1−u)/(1+u); fully valid blocks
-                // score 0 and are skipped unless nothing else exists.
+                // score 0 and are skipped unless nothing else exists. Ties
+                // break toward the smallest (valid, block) pair — the
+                // element the former ordered scan kept by encountering it
+                // first.
                 let np = self.geometry.pages_per_block as f64;
                 let mut best: Option<(f64, u32, u32)> = None;
-                for &(valid, block) in &self.candidates {
+                for (valid, block) in self.candidates.iter() {
                     if valid == self.geometry.pages_per_block {
                         continue;
                     }
                     let u = valid as f64 / np;
                     let age = (self.next_seq - self.retire_seq[block as usize] + 1) as f64;
                     let score = age * (1.0 - u) / (1.0 + u);
-                    if best.is_none_or(|(b, _, _)| score > b) {
+                    let better = match best {
+                        None => true,
+                        Some((bs, bv, bb)) => {
+                            score > bs || (score == bs && (valid, block) < (bv, bb))
+                        }
+                    };
+                    if better {
                         best = Some((score, valid, block));
                     }
                 }
@@ -316,9 +446,16 @@ impl PageLevelFtl {
                 // greedy, FIFO reclaims even fully-valid blocks (a zero-gain
                 // pass that advances the circle), so the caller bounds the
                 // number of passes per collection.
+                //
+                // Stale entries come only from static leveling reclaiming a
+                // mid-queue block, at most one per collection, and every
+                // entry surfaces here within one tour of the queue — so the
+                // deque stays O(blocks). Entries are deliberately *not*
+                // purged when the block is erased: if the block refills and
+                // retires again before its old entry surfaces, FIFO serves
+                // it at its oldest position.
                 while let Some(&block) = self.retire_order.front() {
-                    let valid = self.blocks[block as usize].valid_pages();
-                    if self.candidates.contains(&(valid, block)) {
+                    if let Some(valid) = self.candidates.valid_of(block) {
                         return Some((valid, block));
                     }
                     self.retire_order.pop_front();
@@ -351,8 +488,7 @@ impl PageLevelFtl {
         // reclaimable block, so 2× that means no progress is possible.
         let mut passes = 0usize;
         let max_passes = 2 * self.geometry.blocks as usize;
-        while self.free_blocks.len() < self.config.gc_high_watermark as usize
-            && passes < max_passes
+        while self.free_blocks.len() < self.config.gc_high_watermark as usize && passes < max_passes
         {
             match self.gc_pass(latency)? {
                 Some(t) => elapsed += t,
@@ -373,20 +509,24 @@ impl PageLevelFtl {
         if threshold == 0 || self.free_blocks.len() < 2 {
             return Ok(DeviceTime::ZERO);
         }
-        let counts: Vec<u64> = self.blocks.iter().map(|b| b.erase_count()).collect();
-        if !static_leveling_due(&counts, threshold) {
+        if !self.spread.due(threshold) {
             return Ok(DeviceTime::ZERO);
         }
         // Least-worn candidate block (full, not active): its content is
-        // cold by construction — hot data would have churned it.
-        let Some(&(valid, victim)) = self
-            .candidates
-            .iter()
-            .min_by_key(|&&(_, b)| self.blocks[b as usize].erase_count())
-        else {
+        // cold by construction — hot data would have churned it. Ties
+        // break toward the smallest (valid, block), matching the first
+        // minimum of the former ordered scan.
+        let mut best: Option<(u64, u32, u32)> = None;
+        for (valid, block) in self.candidates.iter() {
+            let key = (self.blocks[block as usize].erase_count(), valid, block);
+            if best.is_none() || key < best.expect("just checked") {
+                best = Some(key);
+            }
+        }
+        let Some((_, valid, victim)) = best else {
             return Ok(DeviceTime::ZERO);
         };
-        self.candidates.remove(&(valid, victim));
+        self.candidates.remove(victim);
         if self.retire_order.front() == Some(&victim) {
             self.retire_order.pop_front();
         }
@@ -400,7 +540,7 @@ impl PageLevelFtl {
         let Some((valid, victim)) = self.select_victim() else {
             return Ok(None);
         };
-        self.candidates.remove(&(valid, victim));
+        self.candidates.remove(victim);
         if self.retire_order.front() == Some(&victim) {
             self.retire_order.pop_front();
         }
@@ -417,9 +557,13 @@ impl PageLevelFtl {
         valid: u32,
         latency: &LatencyModel,
     ) -> Result<DeviceTime, FtlError> {
-        let live: Vec<u32> = self.blocks[victim as usize].valid_page_indices().collect();
-        debug_assert_eq!(live.len() as u32, valid);
-        for page in live {
+        // Walk the victim's live pages with a cursor instead of collecting
+        // them first: relocation only invalidates pages the cursor has
+        // already passed, so the walk stays sound and allocation-free.
+        let mut moved = 0u32;
+        let mut cursor = 0u32;
+        while let Some(page) = self.blocks[victim as usize].next_valid_page(cursor) {
+            cursor = page + 1;
             let lpn = self.p2l[PhysPage {
                 block: victim,
                 page,
@@ -444,10 +588,13 @@ impl PageLevelFtl {
                 self.retire(dest);
                 self.gc_active = None;
             }
+            moved += 1;
         }
+        debug_assert_eq!(moved, valid);
 
         self.blocks[victim as usize].erase();
         let wear = self.blocks[victim as usize].erase_count();
+        self.spread.record_erase(wear - 1);
         self.free_blocks.push(victim, wear);
         self.stats.block_erases += 1;
         self.stats.gc_victims += 1;
@@ -506,7 +653,8 @@ impl PageLevelFtl {
                 }
             }
         }
-        for &(valid, block) in &self.candidates {
+        self.candidates.check_consistency()?;
+        for (valid, block) in self.candidates.iter() {
             if self.blocks[block as usize].valid_pages() != valid {
                 return Err(format!(
                     "candidate set stale for block {block}: recorded {valid}, actual {}",
@@ -521,6 +669,42 @@ impl PageLevelFtl {
             if !self.blocks[f as usize].is_erased() {
                 return Err(format!("free-pool block {f} is not erased"));
             }
+        }
+        if self.config.victim_policy != VictimPolicy::Fifo && !self.retire_order.is_empty() {
+            return Err(format!(
+                "retire_order has {} entries under {:?} (only FIFO feeds it)",
+                self.retire_order.len(),
+                self.config.victim_policy
+            ));
+        }
+        // FIFO's deque holds each candidate at most once plus stale
+        // entries that drain within one queue tour; far under 2×blocks.
+        if self.retire_order.len() > 2 * self.geometry.blocks as usize {
+            return Err(format!(
+                "retire_order grew to {} entries for {} blocks",
+                self.retire_order.len(),
+                self.geometry.blocks
+            ));
+        }
+        let tracked_min = self.spread.min();
+        let tracked_max = self.spread.max();
+        let actual_min = self
+            .blocks
+            .iter()
+            .map(|b| b.erase_count())
+            .min()
+            .unwrap_or(0);
+        let actual_max = self
+            .blocks
+            .iter()
+            .map(|b| b.erase_count())
+            .max()
+            .unwrap_or(0);
+        if (tracked_min, tracked_max) != (actual_min, actual_max) {
+            return Err(format!(
+                "spread tracker ({tracked_min}, {tracked_max}) disagrees with \
+                 erase counts ({actual_min}, {actual_max})"
+            ));
         }
         Ok(())
     }
@@ -679,7 +863,9 @@ mod tests {
         let mut rng = 12345u64;
         for i in 0..20_000u64 {
             // Uniform overwrites spread across the live set...
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             uniform.write(rng % live, &lat).unwrap();
             // ...skewed overwrites hit only a tenth of it.
             skewed.write(i % (live / 10), &lat).unwrap();
@@ -720,7 +906,9 @@ mod victim_policy_tests {
         // Skewed overwrites: 90 % of writes to 10 % of pages.
         let mut x = 0xABCDEFu64;
         for _ in 0..30_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = x >> 11;
             let lpn = if r % 10 < 9 {
                 r % (live / 10).max(1)
@@ -816,7 +1004,11 @@ mod cost_benefit_tests {
             for _ in 0..25_000 {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let r = x >> 9;
-                let lpn = if r % 10 < 9 { r % (live / 10).max(1) } else { r % live };
+                let lpn = if r % 10 < 9 {
+                    r % (live / 10).max(1)
+                } else {
+                    r % live
+                };
                 ftl.write(lpn, &lat).unwrap();
             }
             ftl.check_invariants().unwrap();

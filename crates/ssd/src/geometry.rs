@@ -42,8 +42,7 @@ impl Geometry {
         let exported_pages = exported_bytes.div_ceil(g.page_size);
         // raw = exported / (1 - op); round blocks up and keep at least the
         // minimum pool the GC needs to make forward progress.
-        let raw_pages =
-            (exported_pages * 1000).div_ceil(1000 - g.over_provision_ppt as u64);
+        let raw_pages = (exported_pages * 1000).div_ceil(1000 - g.over_provision_ppt as u64);
         let blocks = raw_pages
             .div_ceil(g.pages_per_block as u64)
             .max(Self::MIN_BLOCKS as u64) as u32;
@@ -143,16 +142,22 @@ mod tests {
 
     #[test]
     fn validate_rejects_degenerate_geometry() {
-        let mut g = Geometry::default();
-        g.page_size = 0;
+        let g = Geometry {
+            page_size: 0,
+            ..Geometry::default()
+        };
         assert!(g.validate().is_err());
 
-        let mut g = Geometry::default();
-        g.blocks = 2;
+        let g = Geometry {
+            blocks: 2,
+            ..Geometry::default()
+        };
         assert!(g.validate().is_err());
 
-        let mut g = Geometry::default();
-        g.over_provision_ppt = 1000;
+        let g = Geometry {
+            over_provision_ppt: 1000,
+            ..Geometry::default()
+        };
         assert!(g.validate().is_err());
     }
 

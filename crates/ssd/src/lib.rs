@@ -40,6 +40,7 @@ pub mod ftl;
 pub mod geometry;
 pub mod latency;
 pub mod ssd;
+pub mod victim;
 pub mod wear;
 pub mod wear_leveling;
 
@@ -48,5 +49,6 @@ pub use ftl::{FtlConfig, FtlError, PageLevelFtl, PhysPage, VictimPolicy};
 pub use geometry::Geometry;
 pub use latency::{DeviceTime, LatencyModel};
 pub use ssd::{Ssd, SsdSnapshot};
+pub use victim::VictimBuckets;
 pub use wear::WearStats;
-pub use wear_leveling::{FreePool, WearLevelConfig};
+pub use wear_leveling::{FreePool, SpreadTracker, WearLevelConfig};

@@ -94,39 +94,31 @@ impl Ssd {
 
     /// Reads `len` bytes starting at logical byte `offset`.
     pub fn read(&mut self, offset: u64, len: u64) -> Result<DeviceTime, FtlError> {
-        let mut elapsed = DeviceTime::ZERO;
-        for lpn in self.page_span(offset, len) {
-            elapsed += self.ftl.read(lpn, &self.latency.clone())?;
-        }
-        Ok(elapsed)
+        let (start, n) = self.page_span(offset, len);
+        self.ftl.read_span(start, n, &self.latency)
     }
 
     /// Writes `len` bytes starting at logical byte `offset` (out-of-place).
     pub fn write(&mut self, offset: u64, len: u64) -> Result<DeviceTime, FtlError> {
-        let lat = self.latency;
-        let mut elapsed = DeviceTime::ZERO;
-        for lpn in self.page_span(offset, len) {
-            elapsed += self.ftl.write(lpn, &lat)?;
-        }
-        Ok(elapsed)
+        let (start, n) = self.page_span(offset, len);
+        self.ftl.write_span(start, n, &self.latency)
     }
 
     /// Unmaps `len` bytes starting at logical byte `offset`.
     pub fn trim(&mut self, offset: u64, len: u64) -> Result<(), FtlError> {
-        for lpn in self.page_span(offset, len) {
-            self.ftl.trim(lpn)?;
-        }
-        Ok(())
+        let (start, n) = self.page_span(offset, len);
+        self.ftl.trim_span(start, n)
     }
 
-    fn page_span(&self, offset: u64, len: u64) -> std::ops::Range<u64> {
+    /// Converts a byte extent to `(first page, page count)`.
+    fn page_span(&self, offset: u64, len: u64) -> (u64, u64) {
         if len == 0 {
-            return 0..0;
+            return (0, 0);
         }
         let ps = self.geometry().page_size;
         let first = offset / ps;
         let last = (offset + len - 1) / ps;
-        first..last + 1
+        (first, last - first + 1)
     }
 
     /// Steady-state warm-up (§IV): the paper first writes dummy data equal
@@ -141,12 +133,23 @@ impl Ssd {
         let lat = self.latency;
         let exported = self.geometry().exported_pages();
         // Pass 1: rewrite live data (keeps it live, churns blocks).
-        for lpn in 0..exported {
-            if self.ftl.is_mapped(lpn) {
-                self.ftl.write(lpn, &lat)?;
+        // Rewrites never change which pages are mapped, so consecutive
+        // mapped runs can go through the batched span path.
+        let mut run_start: Option<u64> = None;
+        for lpn in 0..=exported {
+            let mapped = lpn < exported && self.ftl.is_mapped(lpn);
+            match (run_start, mapped) {
+                (None, true) => run_start = Some(lpn),
+                (Some(start), false) => {
+                    self.ftl.write_span(start, lpn - start, &lat)?;
+                    run_start = None;
+                }
+                _ => {}
             }
         }
         // Pass 2: cycle the free logical space through the device once.
+        // This one stays per-page: the write/trim interleaving is what
+        // bounds the live footprint while every block gets exercised.
         for lpn in 0..exported {
             if !self.ftl.is_mapped(lpn) {
                 self.ftl.write(lpn, &lat)?;

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Cumulative wear counters of one SSD.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WearStats {
     /// Pages written by the host (`Wc` in the paper, Eq. 1). Excludes GC
     /// relocation writes, which are accounted separately as amplification.

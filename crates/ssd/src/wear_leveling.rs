@@ -52,52 +52,53 @@ impl Default for WearLevelConfig {
 
 /// A free-block pool that can hand out blocks FIFO (leveling off) or
 /// least-worn-first (dynamic leveling).
+///
+/// Exactly one of the two orderings is maintained, chosen at construction:
+/// keeping both in lock-step forced the dynamic `pop` to scan the FIFO
+/// deque for the block it had just taken out of the wear order, an O(n)
+/// removal on the write hot path.
 #[derive(Debug, Clone)]
 pub struct FreePool {
-    /// FIFO order (always maintained; cheap).
+    /// FIFO order; populated only when dynamic leveling is off.
     fifo: std::collections::VecDeque<u32>,
-    /// Wear order: (erase_count, block). Maintained only when dynamic
-    /// leveling is on.
+    /// Wear order: (erase_count, block); populated only under dynamic
+    /// leveling.
     by_wear: BTreeSet<(u64, u32)>,
     dynamic: bool,
 }
 
 impl FreePool {
     pub fn new(blocks: impl IntoIterator<Item = u32>, dynamic: bool) -> Self {
-        let fifo: std::collections::VecDeque<u32> = blocks.into_iter().collect();
-        let by_wear = if dynamic {
-            fifo.iter().map(|&b| (0u64, b)).collect()
-        } else {
-            BTreeSet::new()
-        };
-        FreePool {
-            fifo,
-            by_wear,
+        let mut pool = FreePool {
+            fifo: std::collections::VecDeque::new(),
+            by_wear: BTreeSet::new(),
             dynamic,
+        };
+        for b in blocks {
+            pool.push(b, 0);
         }
+        pool
     }
 
     pub fn len(&self) -> usize {
-        self.fifo.len()
+        if self.dynamic {
+            self.by_wear.len()
+        } else {
+            self.fifo.len()
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.fifo.is_empty()
+        self.len() == 0
     }
 
-    /// Returns a free block: least-worn first under dynamic leveling,
-    /// FIFO otherwise.
+    /// Returns a free block: least-worn first under dynamic leveling
+    /// (ties by block id), FIFO otherwise.
     pub fn pop(&mut self) -> Option<u32> {
         if self.dynamic {
-            let &(wear, block) = self.by_wear.iter().next()?;
-            self.by_wear.remove(&(wear, block));
-            let pos = self
-                .fifo
-                .iter()
-                .position(|&b| b == block)
-                .expect("pools agree");
-            self.fifo.remove(pos);
-            Some(block)
+            let first = *self.by_wear.iter().next()?;
+            self.by_wear.remove(&first);
+            Some(first.1)
         } else {
             self.fifo.pop_front()
         }
@@ -105,19 +106,82 @@ impl FreePool {
 
     /// Returns an erased block to the pool with its current wear.
     pub fn push(&mut self, block: u32, erase_count: u64) {
-        self.fifo.push_back(block);
         if self.dynamic {
             self.by_wear.insert((erase_count, block));
+        } else {
+            self.fifo.push_back(block);
         }
     }
 
     pub fn contains(&self, block: u32) -> bool {
-        self.fifo.contains(&block)
+        if self.dynamic {
+            self.by_wear.iter().any(|&(_, b)| b == block)
+        } else {
+            self.fifo.contains(&block)
+        }
     }
 
-    /// Iterates over the pool's blocks (FIFO order).
+    /// Iterates over the pool's blocks (FIFO or wear order, depending on
+    /// mode; one of the two sources is always empty).
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
-        self.fifo.iter().copied()
+        self.fifo
+            .iter()
+            .copied()
+            .chain(self.by_wear.iter().map(|&(_, b)| b))
+    }
+}
+
+/// Incremental erase-count spread: a histogram over counts with cached
+/// min/max, updated in O(1) per erase. Replaces scanning every block's
+/// erase count on each GC collection to evaluate the static-leveling
+/// trigger.
+#[derive(Debug, Clone)]
+pub struct SpreadTracker {
+    /// `hist[c]` = number of blocks whose erase count is `c`.
+    hist: Vec<u64>,
+    min: u64,
+    max: u64,
+}
+
+impl SpreadTracker {
+    /// All `blocks` start at erase count 0.
+    pub fn new(blocks: u32) -> Self {
+        SpreadTracker {
+            hist: vec![blocks as u64],
+            min: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one erase of a block whose count was `old` (now `old + 1`).
+    pub fn record_erase(&mut self, old: u64) {
+        let new = old + 1;
+        if self.hist.len() as u64 <= new {
+            self.hist.resize(new as usize + 1, 0);
+        }
+        self.hist[old as usize] -= 1;
+        self.hist[new as usize] += 1;
+        if new > self.max {
+            self.max = new;
+        }
+        // The bucket at `new` is non-empty, so this terminates at or
+        // before `max`.
+        while self.hist[self.min as usize] == 0 {
+            self.min += 1;
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Same trigger as [`static_leveling_due`], from the cached extremes.
+    pub fn due(&self, threshold: u64) -> bool {
+        threshold != 0 && self.max - self.min > threshold
     }
 }
 
@@ -214,5 +278,38 @@ mod tests {
         assert!(p.contains(1));
         p.pop();
         assert!(!p.contains(1));
+    }
+
+    #[test]
+    fn spread_tracker_matches_full_scan() {
+        // Drive both the tracker and a brute-force recount with the same
+        // erase sequence; min/max/due must agree at every step.
+        let mut counts = vec![0u64; 8];
+        let mut t = SpreadTracker::new(8);
+        let mut x = 42u64;
+        for _ in 0..500 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = (x >> 33) as usize % counts.len();
+            t.record_erase(counts[b]);
+            counts[b] += 1;
+            let min = *counts.iter().min().unwrap();
+            let max = *counts.iter().max().unwrap();
+            assert_eq!(t.min(), min);
+            assert_eq!(t.max(), max);
+            for threshold in [0, 1, 8, 32] {
+                assert_eq!(t.due(threshold), static_leveling_due(&counts, threshold));
+            }
+        }
+    }
+
+    #[test]
+    fn spread_tracker_initial_state() {
+        let t = SpreadTracker::new(16);
+        assert_eq!(t.min(), 0);
+        assert_eq!(t.max(), 0);
+        assert!(!t.due(1));
+        assert!(!t.due(0));
     }
 }

@@ -61,7 +61,7 @@ proptest! {
         for &lpn in model.keys() {
             prop_assert!(ftl.is_mapped(lpn));
         }
-        ftl.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        ftl.check_invariants().map_err(TestCaseError::fail)?;
     }
 
     /// Sustained overwrite pressure at high utilization never wedges the
@@ -83,7 +83,7 @@ proptest! {
         }
         prop_assert!(ftl.stats().block_erases > 0);
         prop_assert_eq!(ftl.mapped_pages(), live);
-        ftl.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        ftl.check_invariants().map_err(TestCaseError::fail)?;
     }
 
     /// The byte-granular Ssd façade: free space accounting is exact under
@@ -124,6 +124,96 @@ proptest! {
             ftl.stats().block_erases
         };
         prop_assert!(run(1000 + extra) >= run(1000));
+    }
+}
+
+mod span_equivalence_props {
+    use super::*;
+    use edm_ssd::ftl::VictimPolicy;
+    use edm_ssd::DeviceTime;
+
+    /// A span op: (start page, page count, kind).
+    #[derive(Debug, Clone, Copy)]
+    enum SpanOp {
+        Write(u64, u64),
+        Trim(u64, u64),
+        Read(u64, u64),
+    }
+
+    fn span_strategy(exported: u64) -> impl Strategy<Value = SpanOp> {
+        let extent = (0..exported, 1u64..12);
+        prop_oneof![
+            3 => extent.clone().prop_map(|(s, n)| SpanOp::Write(s, n)),
+            1 => extent.clone().prop_map(|(s, n)| SpanOp::Trim(s, n)),
+            1 => extent.prop_map(|(s, n)| SpanOp::Read(s, n)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The batched span entry points must be observationally identical
+        /// to per-page loops: same wear stats, same per-block erase
+        /// counts, same mapping, same total device time — for every
+        /// victim policy and with static leveling exercised.
+        #[test]
+        fn span_path_is_bit_identical_to_per_page(
+            ops in prop::collection::vec(span_strategy(tiny_geometry().exported_pages()), 1..200),
+            policy_idx in 0usize..3,
+            threshold in prop_oneof![Just(0u64), Just(4u64)],
+        ) {
+            let policy = [
+                VictimPolicy::Greedy,
+                VictimPolicy::Fifo,
+                VictimPolicy::CostBenefit,
+            ][policy_idx];
+            let g = tiny_geometry();
+            let mut config = FtlConfig { victim_policy: policy, ..FtlConfig::default() };
+            config.wear_leveling.static_threshold = threshold;
+            let lat = LatencyModel::PAPER;
+            let exported = g.exported_pages();
+
+            let mut span_ftl = PageLevelFtl::new(g, config);
+            let mut page_ftl = PageLevelFtl::new(g, config);
+            let mut span_time = DeviceTime::ZERO;
+            let mut page_time = DeviceTime::ZERO;
+
+            for &op in &ops {
+                match op {
+                    SpanOp::Write(start, n) => {
+                        let n = n.min(exported - start);
+                        span_time += span_ftl.write_span(start, n, &lat).unwrap();
+                        for lpn in start..start + n {
+                            page_time += page_ftl.write(lpn, &lat).unwrap();
+                        }
+                    }
+                    SpanOp::Trim(start, n) => {
+                        let n = n.min(exported - start);
+                        span_ftl.trim_span(start, n).unwrap();
+                        for lpn in start..start + n {
+                            page_ftl.trim(lpn).unwrap();
+                        }
+                    }
+                    SpanOp::Read(start, n) => {
+                        let n = n.min(exported - start);
+                        span_time += span_ftl.read_span(start, n, &lat).unwrap();
+                        for lpn in start..start + n {
+                            page_time += page_ftl.read(lpn, &lat).unwrap();
+                        }
+                    }
+                }
+            }
+
+            prop_assert_eq!(span_ftl.stats().clone(), page_ftl.stats().clone());
+            prop_assert_eq!(span_ftl.block_erase_counts(), page_ftl.block_erase_counts());
+            prop_assert_eq!(span_ftl.mapped_pages(), page_ftl.mapped_pages());
+            prop_assert_eq!(span_time, page_time);
+            for lpn in 0..exported {
+                prop_assert_eq!(span_ftl.is_mapped(lpn), page_ftl.is_mapped(lpn));
+            }
+            span_ftl.check_invariants().map_err(TestCaseError::fail)?;
+            page_ftl.check_invariants().map_err(TestCaseError::fail)?;
+        }
     }
 }
 
@@ -172,7 +262,7 @@ mod victim_policy_props {
                 ftl.write((x >> 11) % live, &lat).unwrap();
             }
             prop_assert_eq!(ftl.mapped_pages(), live);
-            ftl.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            ftl.check_invariants().map_err(TestCaseError::fail)?;
         }
 
         /// Greedy never relocates more pages than either alternative on

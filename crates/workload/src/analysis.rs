@@ -86,11 +86,7 @@ pub fn top_share(values: &[u64], fraction: f64) -> f64 {
 }
 
 /// Jaccard similarity of the top-`fraction` hot sets of two tallies.
-fn hot_overlap(
-    a: &HashMap<FileId, u64>,
-    b: &HashMap<FileId, u64>,
-    fraction: f64,
-) -> f64 {
+fn hot_overlap(a: &HashMap<FileId, u64>, b: &HashMap<FileId, u64>, fraction: f64) -> f64 {
     let top = |m: &HashMap<FileId, u64>| -> std::collections::HashSet<FileId> {
         let mut v: Vec<(FileId, u64)> = m.iter().map(|(&f, &x)| (f, x)).collect();
         v.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
@@ -117,10 +113,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     if xs.len() < 2 {
         return 0.0;
     }
-    let (mx, my) = (
-        xs.iter().sum::<f64>() / n,
-        ys.iter().sum::<f64>() / n,
-    );
+    let (mx, my) = (xs.iter().sum::<f64>() / n, ys.iter().sum::<f64>() / n);
     let mut cov = 0.0;
     let mut vx = 0.0;
     let mut vy = 0.0;

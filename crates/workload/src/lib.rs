@@ -36,8 +36,8 @@ pub mod trace;
 pub mod transform;
 pub mod zipf;
 
+pub use analysis::{profile, WorkloadProfile};
 pub use op::{FileId, FileOp, TraceRecord};
 pub use spec::{FileSizeModel, SkewProfile, WorkloadSpec};
-pub use analysis::{profile, WorkloadProfile};
 pub use trace::{Trace, TraceStats};
 pub use zipf::Zipf;

@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 
 /// Identifier of a file in a trace (maps to an inode number in the
 /// cluster; the paper places objects by `inode mod n`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FileId(pub u64);
 
 /// One file operation, as extracted from an NFS trace.
@@ -19,9 +17,15 @@ pub enum FileOp {
     Open,
     Close,
     /// Read `len` bytes at byte `offset`.
-    Read { offset: u64, len: u64 },
+    Read {
+        offset: u64,
+        len: u64,
+    },
     /// Write `len` bytes at byte `offset`.
-    Write { offset: u64, len: u64 },
+    Write {
+        offset: u64,
+        len: u64,
+    },
 }
 
 impl FileOp {
@@ -89,7 +93,14 @@ mod tests {
         assert_eq!(FileOp::Close.len(), 0);
         assert!(FileOp::Open.is_empty());
         assert_eq!(FileOp::Read { offset: 4, len: 17 }.len(), 17);
-        assert_eq!(FileOp::Write { offset: 0, len: 8192 }.len(), 8192);
+        assert_eq!(
+            FileOp::Write {
+                offset: 0,
+                len: 8192
+            }
+            .len(),
+            8192
+        );
     }
 
     #[test]

@@ -104,7 +104,12 @@ pub fn synthesize(spec: &WorkloadSpec) -> Trace {
         let total = (remaining_w + remaining_r) as f64;
         let is_write = rng.gen::<f64>() < remaining_w as f64 / total;
         let (zipf, perm, avg, remaining): (&Zipf, &Vec<u64>, u64, &mut u64) = if is_write {
-            (&write_zipf, &write_perm, spec.avg_write_size, &mut remaining_w)
+            (
+                &write_zipf,
+                &write_perm,
+                spec.avg_write_size,
+                &mut remaining_w,
+            )
         } else {
             (&read_zipf, &read_perm, spec.avg_read_size, &mut remaining_r)
         };
@@ -285,13 +290,14 @@ mod tests {
             let top20 = |want_write: bool| -> std::collections::HashSet<FileId> {
                 let mut m = std::collections::HashMap::new();
                 for r in &t.records {
-                    if r.op.is_write() == want_write && !matches!(r.op, FileOp::Open | FileOp::Close)
+                    if r.op.is_write() == want_write
+                        && !matches!(r.op, FileOp::Open | FileOp::Close)
                     {
                         *m.entry(r.file).or_insert(0u64) += 1;
                     }
                 }
                 let mut v: Vec<(FileId, u64)> = m.into_iter().collect();
-                v.sort_by(|a, b| b.1.cmp(&a.1));
+                v.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
                 v.into_iter().take(20).map(|(f, _)| f).collect()
             };
             top20(true).intersection(&top20(false)).count()
@@ -308,6 +314,10 @@ mod tests {
             let mut sp = spec();
             sp.skew.phases = phases;
             sp.skew.write_theta = 1.3;
+            // Size coupling stretches sessions of large files, which can
+            // blur which file collects the most write records; this test
+            // is about phase rotation, so isolate it.
+            sp.skew.size_coupling = 0.0;
             let t = synthesize(&sp);
             // Count writes per file in the chosen half of the record
             // stream.
@@ -323,7 +333,10 @@ mod tests {
                     *m.entry(r.file).or_insert(0u64) += 1;
                 }
             }
-            m.into_iter().max_by_key(|&(_, c)| c).expect("writes exist").0
+            m.into_iter()
+                .max_by_key(|&(_, c)| c)
+                .expect("writes exist")
+                .0
         };
         // Stationary popularity: the same file tops both halves.
         assert_eq!(hot_file(1, 0), hot_file(1, 1));

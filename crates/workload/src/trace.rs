@@ -79,12 +79,8 @@ impl Trace {
                 FileOp::Close => s.close_cnt += 1,
             }
         }
-        if s.write_cnt > 0 {
-            s.avg_write_size = s.total_write_bytes / s.write_cnt;
-        }
-        if s.read_cnt > 0 {
-            s.avg_read_size = s.total_read_bytes / s.read_cnt;
-        }
+        s.avg_write_size = s.total_write_bytes.checked_div(s.write_cnt).unwrap_or(0);
+        s.avg_read_size = s.total_read_bytes.checked_div(s.read_cnt).unwrap_or(0);
         s
     }
 

@@ -46,7 +46,10 @@ pub fn merge(name: impl Into<String>, traces: &[&Trace]) -> Trace {
 /// Scales every timestamp by `factor` (0.5 = twice as fast). Ordering is
 /// preserved; equal timestamps may collapse under heavy compression.
 pub fn dilate(trace: &Trace, factor: f64) -> Trace {
-    assert!(factor > 0.0 && factor.is_finite(), "factor must be positive");
+    assert!(
+        factor > 0.0 && factor.is_finite(),
+        "factor must be positive"
+    );
     let mut out = trace.clone();
     for r in &mut out.records {
         r.time_us = (r.time_us as f64 * factor) as u64;
@@ -94,15 +97,13 @@ mod tests {
         m.validate().unwrap();
         // Users from different sources never collide.
         let max_user_a = a.records.iter().map(|r| r.user).max().unwrap();
-        let b_users: std::collections::HashSet<u32> = m.records
-            [a.records.len()..]
+        let b_users: std::collections::HashSet<u32> = m.records[a.records.len()..]
             .iter()
             .map(|r| r.user)
             .collect();
         // (After sorting the split point isn't exact; check globally: the
         // merged trace has strictly more distinct users than either.)
-        let distinct: std::collections::HashSet<u32> =
-            m.records.iter().map(|r| r.user).collect();
+        let distinct: std::collections::HashSet<u32> = m.records.iter().map(|r| r.user).collect();
         assert!(distinct.len() > max_user_a as usize);
         let _ = b_users;
     }

@@ -11,18 +11,18 @@ use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
     (
-        1u64..60,      // file_cnt
-        0u64..400,     // write_cnt
-        0u64..400,     // read_cnt
-        1u64..40_000,  // avg_write_size
-        1u64..40_000,  // avg_read_size
-        0.0f64..1.5,   // write_theta
-        0.0f64..1.5,   // read_theta
-        0.0f64..=1.0,  // hot_overlap
-        0.0f64..=1.0,  // size_coupling
-        1u32..5,       // phases
-        1u32..20,      // users
-        any::<u64>(),  // seed
+        1u64..60,     // file_cnt
+        0u64..400,    // write_cnt
+        0u64..400,    // read_cnt
+        1u64..40_000, // avg_write_size
+        1u64..40_000, // avg_read_size
+        0.0f64..1.5,  // write_theta
+        0.0f64..1.5,  // read_theta
+        0.0f64..=1.0, // hot_overlap
+        0.0f64..=1.0, // size_coupling
+        1u32..5,      // phases
+        1u32..20,     // users
+        any::<u64>(), // seed
     )
         .prop_filter_map("need at least one op", |t| {
             let (files, w, r, aw, ar, wt, rt, ho, sc, ph, users, seed) = t;

@@ -14,8 +14,8 @@
 use std::collections::HashMap;
 
 use edm_cluster::{
-    run_trace, AccessEvent, AccessKind, Cluster, ClusterConfig, ClusterView, Migrator,
-    MoveAction, ObjectId, SimOptions,
+    run_trace, AccessEvent, AccessKind, Cluster, ClusterConfig, ClusterView, Migrator, MoveAction,
+    ObjectId, SimOptions,
 };
 use edm_core::EdmHdf;
 use edm_workload::harvard;
@@ -82,7 +82,10 @@ impl Migrator for WearRoundRobin {
 fn main() {
     let trace = synthesize(&harvard::spec("home02").scaled(0.01));
 
-    println!("{:<15} {:>10} {:>9} {:>8} {:>10}", "policy", "ops/s", "erases", "moved", "erase RSD");
+    println!(
+        "{:<15} {:>10} {:>9} {:>8} {:>10}",
+        "policy", "ops/s", "erases", "moved", "erase RSD"
+    );
     // The custom policy...
     let cluster = Cluster::build(ClusterConfig::paper(16), &trace).expect("build");
     let mut custom = WearRoundRobin::new();

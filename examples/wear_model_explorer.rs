@@ -31,7 +31,9 @@ fn measure(utilization: f64, skewed: bool) -> f64 {
     let mut x = 0x243F6A8885A308D3u64;
     let writes = live_pages * 8;
     for _ in 0..writes {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let r = x >> 11;
         let p = if skewed {
             if r % 10 < 9 {

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, release build, tests, and a perf-harness
+# smoke run. Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> edm-perf --smoke"
+./target/release/edm-perf --smoke
+
+echo "All checks passed."

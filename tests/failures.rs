@@ -4,8 +4,7 @@
 
 use edm_cluster::sim::FailureSpec;
 use edm_cluster::{
-    run_trace, Cluster, ClusterConfig, MigrationSchedule, NoMigration, OsdId, RunReport,
-    SimOptions,
+    run_trace, Cluster, ClusterConfig, MigrationSchedule, NoMigration, OsdId, RunReport, SimOptions,
 };
 use edm_core::EdmHdf;
 use edm_workload::synth::synthesize;

@@ -55,7 +55,7 @@ fn baseline_never_migrates() {
 
 #[test]
 fn hdf_reduces_wear_imbalance_vs_baseline() {
-    let trace = scaled_trace("lair62", 0.004);
+    let trace = scaled_trace("lair62", 0.008);
     let base = run_policy(&trace, 8, "Baseline");
     let hdf = run_policy(&trace, 8, "EDM-HDF");
     assert!(

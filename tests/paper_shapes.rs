@@ -3,9 +3,9 @@
 //! scaled traces, so they assert directions and orderings, not absolute
 //! numbers.
 
+use edm_cluster::MigrationSchedule;
 use edm_harness::experiments::{fig1, fig3, fig56, fig8};
 use edm_harness::runner::RunConfig;
-use edm_cluster::MigrationSchedule;
 
 fn cfg(scale: f64) -> RunConfig {
     RunConfig {

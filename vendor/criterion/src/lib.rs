@@ -1,0 +1,191 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no crates-io access, so this crate keeps the
+//! workspace's bench targets compiling and useful: `bench_function` runs
+//! the routine `sample_size` times after one warm-up and prints mean/min
+//! wall-clock (plus throughput when declared). No statistical analysis,
+//! no HTML reports, no outlier detection — for tracked numbers use the
+//! `edm-perf` binary, which writes BENCH_edm.json.
+
+use std::time::{Duration, Instant};
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        let n = b.samples.len().max(1);
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / n as u32;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let mut line = format!(
+            "{}/{}  samples: {}  mean: {}  min: {}",
+            self.name,
+            id,
+            n,
+            fmt_duration(mean),
+            fmt_duration(min)
+        );
+        if let Some(t) = &self.throughput {
+            let secs = mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(e) => {
+                    line.push_str(&format!("  thrpt: {:.3} Kelem/s", *e as f64 / secs / 1e3));
+                }
+                Throughput::Bytes(by) => {
+                    line.push_str(&format!(
+                        "  thrpt: {:.3} MiB/s",
+                        *by as f64 / secs / 1048576.0
+                    ));
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Mirrors `criterion_group!`: emits a function running each bench against
+/// a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: emits `main`, ignoring the `--bench`/`--test`
+/// flags cargo passes to harness-free targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 4, "one warm-up plus three samples");
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        let mut sum = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| sum += x, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(sum, 63);
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this workspace builds in has no crates-io access, and
+//! nothing in the repo serializes at runtime — the derives on the domain
+//! types are forward-compatibility markers. This crate provides just
+//! enough surface for those annotations to compile: marker traits with
+//! blanket impls and re-exported no-op derive macros behind the same
+//! `derive` feature flag the real crate uses.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented so any
+/// `T: Serialize` bound is satisfiable.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,20 @@
+//! No-op `serde_derive` stand-in for offline builds.
+//!
+//! This workspace never serializes anything at runtime — the derives exist
+//! so downstream code can later swap in the real serde without touching
+//! type definitions. Until then, `#[derive(Serialize, Deserialize)]`
+//! expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
