@@ -49,4 +49,4 @@ pub use migrate::{
 pub use placement::Placement;
 pub use raid::{IoKind, ObjectIo, StripeLayout};
 pub use remap::RemappingTable;
-pub use sim::{run_trace, FailureSpec, MigrationSchedule, SimOptions};
+pub use sim::{run_trace, run_trace_obs, FailureSpec, MigrationSchedule, SimOptions};

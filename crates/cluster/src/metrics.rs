@@ -24,6 +24,16 @@ pub struct ResponseSeries {
 }
 
 impl ResponseSeries {
+    /// Hard cap on the number of windows. A single op completing at a
+    /// huge virtual time used to resize the vector to its window index —
+    /// an unbounded (potentially multi-GiB) allocation; ops past the cap
+    /// now fold into the last window instead.
+    pub const MAX_WINDOWS: usize = 1 << 16;
+
+    /// Windows are grown in chunks of this many entries so a long quiet
+    /// tail costs one resize, not one per window.
+    const GROW_CHUNK: usize = 1024;
+
     pub fn new(window_us: u64) -> Self {
         assert!(window_us > 0);
         ResponseSeries {
@@ -34,18 +44,30 @@ impl ResponseSeries {
 
     /// Records one completed file op.
     pub fn record(&mut self, completion_us: u64, response_us: u64) {
-        let idx = (completion_us / self.window_us) as usize;
+        // Clamp in u64 before the usize cast: completion_us / window_us
+        // can exceed usize::MAX on 32-bit targets.
+        let idx = (completion_us / self.window_us).min((Self::MAX_WINDOWS - 1) as u64) as usize;
         if idx >= self.buckets.len() {
-            self.buckets.resize(idx + 1, (0.0, 0));
+            let len = (idx + 1)
+                .next_multiple_of(Self::GROW_CHUNK)
+                .min(Self::MAX_WINDOWS);
+            self.buckets.resize(len, (0.0, 0));
         }
         self.buckets[idx].0 += response_us as f64;
         self.buckets[idx].1 += 1;
     }
 
     /// Finished series, one point per window (empty windows yield a point
-    /// with zero ops and zero mean, keeping the time axis regular).
+    /// with zero ops and zero mean, keeping the time axis regular). The
+    /// chunked-growth slack past the last recorded window is not
+    /// reported, so the series ends at the last completion as before.
     pub fn windows(&self) -> Vec<ResponseWindow> {
-        self.buckets
+        let used = self
+            .buckets
+            .iter()
+            .rposition(|&(_, n)| n > 0)
+            .map_or(0, |i| i + 1);
+        self.buckets[..used]
             .iter()
             .enumerate()
             .map(|(i, &(sum, n))| ResponseWindow {
@@ -265,6 +287,36 @@ mod tests {
         assert_eq!(w[1].mean_response_us, 0.0);
         assert_eq!(w[2].completed_ops, 1);
         assert_eq!(w[2].start_us, 200);
+    }
+
+    /// Regression: one late-completing op used to resize the window
+    /// vector to its raw index — with a 1 µs window and a completion near
+    /// u64::MAX, an allocation of ~3 × 10^20 buckets. The cap folds such
+    /// ops into the last window instead.
+    #[test]
+    fn response_series_growth_is_capped() {
+        let mut s = ResponseSeries::new(1);
+        s.record(5, 2);
+        s.record(u64::MAX, 7);
+        let w = s.windows();
+        assert_eq!(w.len(), ResponseSeries::MAX_WINDOWS);
+        assert_eq!(w[5].completed_ops, 1);
+        let last = w.last().unwrap();
+        assert_eq!(last.completed_ops, 1);
+        assert_eq!(last.mean_response_us, 7.0);
+        // Both ops are accounted for.
+        assert_eq!(w.iter().map(|x| x.completed_ops).sum::<u64>(), 2);
+    }
+
+    /// The chunked growth must not leak empty trailing windows into the
+    /// reported series.
+    #[test]
+    fn response_series_reports_no_trailing_slack() {
+        let mut s = ResponseSeries::new(100);
+        s.record(50, 1);
+        s.record(1_500, 1); // grows the vector by a whole chunk
+        assert_eq!(s.windows().len(), 16);
+        assert!(ResponseSeries::new(7).windows().is_empty());
     }
 
     #[test]

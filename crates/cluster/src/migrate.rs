@@ -112,6 +112,20 @@ pub trait Migrator {
     /// window chosen by the simulator.
     fn plan(&mut self, view: &ClusterView) -> Vec<MoveAction>;
 
+    /// [`plan`](Self::plan) with an observability sink. The engine always
+    /// calls this entry point; policies that journal their decision
+    /// process (trigger evaluations, wear-model inputs, chosen plans)
+    /// override it and make `plan` delegate here with a no-op recorder.
+    /// Recording must be read-only: the returned plan is identical at
+    /// every obs level.
+    fn plan_obs(
+        &mut self,
+        view: &ClusterView,
+        _obs: &mut dyn edm_obs::Recorder,
+    ) -> Vec<MoveAction> {
+        self.plan(view)
+    }
+
     /// Called when the simulator closes a measurement window (continuous
     /// mode resets the per-window write counters each wear tick so the
     /// policy sees per-period rates, §III.B.2). Policies with their own

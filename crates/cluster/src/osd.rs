@@ -214,8 +214,20 @@ impl Osd {
         offset: u64,
         len: u64,
     ) -> Result<DeviceTime, OsdError> {
+        self.write_object_obs(object, offset, len, &mut edm_obs::NoopRecorder)
+    }
+
+    /// [`write_object`](Self::write_object) with an observability sink for
+    /// the FTL events (GC, erases, wear leveling) the write triggers.
+    pub fn write_object_obs(
+        &mut self,
+        object: ObjectId,
+        offset: u64,
+        len: u64,
+        obs: &mut dyn edm_obs::Recorder,
+    ) -> Result<DeviceTime, OsdError> {
         let base = self.locate(object, offset, len)?;
-        let t = self.ssd.write(base, len)?;
+        let t = self.ssd.write_obs(base, len, obs)?;
         self.wc_window_pages += pages_spanned(base, len, self.ssd.geometry().page_size);
         Ok(t)
     }

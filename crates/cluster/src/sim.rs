@@ -14,6 +14,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use edm_obs::{Event as ObsEvent, NoopRecorder, Recorder};
 use edm_workload::{FileOp, Trace};
 
 use crate::cluster::Cluster;
@@ -129,6 +130,10 @@ struct Engine<'a> {
     trace: &'a Trace,
     policy: &'a mut dyn Migrator,
     options: SimOptions,
+    /// Observability sink. The engine owns the journal clock (`set_now`
+    /// on every dispatched event) and the device scope around device ops;
+    /// recording is read-only so behaviour is identical at every level.
+    obs: &'a mut dyn Recorder,
 
     heap: BinaryHeap<Reverse<(u64, u64, Event)>>,
     seq: u64,
@@ -378,6 +383,14 @@ impl<'a> Engine<'a> {
         let o = osd.0 as usize;
         self.queues[o].push_back(sub);
         self.peak_queue_depth[o] = self.peak_queue_depth[o].max(self.queues[o].len() as u64);
+        self.obs.counter("sim.subops_enqueued", 1);
+        if self.obs.events_on() {
+            self.obs.event(ObsEvent::OpEnqueue {
+                osd: osd.0,
+                depth: self.queues[o].len() as u64,
+                mover: false,
+            });
+        }
         if self.current[o].is_none() {
             self.start_service(osd);
         }
@@ -389,6 +402,14 @@ impl<'a> Engine<'a> {
     /// request may still be mid-service ahead of it).
     fn enqueue_mover(&mut self, osd: OsdId, sub: SubReq) {
         self.queues[osd.0 as usize].push_front(sub);
+        self.obs.counter("sim.mover_chunks_enqueued", 1);
+        if self.obs.events_on() {
+            self.obs.event(ObsEvent::OpEnqueue {
+                osd: osd.0,
+                depth: self.queues[osd.0 as usize].len() as u64,
+                mover: true,
+            });
+        }
         if self.current[osd.0 as usize].is_none() {
             self.start_service(osd);
         }
@@ -402,6 +423,16 @@ impl<'a> Engine<'a> {
         let Some(sub) = self.queues[o].pop_front() else {
             return;
         };
+        if self.obs.events_on() {
+            self.obs.event(ObsEvent::OpDequeue {
+                osd: osd.0,
+                depth: self.queues[o].len() as u64,
+            });
+        }
+        // Scope FTL events from the device op to this OSD.
+        self.obs.set_device(Some(osd.0));
+        let obs = &mut *self.obs;
+        let dev = &mut self.cluster.osds[o];
         let device = match sub.payload {
             Payload::FileIo {
                 object,
@@ -410,9 +441,8 @@ impl<'a> Engine<'a> {
                 write,
                 ..
             } => {
-                let dev = &mut self.cluster.osds[o];
                 if write {
-                    dev.write_object(object, offset, len)
+                    dev.write_object_obs(object, offset, len, obs)
                 } else {
                     dev.read_object(object, offset, len)
                 }
@@ -421,18 +451,19 @@ impl<'a> Engine<'a> {
                 object,
                 offset,
                 len,
-            } => self.cluster.osds[o].read_object(object, offset, len),
+            } => dev.read_object(object, offset, len),
             Payload::MoveWrite {
                 object,
                 offset,
                 len,
-            } => self.cluster.osds[o].write_object(object, offset, len),
-            Payload::RebuildRead { sibling, .. } => self.cluster.osds[o].read_whole_object(sibling),
+            } => dev.write_object_obs(object, offset, len, obs),
+            Payload::RebuildRead { sibling, .. } => dev.read_whole_object(sibling),
             Payload::RebuildWrite { lost, offset, len } => {
-                self.cluster.osds[o].write_object(lost, offset, len)
+                dev.write_object_obs(lost, offset, len, obs)
             }
         }
         .unwrap_or_else(|e| panic!("device op failed on {osd}: {e}"));
+        self.obs.set_device(None);
         let service = self.cluster.config.osd_overhead_us + device.as_micros();
         self.busy_us[o] += service;
         self.current[o] = Some(sub);
@@ -444,6 +475,7 @@ impl<'a> Engine<'a> {
         let sub = self.current[o].take().expect("completion without service");
         let sojourn = self.now - sub.enqueued_us;
         self.cluster.osds[o].record_service(sojourn);
+        self.obs.latency("subop_sojourn_us", sojourn);
         match sub.payload {
             Payload::FileIo { token, .. } => self.finish_subop(token),
             Payload::MoveRead {
@@ -514,6 +546,12 @@ impl<'a> Engine<'a> {
         }
         self.rebuilds.remove(&lost);
         self.cluster.catalog.record_move(lost, dest);
+        if self.obs.events_on() {
+            self.obs.event(ObsEvent::RemapUpdate {
+                object: lost.0,
+                dest: dest.0,
+            });
+        }
         self.rebuilt_objects += 1;
         self.last_completion_us = self.now;
     }
@@ -533,6 +571,8 @@ impl<'a> Engine<'a> {
             self.responses.record(self.now, response);
             self.response_hist.record(response);
             self.response_sum += response as f64;
+            self.obs.latency("response_us", response);
+            self.obs.counter("sim.ops_completed", 1);
             self.completed_ops += 1;
             self.last_completion_us = self.now;
             self.outstanding[inflight.client.0 as usize] -= 1;
@@ -611,6 +651,20 @@ impl<'a> Engine<'a> {
             .remove_object(object)
             .expect("source copy must exist until the move completes");
         self.cluster.catalog.record_move(object, action.dest);
+        self.obs.counter("sim.moved_objects", 1);
+        self.obs.counter("sim.moved_bytes", size);
+        if self.obs.events_on() {
+            self.obs.event(ObsEvent::MigrationFinish {
+                object: object.0,
+                source: action.source.0,
+                dest: action.dest.0,
+                bytes: size,
+            });
+            self.obs.event(ObsEvent::RemapUpdate {
+                object: object.0,
+                dest: action.dest.0,
+            });
+        }
         self.moved_objects += 1;
         self.last_completion_us = self.now;
         self.unblock(object);
@@ -651,6 +705,15 @@ impl<'a> Engine<'a> {
         }
         self.moving.insert(action.object, Vec::new());
         self.move_routes.insert(action.object, action);
+        self.obs.counter("sim.moves_started", 1);
+        if self.obs.events_on() {
+            self.obs.event(ObsEvent::MigrationStart {
+                object: action.object.0,
+                source: action.source.0,
+                dest: action.dest.0,
+                bytes: size,
+            });
+        }
         let chunk = size.min(self.cluster.config.move_chunk_bytes).max(1);
         let sub = SubReq {
             enqueued_us: self.now,
@@ -792,7 +855,8 @@ impl<'a> Engine<'a> {
 
     fn fire_migration(&mut self) {
         let view = self.cluster.view(self.now);
-        let plan = self.policy.plan(&view);
+        self.obs.counter("sim.migration_evaluations", 1);
+        let plan = self.policy.plan_obs(&view, &mut *self.obs);
         if plan.is_empty() {
             return;
         }
@@ -869,11 +933,24 @@ impl<'a> Engine<'a> {
         while let Some(Reverse((at, _, ev))) = self.heap.pop() {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
+            self.obs.set_now(at);
             match ev {
                 Event::OsdDone(o) => self.on_osd_done(OsdId(o)),
                 Event::MdsDone(token) => self.finish_subop(token),
                 Event::Fail(o) => self.on_failure(OsdId(o)),
                 Event::Tick => {
+                    self.obs.counter("sim.ticks", 1);
+                    if self.obs.events_on() {
+                        // Periodic queue-depth samples: waiting requests
+                        // plus the one in service, per OSD.
+                        for o in 0..self.queues.len() {
+                            self.obs.event(ObsEvent::QueueDepth {
+                                osd: o as u32,
+                                depth: self.queues[o].len() as u64
+                                    + self.current[o].is_some() as u64,
+                            });
+                        }
+                    }
                     self.policy.on_tick(self.now);
                     if self.options.schedule == MigrationSchedule::EveryTick {
                         self.fire_migration();
@@ -952,6 +1029,20 @@ pub fn run_trace(
     policy: &mut dyn Migrator,
     options: SimOptions,
 ) -> RunReport {
+    run_trace_obs(cluster, trace, policy, options, &mut NoopRecorder)
+}
+
+/// [`run_trace`] with an observability sink: the engine stamps virtual
+/// time and device scope on the recorder, journals queue/migration/remap
+/// events, and feeds latency histograms. Recording is read-only — the
+/// returned report is bit-identical at every obs level.
+pub fn run_trace_obs(
+    cluster: Cluster,
+    trace: &Trace,
+    policy: &mut dyn Migrator,
+    options: SimOptions,
+    obs: &mut dyn Recorder,
+) -> RunReport {
     let clients = cluster.config.client_count();
     let scripts = edm_workload::replay::assign_clients(trace, clients)
         .into_iter()
@@ -964,6 +1055,7 @@ pub fn run_trace(
         trace,
         policy,
         options,
+        obs,
         heap: BinaryHeap::new(),
         seq: 0,
         now: 0,
@@ -1114,6 +1206,75 @@ mod tests {
         assert_eq!(report.moved_objects, 1);
         assert_eq!(report.remap_entries, 1);
         assert_eq!(report.migrations_triggered, 1);
+    }
+
+    #[test]
+    fn observability_is_read_only() {
+        use edm_obs::{MemoryRecorder, ObsLevel};
+        let trace = small_trace();
+        let baseline = {
+            let cluster = Cluster::build(ClusterConfig::test_small(), &trace).unwrap();
+            run_trace(
+                cluster,
+                &trace,
+                &mut MoveOne,
+                SimOptions {
+                    schedule: MigrationSchedule::Midpoint,
+                    failures: Vec::new(),
+                },
+            )
+        };
+        for level in [ObsLevel::Off, ObsLevel::Metrics, ObsLevel::Events] {
+            let cluster = Cluster::build(ClusterConfig::test_small(), &trace).unwrap();
+            let mut rec = MemoryRecorder::new(level);
+            let report = run_trace_obs(
+                cluster,
+                &trace,
+                &mut MoveOne,
+                SimOptions {
+                    schedule: MigrationSchedule::Midpoint,
+                    failures: Vec::new(),
+                },
+                &mut rec,
+            );
+            assert_eq!(report.duration_us, baseline.duration_us, "level {level:?}");
+            assert_eq!(
+                report.mean_response_us, baseline.mean_response_us,
+                "level {level:?}"
+            );
+            assert_eq!(
+                report.aggregate_erases(),
+                baseline.aggregate_erases(),
+                "level {level:?}"
+            );
+            assert_eq!(report.moved_objects, baseline.moved_objects);
+            if level >= ObsLevel::Metrics {
+                assert_eq!(rec.counter_value("sim.ops_completed"), report.completed_ops);
+                assert_eq!(rec.counter_value("sim.moved_objects"), report.moved_objects);
+                assert_eq!(
+                    rec.histogram("response_us").unwrap().count(),
+                    report.completed_ops
+                );
+            }
+            if level == ObsLevel::Events {
+                assert_eq!(
+                    rec.count_kind("migration_finish") as u64,
+                    report.moved_objects
+                );
+                assert_eq!(rec.count_kind("remap_update") as u64, report.remap_entries);
+                assert!(rec.count_kind("op_enqueue") > 0);
+                assert!(rec.count_kind("op_dequeue") > 0);
+                assert!(rec.count_kind("queue_depth") > 0);
+                // FTL events inherit the engine clock and device scope.
+                assert!(rec
+                    .journal()
+                    .iter()
+                    .filter(|e| e.event.kind() == "block_erase")
+                    .all(|e| e.device.is_some()));
+            } else {
+                assert!(rec.journal().is_empty());
+            }
+        }
     }
 
     #[test]

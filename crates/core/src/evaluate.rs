@@ -51,6 +51,27 @@ impl PlanAssessment {
     }
 }
 
+/// [`assess_plan`] with an observability sink: journals the prediction as
+/// a [`edm_obs::Event::PlanAssessment`] before returning it unchanged.
+pub fn assess_plan_obs(
+    view: &ClusterView,
+    plan: &[MoveAction],
+    tracker: &AccessTracker,
+    model: &WearModel,
+    obs: &mut dyn edm_obs::Recorder,
+) -> PlanAssessment {
+    let assessment = assess_plan(view, plan, tracker, model);
+    if obs.events_on() {
+        obs.event(edm_obs::Event::PlanAssessment {
+            rsd_before: assessment.rsd_before,
+            rsd_after: assessment.rsd_after,
+            moved_bytes: assessment.moved_bytes,
+            moved_write_pages: assessment.moved_write_pages,
+        });
+    }
+    assessment
+}
+
 /// Assesses `plan` against `view`, using `tracker` for per-object write
 /// footprints (the same estimates the policies plan with).
 pub fn assess_plan(

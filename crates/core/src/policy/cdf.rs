@@ -12,8 +12,9 @@ use edm_cluster::{AccessEvent, ClusterView, Migrator, MoveAction};
 
 use crate::alg1::calculate_cdf;
 use crate::config::EdmConfig;
+use crate::evaluate::assess_plan_obs;
 use crate::plan::{dest_budget_bytes, distribute, Destination, Selected};
-use crate::policy::members_by_group;
+use crate::policy::{emit_plan_chosen, emit_wear_inputs, members_by_group};
 use crate::temperature::AccessTracker;
 use crate::trigger;
 use crate::wear_model::WearModel;
@@ -63,6 +64,10 @@ impl Migrator for EdmCdf {
     }
 
     fn plan(&mut self, view: &ClusterView) -> Vec<MoveAction> {
+        self.plan_obs(view, &mut edm_obs::NoopRecorder)
+    }
+
+    fn plan_obs(&mut self, view: &ClusterView, obs: &mut dyn edm_obs::Recorder) -> Vec<MoveAction> {
         let model = WearModel {
             pages_per_block: view.pages_per_block,
             sigma: self.cfg.sigma,
@@ -72,7 +77,9 @@ impl Migrator for EdmCdf {
             .iter()
             .map(|o| model.erase_count(o.wc_pages as f64, o.utilization))
             .collect();
-        let decision = trigger::evaluate(&ecs, self.cfg.lambda);
+        emit_wear_inputs(view, &ecs, obs);
+        let decision =
+            trigger::evaluate_obs(&ecs, self.cfg.lambda, "EDM-CDF", "erase_estimate", obs);
         if !self.cfg.force && !decision.triggered {
             return Vec::new();
         }
@@ -160,6 +167,10 @@ impl Migrator for EdmCdf {
                 }
                 plan.extend(distribute(&selected, &mut dests));
             }
+        }
+        emit_plan_chosen("EDM-CDF", view, &plan, obs);
+        if obs.events_on() {
+            assess_plan_obs(view, &plan, &self.tracker, &model, obs);
         }
         plan
     }

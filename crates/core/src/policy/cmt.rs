@@ -11,6 +11,7 @@ use edm_cluster::{AccessEvent, ClusterView, Migrator, MoveAction};
 use serde::{Deserialize, Serialize};
 
 use crate::plan::{dest_budget_bytes, distribute, Destination, Selected};
+use crate::policy::emit_plan_chosen;
 use crate::temperature::AccessTracker;
 use crate::trigger;
 
@@ -73,9 +74,11 @@ impl Cmt {
         view: &ClusterView,
         moved: &mut std::collections::HashSet<edm_cluster::ObjectId>,
         budgets: &mut [i64],
+        obs: &mut dyn edm_obs::Recorder,
     ) -> Vec<MoveAction> {
         let loads: Vec<f64> = view.osds.iter().map(|o| o.ewma_latency_us).collect();
-        let decision = trigger::evaluate(&loads, self.cfg.lambda);
+        let decision =
+            trigger::evaluate_obs(&loads, self.cfg.lambda, "CMT", "ewma_latency_us", obs);
         if !self.cfg.force && !decision.triggered {
             return Vec::new();
         }
@@ -240,6 +243,13 @@ impl Migrator for Cmt {
     }
 
     fn plan(&mut self, view: &ClusterView) -> Vec<MoveAction> {
+        self.plan_obs(view, &mut edm_obs::NoopRecorder)
+    }
+
+    // CMT journals its trigger (over EWMA latencies, not wear estimates)
+    // and the chosen plan; it emits no wear-model events because the
+    // conventional technique is wear-oblivious by construction.
+    fn plan_obs(&mut self, view: &ClusterView, obs: &mut dyn edm_obs::Recorder) -> Vec<MoveAction> {
         let mut moved = std::collections::HashSet::new();
         // Sorrento weighs storage usage alongside load: a destination may
         // be filled only up to the cluster-mean utilization plus margin,
@@ -256,8 +266,9 @@ impl Migrator for Cmt {
                 by_free.min(by_util)
             })
             .collect();
-        let mut plan = self.plan_load(view, &mut moved, &mut budgets);
+        let mut plan = self.plan_load(view, &mut moved, &mut budgets, obs);
         plan.extend(self.plan_storage(view, &mut moved, &mut budgets));
+        emit_plan_chosen("CMT", view, &plan, obs);
         plan
     }
 }
@@ -383,5 +394,34 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(Cmt::default().name(), "CMT");
+    }
+
+    #[test]
+    fn plan_obs_journals_latency_trigger_and_plan() {
+        use edm_obs::{Event, MemoryRecorder, ObsLevel};
+        let v = loaded_view();
+        let baseline = {
+            let mut p = Cmt::default();
+            touch(&mut p, 0, 100, AccessKind::Read);
+            p.plan(&v)
+        };
+        let mut p = Cmt::default();
+        touch(&mut p, 0, 100, AccessKind::Read);
+        let mut rec = MemoryRecorder::new(ObsLevel::Events);
+        let plan = p.plan_obs(&v, &mut rec);
+        assert_eq!(plan, baseline, "recording must be read-only");
+        let (policy, metric) = rec
+            .journal()
+            .iter()
+            .find_map(|e| match &e.event {
+                Event::TriggerEval { policy, metric, .. } => Some((*policy, *metric)),
+                _ => None,
+            })
+            .expect("trigger evaluation journaled");
+        assert_eq!(policy, "CMT");
+        assert_eq!(metric, "ewma_latency_us");
+        // CMT is wear-oblivious: no wear-model events in its trace.
+        assert_eq!(rec.count_kind("wear_model_input"), 0);
+        assert_eq!(rec.count_kind("plan_chosen"), 1);
     }
 }

@@ -10,8 +10,9 @@ use edm_cluster::{AccessEvent, ClusterView, Migrator, MoveAction};
 
 use crate::alg1::calculate_hdf;
 use crate::config::EdmConfig;
+use crate::evaluate::assess_plan_obs;
 use crate::plan::{dest_budget_bytes, distribute, Destination, Selected};
-use crate::policy::members_by_group;
+use crate::policy::{emit_plan_chosen, emit_wear_inputs, members_by_group};
 use crate::temperature::AccessTracker;
 use crate::trigger;
 use crate::wear_model::WearModel;
@@ -61,6 +62,10 @@ impl Migrator for EdmHdf {
     }
 
     fn plan(&mut self, view: &ClusterView) -> Vec<MoveAction> {
+        self.plan_obs(view, &mut edm_obs::NoopRecorder)
+    }
+
+    fn plan_obs(&mut self, view: &ClusterView, obs: &mut dyn edm_obs::Recorder) -> Vec<MoveAction> {
         let model = WearModel {
             pages_per_block: view.pages_per_block,
             sigma: self.cfg.sigma,
@@ -72,7 +77,9 @@ impl Migrator for EdmHdf {
             .iter()
             .map(|o| model.erase_count(o.wc_pages as f64, o.utilization))
             .collect();
-        let decision = trigger::evaluate(&ecs, self.cfg.lambda);
+        emit_wear_inputs(view, &ecs, obs);
+        let decision =
+            trigger::evaluate_obs(&ecs, self.cfg.lambda, "EDM-HDF", "erase_estimate", obs);
         if !self.cfg.force && !decision.triggered {
             return Vec::new();
         }
@@ -155,6 +162,10 @@ impl Migrator for EdmHdf {
                 }
                 plan.extend(distribute(&selected, &mut dests));
             }
+        }
+        emit_plan_chosen("EDM-HDF", view, &plan, obs);
+        if obs.events_on() {
+            assess_plan_obs(view, &plan, &self.tracker, &model, obs);
         }
         plan
     }
@@ -273,5 +284,77 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(EdmHdf::default().name(), "EDM-HDF");
+    }
+
+    #[test]
+    fn plan_obs_journals_the_decision_and_changes_nothing() {
+        use edm_obs::{Event, MemoryRecorder, ObsLevel};
+        let v = hot_cold_view();
+        let baseline = {
+            let mut p = EdmHdf::default();
+            heat_object(&mut p, 0, 50, 100);
+            heat_object(&mut p, 1, 30, 100);
+            p.plan(&v)
+        };
+        assert!(!baseline.is_empty());
+        let mut p = EdmHdf::default();
+        heat_object(&mut p, 0, 50, 100);
+        heat_object(&mut p, 1, 30, 100);
+        let mut rec = MemoryRecorder::new(ObsLevel::Events);
+        let plan = p.plan_obs(&v, &mut rec);
+        assert_eq!(plan, baseline, "recording must be read-only");
+        // One wear-model input per OSD, then the trigger verdict.
+        assert_eq!(rec.count_kind("wear_model_input"), v.osds.len());
+        let trigger = rec
+            .journal()
+            .iter()
+            .find_map(|e| match &e.event {
+                Event::TriggerEval {
+                    policy,
+                    metric,
+                    rsd,
+                    lambda,
+                    triggered,
+                    ..
+                } => Some((*policy, *metric, *rsd, *lambda, *triggered)),
+                _ => None,
+            })
+            .expect("trigger evaluation journaled");
+        assert_eq!(trigger.0, "EDM-HDF");
+        assert_eq!(trigger.1, "erase_estimate");
+        assert!(trigger.2 > trigger.3, "rsd above lambda in this view");
+        assert!(trigger.4);
+        // The chosen plan and its predicted effect close the journal.
+        let chosen = rec
+            .journal()
+            .iter()
+            .find_map(|e| match &e.event {
+                Event::PlanChosen {
+                    policy,
+                    moves,
+                    objects,
+                    ..
+                } => Some((*policy, *moves, objects.clone())),
+                _ => None,
+            })
+            .expect("chosen plan journaled");
+        assert_eq!(chosen.0, "EDM-HDF");
+        assert_eq!(chosen.1, plan.len() as u64);
+        assert_eq!(
+            chosen.2,
+            plan.iter().map(|m| m.object.0).collect::<Vec<_>>()
+        );
+        assert_eq!(rec.count_kind("plan_assessment"), 1);
+    }
+
+    #[test]
+    fn plan_obs_with_metrics_level_keeps_journal_empty() {
+        use edm_obs::{MemoryRecorder, ObsLevel};
+        let mut p = EdmHdf::default();
+        heat_object(&mut p, 0, 50, 100);
+        let mut rec = MemoryRecorder::new(ObsLevel::Metrics);
+        let plan = p.plan_obs(&hot_cold_view(), &mut rec);
+        assert!(!plan.is_empty());
+        assert!(rec.journal().is_empty());
     }
 }

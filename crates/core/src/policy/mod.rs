@@ -9,7 +9,7 @@ pub use cdf::EdmCdf;
 pub use cmt::{Cmt, CmtConfig};
 pub use hdf::EdmHdf;
 
-use edm_cluster::{ClusterView, GroupId, OsdId};
+use edm_cluster::{ClusterView, GroupId, MoveAction, OsdId};
 
 /// Group members (OSD indices into `view.osds`), keyed by group, each
 /// ascending. EDM plans per group because migration is intra-group only
@@ -21,6 +21,59 @@ pub(crate) fn members_by_group(view: &ClusterView) -> Vec<(GroupId, Vec<OsdId>)>
         groups.entry(o.group).or_default().push(o.osd);
     }
     groups.into_iter().collect()
+}
+
+/// Journals each OSD's wear-model operands (Eq. 4: `Wc`, `u`) together
+/// with the resulting erase estimate. No-op unless events are enabled.
+pub(crate) fn emit_wear_inputs(view: &ClusterView, ecs: &[f64], obs: &mut dyn edm_obs::Recorder) {
+    if !obs.events_on() {
+        return;
+    }
+    for (o, &ec) in view.osds.iter().zip(ecs) {
+        obs.event(edm_obs::Event::WearModelInput {
+            osd: o.osd.0,
+            wc_pages: o.wc_pages,
+            utilization: o.utilization,
+            erase_estimate: ec,
+        });
+    }
+}
+
+/// Journals the plan a policy settled on: move count, byte volume, and
+/// the involved object/source/destination sets. No-op unless events are
+/// enabled.
+pub(crate) fn emit_plan_chosen(
+    policy: &'static str,
+    view: &ClusterView,
+    plan: &[MoveAction],
+    obs: &mut dyn edm_obs::Recorder,
+) {
+    if !obs.events_on() {
+        return;
+    }
+    let sizes: std::collections::HashMap<_, _> = view
+        .objects
+        .iter()
+        .map(|o| (o.object, o.size_bytes))
+        .collect();
+    let moved_bytes = plan
+        .iter()
+        .map(|m| sizes.get(&m.object).copied().unwrap_or(0))
+        .sum();
+    let mut sources: Vec<u64> = plan.iter().map(|m| m.source.0 as u64).collect();
+    sources.sort_unstable();
+    sources.dedup();
+    let mut destinations: Vec<u64> = plan.iter().map(|m| m.dest.0 as u64).collect();
+    destinations.sort_unstable();
+    destinations.dedup();
+    obs.event(edm_obs::Event::PlanChosen {
+        policy,
+        moves: plan.len() as u64,
+        moved_bytes,
+        objects: plan.iter().map(|m| m.object.0).collect(),
+        sources,
+        destinations,
+    });
 }
 
 #[cfg(test)]

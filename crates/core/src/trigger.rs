@@ -22,6 +22,32 @@ pub struct TriggerDecision {
     pub destinations: Vec<usize>,
 }
 
+/// [`evaluate`] with an observability sink: journals the evaluation as a
+/// [`edm_obs::Event::TriggerEval`] (policy and metric label the caller)
+/// before returning the identical decision. Recording is read-only.
+pub fn evaluate_obs(
+    erase_counts: &[f64],
+    lambda: f64,
+    policy: &'static str,
+    metric: &'static str,
+    obs: &mut dyn edm_obs::Recorder,
+) -> TriggerDecision {
+    let decision = evaluate(erase_counts, lambda);
+    if obs.events_on() {
+        obs.event(edm_obs::Event::TriggerEval {
+            policy,
+            metric,
+            rsd: decision.rsd,
+            lambda,
+            mean: decision.mean,
+            triggered: decision.triggered,
+            sources: decision.sources.iter().map(|&i| i as u64).collect(),
+            destinations: decision.destinations.iter().map(|&i| i as u64).collect(),
+        });
+    }
+    decision
+}
+
 /// Evaluates the trigger over per-device (model) erase counts.
 pub fn evaluate(erase_counts: &[f64], lambda: f64) -> TriggerDecision {
     assert!(lambda >= 0.0, "lambda must be non-negative");

@@ -3,16 +3,176 @@
 //!
 //! ```text
 //! edm-probe <trace> <policy> [scale] [osds]
+//! edm-probe --journal <file.jsonl>
 //! ```
+//!
+//! The `--journal` mode summarizes an observability journal written by
+//! `edm-sim --obs <file> --obs-level events`: the per-OSD erase
+//! timeline, the migration-decision trace (trigger evaluations, chosen
+//! plans, predicted effects), and the latency histograms. Exits nonzero
+//! if any line fails to parse.
 
 use edm_cluster::{run_trace, Cluster, ClusterConfig, SimOptions};
 use edm_core::make_policy;
+use edm_obs::json::{self, JsonValue};
 use edm_workload::harvard;
 use edm_workload::synth::synthesize;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let trace_name = args.next().unwrap_or_else(|| "home02".into());
+    match args.next().as_deref() {
+        Some("--journal") => {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("usage: edm-probe --journal <file.jsonl>");
+                std::process::exit(2);
+            });
+            journal_mode(&path);
+        }
+        first => run_mode(first.map(str::to_string), args),
+    }
+}
+
+fn get_u64(v: &JsonValue, key: &str) -> u64 {
+    v.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+fn get_f64(v: &JsonValue, key: &str) -> f64 {
+    v.get(key).and_then(JsonValue::as_f64).unwrap_or(f64::NAN)
+}
+
+fn get_str<'a>(v: &'a JsonValue, key: &str) -> &'a str {
+    v.get(key).and_then(JsonValue::as_str).unwrap_or("?")
+}
+
+fn journal_mode(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut records = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match json::parse(line) {
+            Ok(v) => records.push(v),
+            Err(e) => {
+                eprintln!("{path}:{}: bad journal line: {e}", no + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("{path}: {} records", records.len());
+
+    // Per-OSD erase timeline: block_erase events bucketed over the run.
+    let erases: Vec<(u64, u64)> = records
+        .iter()
+        .filter(|r| get_str(r, "kind") == "block_erase")
+        .map(|r| (get_u64(r, "t_us"), get_u64(r, "osd")))
+        .collect();
+    if !erases.is_empty() {
+        let max_t = erases.iter().map(|&(t, _)| t).max().unwrap_or(0);
+        let max_osd = erases.iter().map(|&(_, o)| o).max().unwrap_or(0) as usize;
+        const COLS: usize = 12;
+        let width = max_t / COLS as u64 + 1;
+        let mut counts = vec![[0u64; COLS]; max_osd + 1];
+        for &(t, o) in &erases {
+            counts[o as usize][(t / width) as usize] += 1;
+        }
+        println!(
+            "-- per-OSD erase timeline ({COLS} x {:.2}s buckets) --",
+            width as f64 / 1e6
+        );
+        for (o, row) in counts.iter().enumerate() {
+            let total: u64 = row.iter().sum();
+            if total == 0 {
+                continue;
+            }
+            let cells: Vec<String> = row.iter().map(|c| format!("{c:>5}")).collect();
+            println!("osd{o:<3} |{}| total {total}", cells.join(" "));
+        }
+    }
+
+    // Migration-decision trace: trigger verdicts, plans, predictions.
+    let triggers: Vec<&JsonValue> = records
+        .iter()
+        .filter(|r| get_str(r, "kind") == "trigger_eval")
+        .collect();
+    if !triggers.is_empty() {
+        println!("-- trigger evaluations --");
+        println!(
+            "{:>10}  {:<8} {:<16} {:>8} {:>8}  fired  src dst",
+            "t(s)", "policy", "metric", "rsd", "lambda"
+        );
+        for t in &triggers {
+            let srcs = t.get("sources").and_then(JsonValue::as_arr);
+            let dsts = t.get("destinations").and_then(JsonValue::as_arr);
+            println!(
+                "{:>10.3}  {:<8} {:<16} {:>8.4} {:>8.4}  {:<5}  {:>3} {:>3}",
+                get_u64(t, "t_us") as f64 / 1e6,
+                get_str(t, "policy"),
+                get_str(t, "metric"),
+                get_f64(t, "rsd"),
+                get_f64(t, "lambda"),
+                t.get("triggered").and_then(JsonValue::as_bool) == Some(true),
+                srcs.map_or(0, <[JsonValue]>::len),
+                dsts.map_or(0, <[JsonValue]>::len),
+            );
+        }
+    }
+    for r in &records {
+        match get_str(r, "kind") {
+            "plan_chosen" => println!(
+                "plan at {:.3}s: {} moves {} objects / {} bytes",
+                get_u64(r, "t_us") as f64 / 1e6,
+                get_str(r, "policy"),
+                get_u64(r, "moves"),
+                get_u64(r, "moved_bytes"),
+            ),
+            "plan_assessment" => println!(
+                "  predicted RSD {:.4} -> {:.4} for {} bytes / {} write pages shifted",
+                get_f64(r, "rsd_before"),
+                get_f64(r, "rsd_after"),
+                get_u64(r, "moved_bytes"),
+                get_u64(r, "moved_write_pages"),
+            ),
+            _ => {}
+        }
+    }
+
+    // Counter and histogram trailer records.
+    let counters: Vec<&JsonValue> = records
+        .iter()
+        .filter(|r| get_str(r, "kind") == "counter")
+        .collect();
+    if !counters.is_empty() {
+        println!("-- counters --");
+        for c in counters {
+            println!("{:<28} {}", get_str(c, "name"), get_u64(c, "value"));
+        }
+    }
+    let hists: Vec<&JsonValue> = records
+        .iter()
+        .filter(|r| get_str(r, "kind") == "hist")
+        .collect();
+    if !hists.is_empty() {
+        println!("-- latency histograms (us) --");
+        for h in hists {
+            println!(
+                "{:<20} n={:<9} p50={} p95={} p99={} max={}",
+                get_str(h, "name"),
+                get_u64(h, "count"),
+                get_u64(h, "p50"),
+                get_u64(h, "p95"),
+                get_u64(h, "p99"),
+                get_u64(h, "max"),
+            );
+        }
+    }
+}
+
+fn run_mode(first: Option<String>, mut args: impl Iterator<Item = String>) {
+    let trace_name = first.unwrap_or_else(|| "home02".into());
     let policy_name = args.next().unwrap_or_else(|| "EDM-HDF".into());
     let scale: f64 = args
         .next()

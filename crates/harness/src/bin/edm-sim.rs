@@ -1,11 +1,19 @@
 //! `edm-sim` — run a declarative scenario file.
 //!
 //! ```text
-//! edm-sim <scenario-file>
+//! edm-sim <scenario-file> [--obs <out.jsonl>] [--obs-level off|metrics|events]
 //! edm-sim --example          # print a commented example scenario
 //! ```
+//!
+//! `--obs` writes the run's observability output to a file: a metrics
+//! snapshot (one JSON object) at `--obs-level metrics`, or the full
+//! event journal as JSONL (events first, then counter/gauge/histogram
+//! trailer records) at `--obs-level events`. Passing `--obs` alone
+//! implies `--obs-level events`. Recording is read-only — the printed
+//! report is identical at every level.
 
 use edm_harness::scenario::{render_report, Scenario};
+use edm_obs::{MemoryRecorder, NoopRecorder, ObsLevel, Recorder};
 
 const EXAMPLE: &str = "\
 # Example edm-sim scenario: lair62 under EDM-HDF with one failure.
@@ -21,31 +29,92 @@ force true            # skip the trigger check at plan time
 fail 2000000 3 rebuild  # at 2s of virtual time, OSD 3 dies; rebuild it
 ";
 
+const USAGE: &str =
+    "usage: edm-sim <scenario-file> [--obs <file>] [--obs-level off|metrics|events] \
+     | edm-sim --example";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("--example") => print!("{EXAMPLE}"),
-        Some(path) => {
-            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("cannot read {path}: {e}");
-                std::process::exit(1);
-            });
-            let scenario = Scenario::parse(&text).unwrap_or_else(|e| {
-                eprintln!("{path}: {e}");
-                std::process::exit(1);
-            });
-            eprintln!("running {scenario:?}");
-            match scenario.run() {
-                Ok(report) => print!("{}", render_report(&report)),
-                Err(e) => {
-                    eprintln!("scenario failed: {e}");
-                    std::process::exit(1);
-                }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--example") {
+        print!("{EXAMPLE}");
+        return;
+    }
+    let mut path: Option<String> = None;
+    let mut obs_path: Option<String> = None;
+    let mut obs_level: Option<ObsLevel> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--obs" => {
+                let v = it.next().unwrap_or_else(|| fail("--obs needs a file path"));
+                obs_path = Some(v);
             }
+            "--obs-level" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--obs-level needs off|metrics|events"));
+                obs_level = Some(
+                    ObsLevel::parse(&v)
+                        .unwrap_or_else(|| fail(&format!("unknown obs level {v:?}"))),
+                );
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(arg),
+            other => fail(&format!("unexpected argument {other:?}\n{USAGE}")),
         }
-        None => {
-            eprintln!("usage: edm-sim <scenario-file> | edm-sim --example");
-            std::process::exit(2);
-        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    // `--obs FILE` alone implies the full journal; a non-off level needs
+    // somewhere to go.
+    let level = obs_level.unwrap_or(if obs_path.is_some() {
+        ObsLevel::Events
+    } else {
+        ObsLevel::Off
+    });
+    if level > ObsLevel::Off && obs_path.is_none() {
+        fail("--obs-level metrics|events requires --obs <file>");
+    }
+
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let scenario = Scenario::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    eprintln!("running {scenario:?}");
+
+    let mut noop = NoopRecorder;
+    let mut mem = MemoryRecorder::new(level);
+    let obs: &mut dyn Recorder = if level == ObsLevel::Off {
+        &mut noop
+    } else {
+        &mut mem
+    };
+    let report = scenario
+        .run_with_obs(obs)
+        .unwrap_or_else(|e| fail(&format!("scenario failed: {e}")));
+    print!("{}", render_report(&report));
+
+    if let Some(out) = obs_path {
+        let result = match level {
+            ObsLevel::Metrics => std::fs::write(&out, mem.snapshot_json()),
+            ObsLevel::Events => std::fs::File::create(&out).and_then(|f| {
+                use std::io::Write as _;
+                let mut w = std::io::BufWriter::new(f);
+                mem.write_jsonl(&mut w)?;
+                w.flush()
+            }),
+            ObsLevel::Off => Ok(()),
+        };
+        result.unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+        eprintln!(
+            "obs: wrote {} ({} journal events)",
+            out,
+            mem.journal().len()
+        );
     }
 }

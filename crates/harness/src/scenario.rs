@@ -21,8 +21,8 @@
 
 use edm_cluster::NoMigration;
 use edm_cluster::{
-    run_trace, Cluster, ClusterConfig, FailureSpec, MigrationSchedule, Migrator, OsdId, RunReport,
-    SimOptions,
+    run_trace_obs, Cluster, ClusterConfig, FailureSpec, MigrationSchedule, Migrator, OsdId,
+    RunReport, SimOptions,
 };
 use edm_core::{Cmt, CmtConfig, EdmCdf, EdmConfig, EdmHdf};
 use edm_workload::harvard;
@@ -182,6 +182,12 @@ impl Scenario {
 
     /// Runs the scenario end to end.
     pub fn run(&self) -> Result<RunReport, String> {
+        self.run_with_obs(&mut edm_obs::NoopRecorder)
+    }
+
+    /// [`run`](Self::run) with an observability sink. Recording is
+    /// read-only: the report is identical at every obs level.
+    pub fn run_with_obs(&self, obs: &mut dyn edm_obs::Recorder) -> Result<RunReport, String> {
         let spec = if self.trace == "random" {
             harvard::random_spec()
         } else {
@@ -199,7 +205,7 @@ impl Scenario {
         config.wear_tick_us = ((config.wear_tick_us as f64 * self.scale) as u64).max(100_000);
         let cluster = Cluster::build(config, &trace)?;
         let mut policy = self.build_policy()?;
-        Ok(run_trace(
+        Ok(run_trace_obs(
             cluster,
             &trace,
             policy.as_mut(),
@@ -207,6 +213,7 @@ impl Scenario {
                 schedule: self.schedule,
                 failures: self.failures.clone(),
             },
+            obs,
         ))
     }
 }

@@ -1,0 +1,347 @@
+//! The structured event vocabulary of the journal.
+//!
+//! Every variant is flat and uses raw integer ids (`u32` OSD index,
+//! `u64` object id) because `edm-obs` sits below the crates that define
+//! the typed ids. Variants map 1:1 onto JSONL records via
+//! [`Event::kind`] and [`Event::write_fields`]; the journal line itself
+//! (time key, optional device scope) is added by the recorder.
+
+use crate::json;
+
+/// One journal event. Field names match the emitted JSON keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    // ---- FTL (device) events -------------------------------------------
+    /// GC entered because the free pool fell below the low watermark.
+    GcInvoked {
+        free_blocks: u64,
+        low_watermark: u64,
+        high_watermark: u64,
+    },
+    /// A victim block was selected for cleaning.
+    GcVictim {
+        block: u64,
+        valid_pages: u64,
+        policy: &'static str,
+    },
+    /// A block was erased (after relocating `moved_pages` valid pages).
+    BlockErase {
+        block: u64,
+        erase_count: u64,
+        moved_pages: u64,
+    },
+    /// Static wear leveling relocated a cold block.
+    WearLevelSwap {
+        block: u64,
+        valid_pages: u64,
+        wear_spread: u64,
+    },
+
+    // ---- Cluster (engine) events ---------------------------------------
+    /// A sub-op entered an OSD queue; `depth` includes the new arrival.
+    OpEnqueue { osd: u32, depth: u64, mover: bool },
+    /// A sub-op left the queue and began service.
+    OpDequeue { osd: u32, depth: u64 },
+    /// Periodic per-OSD queue depth sample (taken on engine ticks).
+    QueueDepth { osd: u32, depth: u64 },
+    /// The remapping table recorded an object move.
+    RemapUpdate { object: u64, dest: u32 },
+
+    // ---- EDM decision events -------------------------------------------
+    /// Per-OSD wear-model input at a trigger evaluation (Eq. 4 operands).
+    WearModelInput {
+        osd: u32,
+        wc_pages: u64,
+        utilization: f64,
+        erase_estimate: f64,
+    },
+    /// A wear/load trigger evaluation: RSD of the per-device estimates
+    /// against the λ threshold (§III.B.2).
+    TriggerEval {
+        policy: &'static str,
+        metric: &'static str,
+        rsd: f64,
+        lambda: f64,
+        mean: f64,
+        triggered: bool,
+        sources: Vec<u64>,
+        destinations: Vec<u64>,
+    },
+    /// The migration plan a policy settled on.
+    PlanChosen {
+        policy: &'static str,
+        moves: u64,
+        moved_bytes: u64,
+        objects: Vec<u64>,
+        sources: Vec<u64>,
+        destinations: Vec<u64>,
+    },
+    /// Predicted effect of the chosen plan (wear model re-run, §IV).
+    PlanAssessment {
+        rsd_before: f64,
+        rsd_after: f64,
+        moved_bytes: u64,
+        moved_write_pages: u64,
+    },
+    /// An object migration began copying.
+    MigrationStart {
+        object: u64,
+        source: u32,
+        dest: u32,
+        bytes: u64,
+    },
+    /// An object migration finished (dest durable, source dropped).
+    MigrationFinish {
+        object: u64,
+        source: u32,
+        dest: u32,
+        bytes: u64,
+    },
+}
+
+impl Event {
+    /// The `kind` discriminator written to (and dispatched on from) JSONL.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::GcInvoked { .. } => "gc_invoked",
+            Event::GcVictim { .. } => "gc_victim",
+            Event::BlockErase { .. } => "block_erase",
+            Event::WearLevelSwap { .. } => "wear_level_swap",
+            Event::OpEnqueue { .. } => "op_enqueue",
+            Event::OpDequeue { .. } => "op_dequeue",
+            Event::QueueDepth { .. } => "queue_depth",
+            Event::RemapUpdate { .. } => "remap_update",
+            Event::WearModelInput { .. } => "wear_model_input",
+            Event::TriggerEval { .. } => "trigger_eval",
+            Event::PlanChosen { .. } => "plan_chosen",
+            Event::PlanAssessment { .. } => "plan_assessment",
+            Event::MigrationStart { .. } => "migration_start",
+            Event::MigrationFinish { .. } => "migration_finish",
+        }
+    }
+
+    /// Appends this event's payload fields to a partially built JSON
+    /// object (after `{` or previous fields).
+    pub fn write_fields(&self, out: &mut String) {
+        match self {
+            Event::GcInvoked {
+                free_blocks,
+                low_watermark,
+                high_watermark,
+            } => {
+                json::field_u64(out, "free_blocks", *free_blocks);
+                json::field_u64(out, "low_watermark", *low_watermark);
+                json::field_u64(out, "high_watermark", *high_watermark);
+            }
+            Event::GcVictim {
+                block,
+                valid_pages,
+                policy,
+            } => {
+                json::field_u64(out, "block", *block);
+                json::field_u64(out, "valid_pages", *valid_pages);
+                json::field_str(out, "policy", policy);
+            }
+            Event::BlockErase {
+                block,
+                erase_count,
+                moved_pages,
+            } => {
+                json::field_u64(out, "block", *block);
+                json::field_u64(out, "erase_count", *erase_count);
+                json::field_u64(out, "moved_pages", *moved_pages);
+            }
+            Event::WearLevelSwap {
+                block,
+                valid_pages,
+                wear_spread,
+            } => {
+                json::field_u64(out, "block", *block);
+                json::field_u64(out, "valid_pages", *valid_pages);
+                json::field_u64(out, "wear_spread", *wear_spread);
+            }
+            Event::OpEnqueue { osd, depth, mover } => {
+                json::field_u64(out, "osd", *osd as u64);
+                json::field_u64(out, "depth", *depth);
+                json::field_bool(out, "mover", *mover);
+            }
+            Event::OpDequeue { osd, depth } => {
+                json::field_u64(out, "osd", *osd as u64);
+                json::field_u64(out, "depth", *depth);
+            }
+            Event::QueueDepth { osd, depth } => {
+                json::field_u64(out, "osd", *osd as u64);
+                json::field_u64(out, "depth", *depth);
+            }
+            Event::RemapUpdate { object, dest } => {
+                json::field_u64(out, "object", *object);
+                json::field_u64(out, "dest", *dest as u64);
+            }
+            Event::WearModelInput {
+                osd,
+                wc_pages,
+                utilization,
+                erase_estimate,
+            } => {
+                json::field_u64(out, "osd", *osd as u64);
+                json::field_u64(out, "wc_pages", *wc_pages);
+                json::field_f64(out, "utilization", *utilization);
+                json::field_f64(out, "erase_estimate", *erase_estimate);
+            }
+            Event::TriggerEval {
+                policy,
+                metric,
+                rsd,
+                lambda,
+                mean,
+                triggered,
+                sources,
+                destinations,
+            } => {
+                json::field_str(out, "policy", policy);
+                json::field_str(out, "metric", metric);
+                json::field_f64(out, "rsd", *rsd);
+                json::field_f64(out, "lambda", *lambda);
+                json::field_f64(out, "mean", *mean);
+                json::field_bool(out, "triggered", *triggered);
+                json::field_arr_u64(out, "sources", sources);
+                json::field_arr_u64(out, "destinations", destinations);
+            }
+            Event::PlanChosen {
+                policy,
+                moves,
+                moved_bytes,
+                objects,
+                sources,
+                destinations,
+            } => {
+                json::field_str(out, "policy", policy);
+                json::field_u64(out, "moves", *moves);
+                json::field_u64(out, "moved_bytes", *moved_bytes);
+                json::field_arr_u64(out, "objects", objects);
+                json::field_arr_u64(out, "sources", sources);
+                json::field_arr_u64(out, "destinations", destinations);
+            }
+            Event::PlanAssessment {
+                rsd_before,
+                rsd_after,
+                moved_bytes,
+                moved_write_pages,
+            } => {
+                json::field_f64(out, "rsd_before", *rsd_before);
+                json::field_f64(out, "rsd_after", *rsd_after);
+                json::field_u64(out, "moved_bytes", *moved_bytes);
+                json::field_u64(out, "moved_write_pages", *moved_write_pages);
+            }
+            Event::MigrationStart {
+                object,
+                source,
+                dest,
+                bytes,
+            }
+            | Event::MigrationFinish {
+                object,
+                source,
+                dest,
+                bytes,
+            } => {
+                json::field_u64(out, "object", *object);
+                json::field_u64(out, "source", *source as u64);
+                json::field_u64(out, "dest", *dest as u64);
+                json::field_u64(out, "bytes", *bytes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_emits_parseable_fields() {
+        let events = vec![
+            Event::GcInvoked {
+                free_blocks: 2,
+                low_watermark: 3,
+                high_watermark: 6,
+            },
+            Event::GcVictim {
+                block: 7,
+                valid_pages: 1,
+                policy: "greedy",
+            },
+            Event::BlockErase {
+                block: 7,
+                erase_count: 12,
+                moved_pages: 1,
+            },
+            Event::WearLevelSwap {
+                block: 9,
+                valid_pages: 4,
+                wear_spread: 5,
+            },
+            Event::OpEnqueue {
+                osd: 1,
+                depth: 3,
+                mover: false,
+            },
+            Event::OpDequeue { osd: 1, depth: 2 },
+            Event::QueueDepth { osd: 0, depth: 9 },
+            Event::RemapUpdate {
+                object: 42,
+                dest: 3,
+            },
+            Event::WearModelInput {
+                osd: 2,
+                wc_pages: 1000,
+                utilization: 0.7,
+                erase_estimate: 55.5,
+            },
+            Event::TriggerEval {
+                policy: "EDM-HDF",
+                metric: "erase_estimate",
+                rsd: 0.31,
+                lambda: 0.2,
+                mean: 100.0,
+                triggered: true,
+                sources: vec![0],
+                destinations: vec![2, 3],
+            },
+            Event::PlanChosen {
+                policy: "EDM-HDF",
+                moves: 2,
+                moved_bytes: 1 << 21,
+                objects: vec![4, 9],
+                sources: vec![0],
+                destinations: vec![2],
+            },
+            Event::PlanAssessment {
+                rsd_before: 0.31,
+                rsd_after: 0.12,
+                moved_bytes: 1 << 21,
+                moved_write_pages: 512,
+            },
+            Event::MigrationStart {
+                object: 4,
+                source: 0,
+                dest: 2,
+                bytes: 1 << 20,
+            },
+            Event::MigrationFinish {
+                object: 4,
+                source: 0,
+                dest: 2,
+                bytes: 1 << 20,
+            },
+        ];
+        for e in events {
+            let mut line = String::from("{");
+            json::field_str(&mut line, "kind", e.kind());
+            e.write_fields(&mut line);
+            line.push('}');
+            let v = json::parse(&line).unwrap_or_else(|err| panic!("{line}: {err}"));
+            assert_eq!(v.get("kind").unwrap().as_str(), Some(e.kind()));
+        }
+    }
+}

@@ -12,6 +12,7 @@
 
 use std::collections::VecDeque;
 
+use edm_obs::{Event, NoopRecorder, Recorder};
 use serde::{Deserialize, Serialize};
 
 use crate::block::Block;
@@ -72,6 +73,17 @@ pub enum VictimPolicy {
     /// age is how long ago the block was retired. Beats greedy when cold
     /// data should be compacted out of the way.
     CostBenefit,
+}
+
+impl VictimPolicy {
+    /// Stable lower-case label used in journal events and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            VictimPolicy::Greedy => "greedy",
+            VictimPolicy::Fifo => "fifo",
+            VictimPolicy::CostBenefit => "cost_benefit",
+        }
+    }
 }
 
 /// Tunables of the FTL's garbage collector.
@@ -265,6 +277,20 @@ impl PageLevelFtl {
         n: u64,
         latency: &LatencyModel,
     ) -> Result<DeviceTime, FtlError> {
+        self.write_span_obs(start, n, latency, &mut NoopRecorder)
+    }
+
+    /// [`write_span`](Self::write_span) with an observability sink: GC
+    /// invocations, victim picks, erases, and wear-leveling swaps the span
+    /// triggers are reported to `obs`. Recording is read-only — behaviour
+    /// and device time are identical for every recorder.
+    pub fn write_span_obs(
+        &mut self,
+        start: u64,
+        n: u64,
+        latency: &LatencyModel,
+        obs: &mut dyn Recorder,
+    ) -> Result<DeviceTime, FtlError> {
         if n == 0 {
             return Ok(DeviceTime::ZERO);
         }
@@ -300,7 +326,7 @@ impl PageLevelFtl {
                 result = Err(FtlError::DeviceFull);
                 break;
             }
-            match self.ensure_host_active(latency) {
+            match self.ensure_host_active(latency, obs) {
                 Ok(gc_time) => elapsed += gc_time,
                 Err(e) => {
                     result = Err(e);
@@ -467,11 +493,15 @@ impl PageLevelFtl {
 
     /// Makes sure a host-active block with free pages exists, running GC
     /// first if the free pool is low.
-    fn ensure_host_active(&mut self, latency: &LatencyModel) -> Result<DeviceTime, FtlError> {
+    fn ensure_host_active(
+        &mut self,
+        latency: &LatencyModel,
+        obs: &mut dyn Recorder,
+    ) -> Result<DeviceTime, FtlError> {
         let mut elapsed = DeviceTime::ZERO;
         if self.active.is_none() {
             if self.free_blocks.len() < self.config.gc_low_watermark as usize {
-                elapsed += self.collect_garbage(latency)?;
+                elapsed += self.collect_garbage(latency, obs)?;
             }
             let block = self.free_blocks.pop().ok_or(FtlError::DeviceFull)?;
             self.active = Some(block);
@@ -481,7 +511,19 @@ impl PageLevelFtl {
 
     /// Runs greedy GC passes until the free pool reaches the high watermark
     /// (or no reclaimable victim remains).
-    fn collect_garbage(&mut self, latency: &LatencyModel) -> Result<DeviceTime, FtlError> {
+    fn collect_garbage(
+        &mut self,
+        latency: &LatencyModel,
+        obs: &mut dyn Recorder,
+    ) -> Result<DeviceTime, FtlError> {
+        obs.counter("ftl.gc_invocations", 1);
+        if obs.events_on() {
+            obs.event(Event::GcInvoked {
+                free_blocks: self.free_blocks.len() as u64,
+                low_watermark: self.config.gc_low_watermark as u64,
+                high_watermark: self.config.gc_high_watermark as u64,
+            });
+        }
         let mut elapsed = DeviceTime::ZERO;
         // Pass bound: FIFO may take zero-gain passes over fully-valid
         // blocks; one full tour of the device is enough to reach every
@@ -490,13 +532,17 @@ impl PageLevelFtl {
         let max_passes = 2 * self.geometry.blocks as usize;
         while self.free_blocks.len() < self.config.gc_high_watermark as usize && passes < max_passes
         {
-            match self.gc_pass(latency)? {
+            match self.gc_pass(latency, obs)? {
                 Some(t) => elapsed += t,
                 None => break, // nothing reclaimable right now
             }
             passes += 1;
         }
-        elapsed += self.maybe_static_level(latency)?;
+        elapsed += self.maybe_static_level(latency, obs)?;
+        // Journaled event streams are validated in dev builds: every GC
+        // collection (and the static-level swap it may piggyback) must
+        // leave the mapping tables consistent.
+        debug_assert_eq!(self.check_invariants(), Ok(()));
         Ok(elapsed)
     }
 
@@ -504,7 +550,11 @@ impl PageLevelFtl {
     /// configured threshold, reclaim the least-worn full block (which is
     /// where long-lived cold data pins wear at zero) so it re-enters
     /// circulation. At most one pass per collection.
-    fn maybe_static_level(&mut self, latency: &LatencyModel) -> Result<DeviceTime, FtlError> {
+    fn maybe_static_level(
+        &mut self,
+        latency: &LatencyModel,
+        obs: &mut dyn Recorder,
+    ) -> Result<DeviceTime, FtlError> {
         let threshold = self.config.wear_leveling.static_threshold;
         if threshold == 0 || self.free_blocks.len() < 2 {
             return Ok(DeviceTime::ZERO);
@@ -530,13 +580,29 @@ impl PageLevelFtl {
         if self.retire_order.front() == Some(&victim) {
             self.retire_order.pop_front();
         }
-        self.relocate_and_erase(victim, valid, latency)
+        obs.counter("ftl.wear_level_swaps", 1);
+        if obs.events_on() {
+            obs.event(Event::WearLevelSwap {
+                block: victim as u64,
+                valid_pages: valid as u64,
+                wear_spread: self.spread.max() - self.spread.min(),
+            });
+        }
+        let t = self.relocate_and_erase(victim, valid, latency, obs)?;
+        // The swap relocates a whole block of cold data; validate the
+        // result in dev builds just like a normal GC pass.
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        Ok(t)
     }
 
     /// One greedy GC pass: pick the full block with the fewest valid pages,
     /// relocate its live pages, erase it. Returns `None` when no victim is
     /// available or reclaiming it would free nothing.
-    fn gc_pass(&mut self, latency: &LatencyModel) -> Result<Option<DeviceTime>, FtlError> {
+    fn gc_pass(
+        &mut self,
+        latency: &LatencyModel,
+        obs: &mut dyn Recorder,
+    ) -> Result<Option<DeviceTime>, FtlError> {
         let Some((valid, victim)) = self.select_victim() else {
             return Ok(None);
         };
@@ -544,7 +610,14 @@ impl PageLevelFtl {
         if self.retire_order.front() == Some(&victim) {
             self.retire_order.pop_front();
         }
-        let t = self.relocate_and_erase(victim, valid, latency)?;
+        if obs.events_on() {
+            obs.event(Event::GcVictim {
+                block: victim as u64,
+                valid_pages: valid as u64,
+                policy: self.config.victim_policy.label(),
+            });
+        }
+        let t = self.relocate_and_erase(victim, valid, latency, obs)?;
         Ok(Some(t))
     }
 
@@ -556,6 +629,7 @@ impl PageLevelFtl {
         victim: u32,
         valid: u32,
         latency: &LatencyModel,
+        obs: &mut dyn Recorder,
     ) -> Result<DeviceTime, FtlError> {
         // Walk the victim's live pages with a cursor instead of collecting
         // them first: relocation only invalidates pages the cursor has
@@ -600,6 +674,15 @@ impl PageLevelFtl {
         self.stats.gc_victims += 1;
         self.stats.victim_valid_pages += valid as u64;
         self.stats.gc_page_moves += valid as u64;
+        obs.counter("ftl.block_erases", 1);
+        obs.counter("ftl.gc_page_moves", valid as u64);
+        if obs.events_on() {
+            obs.event(Event::BlockErase {
+                block: victim as u64,
+                erase_count: wear,
+                moved_pages: valid as u64,
+            });
+        }
         Ok(latency.gc_pass(valid as u64))
     }
 

@@ -1,6 +1,7 @@
 //! The SSD device façade: byte-granular host interface over the page-level
 //! FTL, plus the steady-state warm-up procedure of §IV.
 
+use edm_obs::Recorder;
 use serde::{Deserialize, Serialize};
 
 use crate::ftl::{FtlConfig, FtlError, PageLevelFtl};
@@ -102,6 +103,18 @@ impl Ssd {
     pub fn write(&mut self, offset: u64, len: u64) -> Result<DeviceTime, FtlError> {
         let (start, n) = self.page_span(offset, len);
         self.ftl.write_span(start, n, &self.latency)
+    }
+
+    /// [`write`](Self::write) with an observability sink for the FTL
+    /// events (GC, erases, wear leveling) the write triggers.
+    pub fn write_obs(
+        &mut self,
+        offset: u64,
+        len: u64,
+        obs: &mut dyn Recorder,
+    ) -> Result<DeviceTime, FtlError> {
+        let (start, n) = self.page_span(offset, len);
+        self.ftl.write_span_obs(start, n, &self.latency, obs)
     }
 
     /// Unmaps `len` bytes starting at logical byte `offset`.

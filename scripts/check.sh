@@ -19,4 +19,32 @@ cargo test -q
 echo "==> edm-perf --smoke"
 ./target/release/edm-perf --smoke
 
+echo "==> obs smoke (edm-sim --obs-level events + edm-probe --journal)"
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+cat > "$obs_dir/smoke.scn" <<'EOF'
+trace home02
+scale 0.004
+osds 8
+groups 4
+policy EDM-HDF
+schedule midpoint
+force true
+EOF
+./target/release/edm-sim "$obs_dir/smoke.scn" \
+    --obs "$obs_dir/smoke.jsonl" --obs-level events > /dev/null
+# The probe exits nonzero if any journal line fails to parse.
+probe_out="$(./target/release/edm-probe --journal "$obs_dir/smoke.jsonl")"
+echo "$probe_out" | grep -q "trigger evaluations" \
+    || { echo "obs smoke: no trigger evaluations in journal"; exit 1; }
+echo "$probe_out" | grep -q "ftl.block_erases" \
+    || { echo "obs smoke: no erase counter in journal"; exit 1; }
+grep -q '"kind":"trigger_eval"' "$obs_dir/smoke.jsonl" \
+    || { echo "obs smoke: trigger_eval event missing"; exit 1; }
+grep -q '"rsd":' "$obs_dir/smoke.jsonl" \
+    || { echo "obs smoke: rsd field missing"; exit 1; }
+event_count="$(wc -l < "$obs_dir/smoke.jsonl")"
+[ "$event_count" -gt 0 ] || { echo "obs smoke: empty journal"; exit 1; }
+echo "obs smoke: $event_count journal lines OK"
+
 echo "All checks passed."

@@ -296,3 +296,47 @@ fn write_only_and_read_only_traces_replay() {
         }
     }
 }
+
+#[test]
+fn observability_levels_do_not_change_the_run() {
+    use edm_harness::scenario::Scenario;
+    use edm_obs::{MemoryRecorder, NoopRecorder, ObsLevel};
+    let scenario = Scenario::parse(
+        "trace home02\nscale 0.002\nosds 8\ngroups 4\npolicy EDM-HDF\n\
+         schedule midpoint\nforce true\n",
+    )
+    .unwrap();
+    let baseline = scenario.run_with_obs(&mut NoopRecorder).unwrap();
+    for level in [ObsLevel::Off, ObsLevel::Metrics, ObsLevel::Events] {
+        let mut rec = MemoryRecorder::new(level);
+        let report = scenario.run_with_obs(&mut rec).unwrap();
+        assert_eq!(report.duration_us, baseline.duration_us, "{level:?}");
+        assert_eq!(report.completed_ops, baseline.completed_ops, "{level:?}");
+        assert_eq!(report.moved_objects, baseline.moved_objects, "{level:?}");
+        assert_eq!(
+            report.aggregate_erases(),
+            baseline.aggregate_erases(),
+            "{level:?}"
+        );
+        assert_eq!(
+            report.mean_response_us, baseline.mean_response_us,
+            "{level:?}"
+        );
+        if level == ObsLevel::Events {
+            // The decision trace the probe renders must be present.
+            assert!(rec.count_kind("trigger_eval") >= 1);
+            assert_eq!(rec.count_kind("wear_model_input"), 8);
+            assert_eq!(rec.count_kind("plan_chosen"), 1);
+            assert_eq!(rec.count_kind("plan_assessment"), 1);
+            assert!(rec.count_kind("block_erase") > 0);
+            // And the journal round-trips through the JSONL writer.
+            let mut buf = Vec::new();
+            rec.write_jsonl(&mut buf).unwrap();
+            let text = String::from_utf8(buf).unwrap();
+            assert!(text.lines().count() > rec.journal().len());
+            for line in text.lines() {
+                edm_obs::json::parse(line).expect("journal line parses");
+            }
+        }
+    }
+}
