@@ -27,6 +27,7 @@ pub fn artifact_config() -> RunConfig {
         scale: artifact_scale(),
         schedule: MigrationSchedule::Midpoint,
         response_window_us: None,
+        jobs: None,
     }
 }
 
@@ -36,6 +37,7 @@ pub fn timed_config() -> RunConfig {
         scale: 0.002,
         schedule: MigrationSchedule::Midpoint,
         response_window_us: None,
+        jobs: None,
     }
 }
 

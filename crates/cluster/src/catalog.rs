@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 use edm_workload::FileId;
@@ -119,6 +120,44 @@ impl Catalog {
     pub fn record_move(&mut self, object: ObjectId, dest: OsdId) {
         let home = self.home_of(object);
         self.remap.record_move_with_home(object, dest, home);
+    }
+}
+
+impl Snapshot for FileMeta {
+    fn save(&self, w: &mut SnapWriter) {
+        self.file.save(w);
+        w.put_u64(self.size);
+        self.objects.save(w);
+        w.put_u64(self.object_size);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        FileMeta {
+            file: FileId::load(r),
+            size: r.take_u64(),
+            objects: Vec::load(r),
+            object_size: r.take_u64(),
+        }
+    }
+}
+
+impl Snapshot for Catalog {
+    fn save(&self, w: &mut SnapWriter) {
+        self.placement.save(w);
+        self.layout.save(w);
+        self.files.save(w);
+        self.remap.save(w);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let c = Catalog {
+            placement: Placement::load(r),
+            layout: StripeLayout::load(r),
+            files: BTreeMap::load(r),
+            remap: RemappingTable::load(r),
+        };
+        if !r.failed() && c.placement.objects_per_file != c.layout.k {
+            r.corrupt("placement and stripe layout disagree on k");
+        }
+        c
     }
 }
 

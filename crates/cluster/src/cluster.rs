@@ -1,6 +1,7 @@
 //! Cluster construction: capacity sizing, file pre-creation, and the
 //! steady-state warm-up (§IV–§V.A).
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use edm_workload::Trace;
 
 use crate::catalog::Catalog;
@@ -138,6 +139,29 @@ impl Cluster {
     pub fn object_size(&self, object: ObjectId) -> Option<u64> {
         let (file, _) = self.catalog.placement().object_owner(object);
         self.catalog.file(file).map(|m| m.object_size)
+    }
+}
+
+impl Snapshot for Cluster {
+    fn save(&self, w: &mut SnapWriter) {
+        self.config.save(w);
+        self.catalog.save(w);
+        self.osds.save(w);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let c = Cluster {
+            config: ClusterConfig::load(r),
+            catalog: Catalog::load(r),
+            osds: Vec::load(r),
+        };
+        if !r.failed() && c.osds.len() != c.config.osds as usize {
+            r.corrupt(format!(
+                "cluster has {} OSDs but config says {}",
+                c.osds.len(),
+                c.config.osds
+            ));
+        }
+        c
     }
 }
 

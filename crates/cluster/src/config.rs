@@ -1,5 +1,6 @@
 //! Cluster simulation configuration (§IV–§V.A defaults).
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 use edm_ssd::{FtlConfig, LatencyModel};
@@ -128,6 +129,53 @@ impl ClusterConfig {
             return Err("move_chunk_bytes must be positive".into());
         }
         Ok(())
+    }
+}
+
+impl Snapshot for ClusterConfig {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u32(self.osds);
+        w.put_u32(self.groups);
+        w.put_u32(self.objects_per_file);
+        w.put_u64(self.stripe_unit);
+        self.clients.save(w);
+        w.put_u32(self.client_concurrency);
+        w.put_f64(self.target_max_utilization);
+        self.latency.save(w);
+        self.ftl.save(w);
+        w.put_u64(self.osd_overhead_us);
+        w.put_u64(self.mds_latency_us);
+        w.put_u64(self.wear_tick_us);
+        w.put_u64(self.response_window_us);
+        w.put_bool(self.skip_warm_up);
+        w.put_f64(self.dest_free_reserve);
+        w.put_u64(self.move_chunk_bytes);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let c = ClusterConfig {
+            osds: r.take_u32(),
+            groups: r.take_u32(),
+            objects_per_file: r.take_u32(),
+            stripe_unit: r.take_u64(),
+            clients: Option::load(r),
+            client_concurrency: r.take_u32(),
+            target_max_utilization: r.take_f64(),
+            latency: LatencyModel::load(r),
+            ftl: FtlConfig::load(r),
+            osd_overhead_us: r.take_u64(),
+            mds_latency_us: r.take_u64(),
+            wear_tick_us: r.take_u64(),
+            response_window_us: r.take_u64(),
+            skip_warm_up: r.take_bool(),
+            dest_free_reserve: r.take_f64(),
+            move_chunk_bytes: r.take_u64(),
+        };
+        if !r.failed() {
+            if let Err(e) = c.validate() {
+                r.corrupt(format!("cluster config: {e}"));
+            }
+        }
+        c
     }
 }
 

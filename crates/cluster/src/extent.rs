@@ -5,6 +5,7 @@
 //! list with coalescing on free — simple, deterministic, and fragmentation
 //! behaviour good enough for object-sized allocations.
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 /// A contiguous byte range `[start, start + len)` of logical space.
@@ -114,6 +115,42 @@ impl ExtentAllocator {
             self.free[idx - 1].len += self.free[idx].len;
             self.free.remove(idx);
         }
+    }
+}
+
+impl Snapshot for Extent {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.start);
+        w.put_u64(self.len);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        Extent {
+            start: r.take_u64(),
+            len: r.take_u64(),
+        }
+    }
+}
+
+impl Snapshot for ExtentAllocator {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.capacity);
+        self.free.save(w);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let a = ExtentAllocator {
+            capacity: r.take_u64(),
+            free: Vec::load(r),
+        };
+        if !r.failed() {
+            // The free list's invariants (sorted, non-overlapping,
+            // non-adjacent, in bounds) are what `free()` relies on.
+            let ok = a.free.iter().all(|e| e.len > 0 && e.end() <= a.capacity)
+                && a.free.windows(2).all(|p| p[0].end() < p[1].start);
+            if !ok {
+                r.corrupt("extent free list violates its invariants");
+            }
+        }
+        a
     }
 }
 

@@ -1,5 +1,6 @@
 //! Strongly typed identifiers used across the cluster simulator.
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 /// Index of an OSD (object-based storage device) in the cluster; the paper
@@ -38,6 +39,24 @@ impl std::fmt::Display for GroupId {
         write!(f, "group{}", self.0)
     }
 }
+
+macro_rules! id_snapshot {
+    ($ty:ident, $put:ident, $take:ident) => {
+        impl Snapshot for $ty {
+            fn save(&self, w: &mut SnapWriter) {
+                w.$put(self.0);
+            }
+            fn load(r: &mut SnapReader) -> Self {
+                $ty(r.$take())
+            }
+        }
+    };
+}
+
+id_snapshot!(OsdId, put_u32, take_u32);
+id_snapshot!(GroupId, put_u32, take_u32);
+id_snapshot!(ObjectId, put_u64, take_u64);
+id_snapshot!(ClientId, put_u32, take_u32);
 
 #[cfg(test)]
 mod tests {

@@ -49,4 +49,7 @@ pub use migrate::{
 pub use placement::Placement;
 pub use raid::{IoKind, ObjectIo, StripeLayout};
 pub use remap::RemappingTable;
-pub use sim::{run_trace, run_trace_obs, FailureSpec, MigrationSchedule, SimOptions};
+pub use sim::{
+    resume_trace_obs, resume_trace_obs_keep, run_trace, run_trace_obs, run_trace_obs_keep,
+    CheckpointConfig, FailureSpec, MigrationSchedule, SimOptions, SnapManifest,
+};

@@ -1,6 +1,7 @@
 //! Run metrics: aggregate throughput (Fig. 5), windowed mean response
 //! time (Fig. 7), and per-OSD wear summaries (Fig. 1, Fig. 6).
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 use edm_ssd::WearStats;
@@ -147,6 +148,51 @@ impl LatencyHistogram {
 impl Default for LatencyHistogram {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Snapshot for ResponseSeries {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.window_us);
+        self.buckets.save(w);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let window_us = r.take_u64();
+        if window_us == 0 {
+            r.corrupt("response series window must be positive");
+            return ResponseSeries {
+                window_us: 1,
+                buckets: Vec::new(),
+            };
+        }
+        let buckets = Vec::load(r);
+        if buckets.len() > Self::MAX_WINDOWS {
+            r.corrupt("response series exceeds its window cap");
+        }
+        ResponseSeries { window_us, buckets }
+    }
+}
+
+impl Snapshot for LatencyHistogram {
+    fn save(&self, w: &mut SnapWriter) {
+        self.buckets.save(w);
+        w.put_u64(self.count);
+        w.put_u64(self.max_us);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let h = LatencyHistogram {
+            buckets: Vec::load(r),
+            count: r.take_u64(),
+            max_us: r.take_u64(),
+        };
+        if !r.failed() {
+            if h.buckets.len() != Self::BUCKETS {
+                r.corrupt(format!("latency histogram has {} buckets", h.buckets.len()));
+            } else if h.buckets.iter().sum::<u64>() != h.count {
+                r.corrupt("latency histogram count disagrees with its buckets");
+            }
+        }
+        h
     }
 }
 

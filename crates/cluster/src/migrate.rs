@@ -11,6 +11,7 @@
 //!   movement actions, each "indicated by a triple (oid, source_id,
 //!   dest_id)" (§III.B.5).
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{GroupId, ObjectId, OsdId};
@@ -138,6 +139,32 @@ pub trait Migrator {
     /// serving from the source, so it overrides this to `false`.
     fn blocking_moves(&self) -> bool {
         true
+    }
+
+    /// Serializes the policy's mutable state into a checkpoint. Stateless
+    /// policies keep the default no-op; stateful ones (the EDM access
+    /// tracker) must write everything [`load_state`](Self::load_state)
+    /// needs to continue bit-identically.
+    fn save_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restores state written by [`save_state`](Self::save_state). The
+    /// engine only resumes a checkpoint whose recorded policy name matches
+    /// this policy, so the byte layouts always agree.
+    fn load_state(&mut self, _r: &mut SnapReader) {}
+}
+
+impl Snapshot for MoveAction {
+    fn save(&self, w: &mut SnapWriter) {
+        self.object.save(w);
+        self.source.save(w);
+        self.dest.save(w);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        MoveAction {
+            object: ObjectId::load(r),
+            source: OsdId::load(r),
+            dest: OsdId::load(r),
+        }
     }
 }
 

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use edm_ssd::{DeviceTime, FtlConfig, FtlError, Geometry, LatencyModel, Ssd};
 
 use crate::extent::{Extent, ExtentAllocator};
@@ -261,6 +262,47 @@ impl Osd {
     pub fn reset_wear(&mut self) {
         self.ssd.reset_wear();
         self.wc_window_pages = 0;
+    }
+}
+
+impl Snapshot for Osd {
+    /// The directory is serialized sorted by object id for canonical
+    /// bytes; its hash-map iteration order is never behavior-relevant.
+    fn save(&self, w: &mut SnapWriter) {
+        self.id.save(w);
+        self.ssd.save(w);
+        self.extents.save(w);
+        let mut dir: Vec<(ObjectId, Extent)> =
+            self.directory.iter().map(|(&o, &e)| (o, e)).collect();
+        dir.sort_by_key(|(o, _)| *o);
+        dir.save(w);
+        w.put_f64(self.ewma_latency_us);
+        w.put_u64(self.wc_window_pages);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let id = OsdId::load(r);
+        let ssd = Ssd::load(r);
+        let extents = ExtentAllocator::load(r);
+        let dir = Vec::<(ObjectId, Extent)>::load(r);
+        let directory: HashMap<ObjectId, Extent> = dir.iter().copied().collect();
+        if directory.len() != dir.len() {
+            r.corrupt("object directory has duplicate entries");
+        }
+        let osd = Osd {
+            id,
+            ssd,
+            extents,
+            directory,
+            ewma_latency_us: r.take_f64(),
+            wc_window_pages: r.take_u64(),
+        };
+        if !r.failed() {
+            let dir_bytes: u64 = osd.directory.values().map(|e| e.len).sum();
+            if dir_bytes != osd.extents.used_bytes() {
+                r.corrupt("object directory disagrees with the extent allocator");
+            }
+        }
+        osd
     }
 }
 

@@ -7,6 +7,7 @@
 //! any two objects of a file in different groups whenever `k ≤ m`. Data
 //! migration is intra-group only, preserving that property (§III.D).
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{GroupId, ObjectId, OsdId};
@@ -123,6 +124,27 @@ impl Placement {
     /// migration rule.
     pub fn same_group(&self, a: OsdId, b: OsdId) -> bool {
         self.group_of(a) == self.group_of(b)
+    }
+}
+
+impl Snapshot for Placement {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u32(self.osds);
+        w.put_u32(self.groups);
+        w.put_u32(self.objects_per_file);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let p = Placement {
+            osds: r.take_u32(),
+            groups: r.take_u32(),
+            objects_per_file: r.take_u32(),
+        };
+        if !r.failed() {
+            if let Err(e) = p.validate() {
+                r.corrupt(format!("placement: {e}"));
+            }
+        }
+        p
     }
 }
 

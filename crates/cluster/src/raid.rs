@@ -11,6 +11,7 @@
 //! parity read + parity write) — the write amplification that couples
 //! RAID-5 to SSD wear.
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 /// What a sub-operation does to an object.
@@ -166,6 +167,22 @@ impl StripeLayout {
             pos += chunk;
         }
         ios
+    }
+}
+
+impl Snapshot for StripeLayout {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u32(self.k);
+        w.put_u64(self.unit);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let k = r.take_u32();
+        let unit = r.take_u64();
+        if !r.failed() && (k < 2 || unit == 0) {
+            r.corrupt(format!("stripe layout k = {k}, unit = {unit}"));
+            return StripeLayout { k: 2, unit: 1 };
+        }
+        StripeLayout { k, unit }
     }
 }
 

@@ -8,6 +8,8 @@
 
 use std::collections::HashMap;
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
+
 use crate::ids::{ObjectId, OsdId};
 
 /// Overlay of moved objects on top of hash placement.
@@ -79,6 +81,29 @@ impl RemappingTable {
 
     pub fn approx_bytes(&self) -> usize {
         self.len() * Self::ENTRY_BYTES
+    }
+}
+
+impl Snapshot for RemappingTable {
+    /// Entries are serialized sorted by object id so two equal tables
+    /// always produce the same bytes regardless of hash-map history.
+    fn save(&self, w: &mut SnapWriter) {
+        let mut entries: Vec<(ObjectId, OsdId)> = self.iter().collect();
+        entries.sort();
+        entries.save(w);
+        w.put_u64(self.moves_recorded);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let entries = Vec::<(ObjectId, OsdId)>::load(r);
+        let moves_recorded = r.take_u64();
+        let map: HashMap<ObjectId, OsdId> = entries.iter().copied().collect();
+        if map.len() != entries.len() {
+            r.corrupt("remapping table has duplicate entries");
+        }
+        RemappingTable {
+            map,
+            moves_recorded,
+        }
     }
 }
 

@@ -13,8 +13,10 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::path::PathBuf;
 
 use edm_obs::{Event as ObsEvent, NoopRecorder, Recorder};
+use edm_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotFile};
 use edm_workload::{FileOp, Trace};
 
 use crate::cluster::Cluster;
@@ -49,12 +51,115 @@ pub struct FailureSpec {
     pub rebuild: bool,
 }
 
+/// Periodic checkpointing of the full simulation state (see
+/// [`resume_trace_obs`]).
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Virtual-time interval between checkpoints, µs. Checkpoints are cut
+    /// at wear-monitor ticks (the only points with no mid-decision state),
+    /// so the effective spacing is rounded up to whole ticks.
+    pub every_us: u64,
+    /// Directory receiving `ckpt_<now_us>.snap` files (atomic writes).
+    pub dir: PathBuf,
+    /// Opaque caller bytes stored in each snapshot's manifest — the
+    /// harness records its scenario text and trace fingerprint here so a
+    /// resumed process can verify it rebuilt the same world.
+    pub meta: Vec<u8>,
+}
+
 /// Everything the engine needs besides the cluster itself.
 #[derive(Debug, Clone, Default)]
 pub struct SimOptions {
     pub schedule: MigrationSchedule,
     /// OSD failures to inject during the replay.
     pub failures: Vec<FailureSpec>,
+    /// Periodic full-state checkpoints; `None` disables them.
+    pub checkpoint: Option<CheckpointConfig>,
+}
+
+/// The snapshot header: everything a tool needs to describe a checkpoint
+/// without materializing the simulator. Always the first section of a
+/// checkpoint file, decodable on its own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapManifest {
+    /// Virtual time at which the checkpoint was cut.
+    pub now_us: u64,
+    pub completed_ops: u64,
+    pub total_records: u64,
+    /// `Migrator::name()` of the policy that was driving the run.
+    pub policy: String,
+    /// Block erases per OSD at checkpoint time (the Fig. 6 trajectory).
+    pub per_osd_erases: Vec<u64>,
+    /// Opaque caller bytes ([`CheckpointConfig::meta`]).
+    pub extra: Vec<u8>,
+}
+
+impl SnapManifest {
+    /// Section name of the manifest inside a checkpoint file.
+    pub const SECTION: &'static str = "manifest";
+
+    /// Decodes just the manifest of a checkpoint (cheap: only this
+    /// section's CRC is verified).
+    pub fn from_snapshot(file: &SnapshotFile) -> Result<SnapManifest, SnapError> {
+        file.decode(Self::SECTION)
+    }
+}
+
+impl Snapshot for SnapManifest {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.now_us);
+        w.put_u64(self.completed_ops);
+        w.put_u64(self.total_records);
+        self.policy.save(w);
+        self.per_osd_erases.save(w);
+        self.extra.save(w);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        SnapManifest {
+            now_us: r.take_u64(),
+            completed_ops: r.take_u64(),
+            total_records: r.take_u64(),
+            policy: String::load(r),
+            per_osd_erases: Vec::load(r),
+            extra: Vec::load(r),
+        }
+    }
+}
+
+impl Snapshot for MigrationSchedule {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            MigrationSchedule::Never => 0,
+            MigrationSchedule::Midpoint => 1,
+            MigrationSchedule::EveryTick => 2,
+        });
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        match r.take_u8() {
+            0 => MigrationSchedule::Never,
+            1 => MigrationSchedule::Midpoint,
+            2 => MigrationSchedule::EveryTick,
+            tag => {
+                r.corrupt(format!("migration schedule tag {tag}"));
+                MigrationSchedule::Never
+            }
+        }
+    }
+}
+
+impl Snapshot for FailureSpec {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.at_us);
+        self.osd.save(w);
+        w.put_bool(self.rebuild);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        FailureSpec {
+            at_us: r.take_u64(),
+            osd: OsdId::load(r),
+            rebuild: r.take_bool(),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -125,6 +230,174 @@ struct RebuildState {
     size: u64,
 }
 
+impl Snapshot for Event {
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            Event::OsdDone(o) => {
+                w.put_u8(0);
+                w.put_u32(o);
+            }
+            Event::MdsDone(token) => {
+                w.put_u8(1);
+                w.put_u64(token);
+            }
+            Event::Tick => w.put_u8(2),
+            Event::Fail(o) => {
+                w.put_u8(3);
+                w.put_u32(o);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        match r.take_u8() {
+            0 => Event::OsdDone(r.take_u32()),
+            1 => Event::MdsDone(r.take_u64()),
+            2 => Event::Tick,
+            3 => Event::Fail(r.take_u32()),
+            tag => {
+                r.corrupt(format!("event tag {tag}"));
+                Event::Tick
+            }
+        }
+    }
+}
+
+impl Snapshot for Payload {
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            Payload::FileIo {
+                token,
+                object,
+                offset,
+                len,
+                write,
+                degraded,
+            } => {
+                w.put_u8(0);
+                w.put_u64(token);
+                object.save(w);
+                w.put_u64(offset);
+                w.put_u64(len);
+                w.put_bool(write);
+                w.put_bool(degraded);
+            }
+            Payload::MoveRead {
+                object,
+                offset,
+                len,
+            } => {
+                w.put_u8(1);
+                object.save(w);
+                w.put_u64(offset);
+                w.put_u64(len);
+            }
+            Payload::MoveWrite {
+                object,
+                offset,
+                len,
+            } => {
+                w.put_u8(2);
+                object.save(w);
+                w.put_u64(offset);
+                w.put_u64(len);
+            }
+            Payload::RebuildRead { lost, sibling } => {
+                w.put_u8(3);
+                lost.save(w);
+                sibling.save(w);
+            }
+            Payload::RebuildWrite { lost, offset, len } => {
+                w.put_u8(4);
+                lost.save(w);
+                w.put_u64(offset);
+                w.put_u64(len);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        match r.take_u8() {
+            0 => Payload::FileIo {
+                token: r.take_u64(),
+                object: ObjectId::load(r),
+                offset: r.take_u64(),
+                len: r.take_u64(),
+                write: r.take_bool(),
+                degraded: r.take_bool(),
+            },
+            1 => Payload::MoveRead {
+                object: ObjectId::load(r),
+                offset: r.take_u64(),
+                len: r.take_u64(),
+            },
+            2 => Payload::MoveWrite {
+                object: ObjectId::load(r),
+                offset: r.take_u64(),
+                len: r.take_u64(),
+            },
+            3 => Payload::RebuildRead {
+                lost: ObjectId::load(r),
+                sibling: ObjectId::load(r),
+            },
+            4 => Payload::RebuildWrite {
+                lost: ObjectId::load(r),
+                offset: r.take_u64(),
+                len: r.take_u64(),
+            },
+            tag => {
+                r.corrupt(format!("payload tag {tag}"));
+                Payload::MoveRead {
+                    object: ObjectId(0),
+                    offset: 0,
+                    len: 0,
+                }
+            }
+        }
+    }
+}
+
+impl Snapshot for SubReq {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.enqueued_us);
+        self.payload.save(w);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        SubReq {
+            enqueued_us: r.take_u64(),
+            payload: Payload::load(r),
+        }
+    }
+}
+
+impl Snapshot for Inflight {
+    fn save(&self, w: &mut SnapWriter) {
+        self.client.save(w);
+        w.put_u64(self.issued_us);
+        w.put_u32(self.remaining);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        Inflight {
+            client: ClientId::load(r),
+            issued_us: r.take_u64(),
+            remaining: r.take_u32(),
+        }
+    }
+}
+
+impl Snapshot for RebuildState {
+    fn save(&self, w: &mut SnapWriter) {
+        self.dest.save(w);
+        w.put_u32(self.pending_reads);
+        w.put_u64(self.size);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        RebuildState {
+            dest: OsdId::load(r),
+            pending_reads: r.take_u32(),
+            size: r.take_u64(),
+        }
+    }
+}
+
 struct Engine<'a> {
     cluster: Cluster,
     trace: &'a Trace,
@@ -186,6 +459,8 @@ struct Engine<'a> {
     /// Deliberately not advanced by Tick events: a trailing wear-monitor
     /// tick must not inflate the measured duration.
     last_completion_us: u64,
+    /// Virtual time of the last checkpoint cut (0 = none yet).
+    last_ckpt_us: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -737,13 +1012,16 @@ impl<'a> Engine<'a> {
         }
         self.failed[o] = true;
 
-        // Abort every in-flight move that touches the dead device.
-        let touched: Vec<ObjectId> = self
+        // Abort every in-flight move that touches the dead device. Sorted:
+        // the map's iteration order is unspecified and must not leak into
+        // the order partial copies are dropped and requests unparked.
+        let mut touched: Vec<ObjectId> = self
             .move_routes
             .iter()
             .filter(|(_, a)| a.source == osd || a.dest == osd)
             .map(|(&obj, _)| obj)
             .collect();
+        touched.sort_unstable();
         for obj in touched {
             let action = self.move_routes[&obj];
             // Drop the half-written destination copy (unless the dest
@@ -911,8 +1189,179 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self) -> RunReport {
-        // Seed each client up to its concurrency window.
+    /// Serializes every mutable engine field into the checkpoint's
+    /// "engine" section. The [`CheckpointConfig`] itself is deliberately
+    /// *not* saved: paths and cadence belong to the resuming process.
+    fn save_engine(&self, w: &mut SnapWriter) {
+        self.options.schedule.save(w);
+        self.options.failures.save(w);
+        w.put_bool(self.blocking_moves);
+        // The event heap has unspecified internal order; canonicalize as
+        // the ascending (at, seq, event) list.
+        let mut events: Vec<(u64, u64, Event)> = self.heap.iter().map(|Reverse(t)| *t).collect();
+        events.sort_unstable();
+        events.save(w);
+        w.put_u64(self.seq);
+        w.put_u64(self.now);
+        w.put_u64(self.last_ckpt_us);
+        self.cursors.save(w);
+        self.outstanding.save(w);
+        save_sorted_map(w, &self.inflight);
+        w.put_u64(self.next_token);
+        self.queues.save(w);
+        self.current.save(w);
+        self.busy_us.save(w);
+        self.peak_queue_depth.save(w);
+        save_sorted_map(w, &self.moving);
+        save_sorted_map(w, &self.move_routes);
+        self.move_queues.save(w);
+        self.failed.save(w);
+        save_sorted_map(w, &self.rebuilds);
+        w.put_u64(self.degraded_ops);
+        w.put_u64(self.lost_ops);
+        w.put_u64(self.rebuilt_objects);
+        self.responses.save(w);
+        self.response_hist.save(w);
+        w.put_f64(self.response_sum);
+        w.put_u64(self.completed_ops);
+        w.put_u64(self.total_records);
+        w.put_bool(self.migration_fired);
+        w.put_u64(self.migrations_triggered);
+        w.put_u64(self.moved_objects);
+        w.put_u64(self.failed_moves);
+        w.put_u64(self.last_completion_us);
+    }
+
+    /// Mirror of [`save_engine`](Self::save_engine), applied to a freshly
+    /// constructed engine. Derived state (`scripts`) is recomputed from
+    /// the trace, so the loaded fields are cross-checked against it.
+    fn load_engine(&mut self, r: &mut SnapReader) {
+        self.options.schedule = MigrationSchedule::load(r);
+        self.options.failures = Vec::load(r);
+        let blocking = r.take_bool();
+        if !r.failed() && blocking != self.blocking_moves {
+            r.corrupt("policy blocking-moves mode differs from checkpoint");
+        }
+        for t in Vec::<(u64, u64, Event)>::load(r) {
+            self.heap.push(Reverse(t));
+        }
+        self.seq = r.take_u64();
+        self.now = r.take_u64();
+        self.last_ckpt_us = r.take_u64();
+        self.cursors = Vec::load(r);
+        self.outstanding = Vec::load(r);
+        self.inflight = load_map(r, "inflight");
+        self.next_token = r.take_u64();
+        self.queues = Vec::load(r);
+        self.current = Vec::load(r);
+        self.busy_us = Vec::load(r);
+        self.peak_queue_depth = Vec::load(r);
+        self.moving = load_map(r, "moving");
+        self.move_routes = load_map(r, "move_routes");
+        self.move_queues = Vec::load(r);
+        self.failed = Vec::load(r);
+        self.rebuilds = load_map(r, "rebuilds");
+        self.degraded_ops = r.take_u64();
+        self.lost_ops = r.take_u64();
+        self.rebuilt_objects = r.take_u64();
+        self.responses = ResponseSeries::load(r);
+        self.response_hist = LatencyHistogram::load(r);
+        self.response_sum = r.take_f64();
+        self.completed_ops = r.take_u64();
+        self.total_records = r.take_u64();
+        self.migration_fired = r.take_bool();
+        self.migrations_triggered = r.take_u64();
+        self.moved_objects = r.take_u64();
+        self.failed_moves = r.take_u64();
+        self.last_completion_us = r.take_u64();
+        if r.failed() {
+            return;
+        }
+        let osds = self.cluster.config.osds as usize;
+        let per_osd_ok = self.queues.len() == osds
+            && self.current.len() == osds
+            && self.busy_us.len() == osds
+            && self.peak_queue_depth.len() == osds
+            && self.move_queues.len() == osds
+            && self.failed.len() == osds;
+        if !per_osd_ok {
+            r.corrupt("per-OSD state length disagrees with the cluster");
+            return;
+        }
+        let clients_ok = self.cursors.len() == self.scripts.len()
+            && self.outstanding.len() == self.scripts.len()
+            && self
+                .cursors
+                .iter()
+                .zip(&self.scripts)
+                .all(|(&c, s)| c <= s.len());
+        if !clients_ok {
+            r.corrupt("client cursors disagree with the trace's scripts");
+            return;
+        }
+        if self.total_records != self.trace.records.len() as u64 {
+            r.corrupt(format!(
+                "checkpoint replays {} records but the trace has {}",
+                self.total_records,
+                self.trace.records.len()
+            ));
+        }
+    }
+
+    /// Captures the complete simulation state as a snapshot file.
+    fn to_snapshot(&self) -> SnapshotFile {
+        let manifest = SnapManifest {
+            now_us: self.now,
+            completed_ops: self.completed_ops,
+            total_records: self.total_records,
+            policy: self.policy.name().to_string(),
+            per_osd_erases: self
+                .cluster
+                .osds
+                .iter()
+                .map(|o| o.ssd().wear().block_erases)
+                .collect(),
+            extra: self
+                .options
+                .checkpoint
+                .as_ref()
+                .map(|c| c.meta.clone())
+                .unwrap_or_default(),
+        };
+        let mut file = SnapshotFile::new();
+        file.push(SnapManifest::SECTION, &manifest);
+        file.push("cluster", &self.cluster);
+        let mut w = SnapWriter::new();
+        self.save_engine(&mut w);
+        file.push_section("engine", w);
+        let mut w = SnapWriter::new();
+        self.policy.save_state(&mut w);
+        file.push_section("policy", w);
+        file
+    }
+
+    /// Cuts a checkpoint if one is due. Called at wear-monitor ticks —
+    /// the only event with no mid-decision state on the stack.
+    fn maybe_checkpoint(&mut self) {
+        let Some(ck) = &self.options.checkpoint else {
+            return;
+        };
+        if self.now < self.last_ckpt_us.saturating_add(ck.every_us) {
+            return;
+        }
+        self.last_ckpt_us = self.now;
+        let path = ck.dir.join(format!("ckpt_{:020}.snap", self.now));
+        let _ = std::fs::create_dir_all(&ck.dir);
+        self.obs.counter("sim.checkpoints", 1);
+        self.to_snapshot()
+            .write_to(&path)
+            .unwrap_or_else(|e| panic!("checkpoint write to {} failed: {e}", path.display()));
+    }
+
+    /// Seeds the initial events of a fresh (non-resumed) run: the client
+    /// concurrency windows, the first wear tick, and the injected
+    /// failures.
+    fn seed_events(&mut self) {
         let clients = self.scripts.len() as u32;
         for c in 0..clients {
             self.fill_client(ClientId(c));
@@ -930,6 +1379,12 @@ impl<'a> Engine<'a> {
             );
             self.push(f.at_us, Event::Fail(f.osd.0));
         }
+    }
+
+    /// Drains the event queue to completion and builds the report. Both
+    /// fresh and resumed runs end up here, which is what makes resume
+    /// bit-identical: the loop has no idea the process was ever restarted.
+    fn drain(mut self) -> (RunReport, Cluster) {
         while let Some(Reverse((at, _, ev))) = self.heap.pop() {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
@@ -967,6 +1422,9 @@ impl<'a> Engine<'a> {
                         let next = self.now + self.cluster.config.wear_tick_us;
                         self.push(next, Event::Tick);
                     }
+                    // Checkpoint *after* the next tick is scheduled so the
+                    // snapshot's event queue is exactly the resumed run's.
+                    self.maybe_checkpoint();
                 }
             }
         }
@@ -987,7 +1445,7 @@ impl<'a> Engine<'a> {
         for (summary, &peak) in per_osd.iter_mut().zip(&self.peak_queue_depth) {
             summary.peak_queue_depth = peak;
         }
-        RunReport {
+        let report = RunReport {
             trace: self.trace.name.clone(),
             policy: self.policy.name().to_string(),
             osds: self.cluster.config.osds,
@@ -1015,8 +1473,41 @@ impl<'a> Engine<'a> {
             degraded_ops: self.degraded_ops,
             lost_ops: self.lost_ops,
             rebuilt_objects: self.rebuilt_objects,
+        };
+        (report, self.cluster)
+    }
+}
+
+/// Serializes a hash map as its canonical sorted-by-key pair list.
+fn save_sorted_map<K, V>(w: &mut SnapWriter, map: &HashMap<K, V>)
+where
+    K: Snapshot + Ord + Copy + std::hash::Hash,
+    V: Snapshot,
+{
+    let mut keys: Vec<K> = map.keys().copied().collect();
+    keys.sort_unstable();
+    w.put_u64(keys.len() as u64);
+    for k in keys {
+        k.save(w);
+        map[&k].save(w);
+    }
+}
+
+/// Reads a sorted pair list back into a hash map, latching `Corrupt` on
+/// duplicate keys.
+fn load_map<K, V>(r: &mut SnapReader, what: &str) -> HashMap<K, V>
+where
+    K: Snapshot + Eq + Copy + std::hash::Hash + std::fmt::Debug,
+    V: Snapshot,
+{
+    let pairs = Vec::<(K, V)>::load(r);
+    let mut map = HashMap::with_capacity(pairs.len());
+    for (k, v) in pairs {
+        if map.insert(k, v).is_some() {
+            r.corrupt(format!("duplicate {what} key {k:?}"));
         }
     }
+    map
 }
 
 /// Replays `trace` against a freshly built cluster under `policy`.
@@ -1043,14 +1534,95 @@ pub fn run_trace_obs(
     options: SimOptions,
     obs: &mut dyn Recorder,
 ) -> RunReport {
+    run_trace_obs_keep(cluster, trace, policy, options, obs).0
+}
+
+/// [`run_trace_obs`], additionally handing back the final [`Cluster`] so
+/// callers can inspect (or snapshot) the end state of every device.
+pub fn run_trace_obs_keep(
+    cluster: Cluster,
+    trace: &Trace,
+    policy: &mut dyn Migrator,
+    options: SimOptions,
+    obs: &mut dyn Recorder,
+) -> (RunReport, Cluster) {
+    let mut engine = new_engine(cluster, trace, policy, options, obs);
+    engine.seed_events();
+    engine.drain()
+}
+
+/// Resumes a checkpointed run from `snap` and drains it to completion.
+///
+/// The caller rebuilds the same world the checkpoint was cut in — the
+/// same trace (verify with [`Trace::fingerprint`](edm_workload::Trace)
+/// against the manifest's caller metadata) and a policy whose `name()`
+/// matches the manifest — and may pass a fresh [`CheckpointConfig`] to
+/// keep checkpointing. The resumed run's report is bit-identical to the
+/// uninterrupted run's.
+pub fn resume_trace_obs(
+    snap: &SnapshotFile,
+    trace: &Trace,
+    policy: &mut dyn Migrator,
+    checkpoint: Option<CheckpointConfig>,
+    obs: &mut dyn Recorder,
+) -> Result<RunReport, SnapError> {
+    resume_trace_obs_keep(snap, trace, policy, checkpoint, obs).map(|(report, _)| report)
+}
+
+/// [`resume_trace_obs`], additionally handing back the final [`Cluster`].
+pub fn resume_trace_obs_keep(
+    snap: &SnapshotFile,
+    trace: &Trace,
+    policy: &mut dyn Migrator,
+    checkpoint: Option<CheckpointConfig>,
+    obs: &mut dyn Recorder,
+) -> Result<(RunReport, Cluster), SnapError> {
+    let manifest = SnapManifest::from_snapshot(snap)?;
+    if manifest.policy != policy.name() {
+        return Err(SnapError::Corrupt {
+            section: SnapManifest::SECTION.into(),
+            detail: format!(
+                "checkpoint was cut under policy {:?}, cannot resume with {:?}",
+                manifest.policy,
+                policy.name()
+            ),
+        });
+    }
+    let cluster: Cluster = snap.decode("cluster")?;
+    {
+        let mut r = snap.reader("policy")?;
+        policy.load_state(&mut r);
+        r.finish("policy")?;
+    }
+    let options = SimOptions {
+        checkpoint,
+        ..SimOptions::default()
+    };
+    let mut engine = new_engine(cluster, trace, policy, options, obs);
+    let mut r = snap.reader("engine")?;
+    engine.load_engine(&mut r);
+    r.finish("engine")?;
+    Ok(engine.drain())
+}
+
+/// Builds a pristine engine around `cluster` — the shared front half of
+/// the fresh-run and resume paths.
+fn new_engine<'a>(
+    cluster: Cluster,
+    trace: &'a Trace,
+    policy: &'a mut dyn Migrator,
+    options: SimOptions,
+    obs: &'a mut dyn Recorder,
+) -> Engine<'a> {
     let clients = cluster.config.client_count();
     let scripts = edm_workload::replay::assign_clients(trace, clients)
         .into_iter()
         .map(|s| s.record_indices)
         .collect::<Vec<_>>();
     let osds = cluster.config.osds as usize;
+    let window = cluster.config.response_window_us;
     let blocking_moves = policy.blocking_moves();
-    let engine = Engine {
+    Engine {
         cluster,
         trace,
         policy,
@@ -1077,7 +1649,7 @@ pub fn run_trace_obs(
         degraded_ops: 0,
         lost_ops: 0,
         rebuilt_objects: 0,
-        responses: ResponseSeries::new(1), // replaced below
+        responses: ResponseSeries::new(window),
         response_hist: LatencyHistogram::new(),
         response_sum: 0.0,
         completed_ops: 0,
@@ -1087,13 +1659,8 @@ pub fn run_trace_obs(
         moved_objects: 0,
         failed_moves: 0,
         last_completion_us: 0,
-    };
-    let window = engine.cluster.config.response_window_us;
-    let engine = Engine {
-        responses: ResponseSeries::new(window),
-        ..engine
-    };
-    engine.run()
+        last_ckpt_us: 0,
+    }
 }
 
 #[cfg(test)]
@@ -1117,6 +1684,7 @@ mod tests {
             SimOptions {
                 schedule,
                 failures: Vec::new(),
+                checkpoint: None,
             },
         )
     }
@@ -1200,6 +1768,7 @@ mod tests {
             SimOptions {
                 schedule: MigrationSchedule::Midpoint,
                 failures: Vec::new(),
+                checkpoint: None,
             },
         );
         assert_eq!(report.completed_ops, trace.records.len() as u64);
@@ -1221,6 +1790,7 @@ mod tests {
                 SimOptions {
                     schedule: MigrationSchedule::Midpoint,
                     failures: Vec::new(),
+                    checkpoint: None,
                 },
             )
         };
@@ -1234,6 +1804,7 @@ mod tests {
                 SimOptions {
                     schedule: MigrationSchedule::Midpoint,
                     failures: Vec::new(),
+                    checkpoint: None,
                 },
                 &mut rec,
             );
@@ -1372,5 +1943,201 @@ mod blocking_tests {
             p99(&blocking),
             p99(&lazy)
         );
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::migrate::{ClusterView, NoMigration};
+    use edm_workload::{harvard, synth::synthesize};
+    use std::path::PathBuf;
+
+    /// Group-local balancer that fires one burst of moves at the first
+    /// tick, so checkpoints are cut with migration state on the books.
+    /// The fired-flag makes it stateful: a resume that failed to restore
+    /// policy state would re-plan and diverge, which the tests catch.
+    struct Spreader {
+        planned: bool,
+    }
+
+    impl Migrator for Spreader {
+        fn name(&self) -> &str {
+            "Spreader"
+        }
+        fn plan(&mut self, view: &ClusterView) -> Vec<MoveAction> {
+            if self.planned {
+                return Vec::new();
+            }
+            self.planned = true;
+            let count = |osd: OsdId| view.objects_on(osd).count();
+            let src = view
+                .osds
+                .iter()
+                .max_by_key(|o| count(o.osd))
+                .expect("osds exist");
+            let Some(dst) = view
+                .osds
+                .iter()
+                .filter(|o| o.group == src.group && o.osd != src.osd)
+                .min_by_key(|o| count(o.osd))
+            else {
+                return Vec::new();
+            };
+            view.objects_on(src.osd)
+                .take(4)
+                .map(|o| MoveAction {
+                    object: o.object,
+                    source: src.osd,
+                    dest: dst.osd,
+                })
+                .collect()
+        }
+        fn save_state(&self, w: &mut SnapWriter) {
+            w.put_bool(self.planned);
+        }
+        fn load_state(&mut self, r: &mut SnapReader) {
+            self.planned = r.take_bool();
+        }
+    }
+
+    fn ckpt_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("edm-sim-{tag}-{}", std::process::id()))
+    }
+
+    /// Continuous migration plus a mid-run failure with rebuild — the
+    /// most state-heavy scenario the engine supports.
+    fn scenario() -> (Trace, ClusterConfig, SimOptions) {
+        let trace = synthesize(&harvard::spec("home02").scaled(0.002));
+        // A short wear tick makes the ~minute-long replay span many ticks,
+        // so checkpoints land while requests, moves, and the rebuild are
+        // all in flight.
+        let mut config = ClusterConfig::test_small();
+        config.wear_tick_us = 50_000;
+        let options = SimOptions {
+            schedule: MigrationSchedule::EveryTick,
+            failures: vec![FailureSpec {
+                at_us: 150_000,
+                osd: OsdId(1),
+                rebuild: true,
+            }],
+            checkpoint: None,
+        };
+        (trace, config, options)
+    }
+
+    #[test]
+    fn resume_mid_run_is_bit_identical() {
+        let (trace, config, options) = scenario();
+        let baseline = {
+            let cluster = Cluster::build(config.clone(), &trace).unwrap();
+            run_trace(
+                cluster,
+                &trace,
+                &mut Spreader { planned: false },
+                options.clone(),
+            )
+        };
+        assert!(!baseline.failed_osds.is_empty(), "failure must fire");
+        assert!(baseline.moved_objects > 0, "migration must fire");
+
+        let dir = ckpt_dir("resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let with_ckpt = {
+            let cluster = Cluster::build(config.clone(), &trace).unwrap();
+            let opts = SimOptions {
+                checkpoint: Some(CheckpointConfig {
+                    every_us: config.wear_tick_us,
+                    dir: dir.clone(),
+                    meta: b"cluster-test".to_vec(),
+                }),
+                ..options.clone()
+            };
+            run_trace(cluster, &trace, &mut Spreader { planned: false }, opts)
+        };
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{with_ckpt:?}"),
+            "checkpointing must not perturb the run"
+        );
+
+        let mut snaps: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        snaps.sort();
+        assert!(snaps.len() >= 2, "expected several checkpoints: {snaps:?}");
+        let snap = SnapshotFile::read_from(&snaps[snaps.len() / 2]).unwrap();
+        let manifest = SnapManifest::from_snapshot(&snap).unwrap();
+        assert!(manifest.completed_ops > 0);
+        assert!(manifest.completed_ops < manifest.total_records);
+        assert_eq!(manifest.extra, b"cluster-test");
+        assert_eq!(manifest.policy, "Spreader");
+
+        let resumed = resume_trace_obs(
+            &snap,
+            &trace,
+            &mut Spreader { planned: false },
+            None,
+            &mut NoopRecorder,
+        )
+        .unwrap();
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{resumed:?}"),
+            "resumed run must reproduce the uninterrupted run bit-identically"
+        );
+
+        // Also resume from the earliest checkpoint — cut before the
+        // injected failure, with the first move burst still in flight —
+        // so the resumed run replays the failure and rebuild itself.
+        let early = SnapshotFile::read_from(&snaps[0]).unwrap();
+        let m = SnapManifest::from_snapshot(&early).unwrap();
+        assert!(m.now_us < 150_000, "first checkpoint predates the failure");
+        let resumed_early = resume_trace_obs(
+            &early,
+            &trace,
+            &mut Spreader { planned: false },
+            None,
+            &mut NoopRecorder,
+        )
+        .unwrap();
+        assert_eq!(format!("{baseline:?}"), format!("{resumed_early:?}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_wrong_policy() {
+        let trace = synthesize(&harvard::spec("deasna").scaled(0.001));
+        let dir = ckpt_dir("wrongpol");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cluster = Cluster::build(ClusterConfig::test_small(), &trace).unwrap();
+        let opts = SimOptions {
+            schedule: MigrationSchedule::Never,
+            failures: Vec::new(),
+            checkpoint: Some(CheckpointConfig {
+                every_us: 0,
+                dir: dir.clone(),
+                meta: Vec::new(),
+            }),
+        };
+        let _ = run_trace(cluster, &trace, &mut NoMigration, opts);
+        let mut snaps: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        snaps.sort();
+        let snap = SnapshotFile::read_from(&snaps[0]).unwrap();
+        let err = resume_trace_obs(
+            &snap,
+            &trace,
+            &mut Spreader { planned: false },
+            None,
+            &mut NoopRecorder,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SnapError::Corrupt { .. }), "{err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -9,6 +9,7 @@
 //! never drained further because the wear model is flat there (Fig. 3).
 
 use edm_cluster::{AccessEvent, ClusterView, Migrator, MoveAction};
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 
 use crate::alg1::calculate_cdf;
 use crate::config::EdmConfig;
@@ -61,6 +62,14 @@ impl Migrator for EdmCdf {
 
     fn on_window_reset(&mut self) {
         self.tracker.reset_window();
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.tracker.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader) {
+        self.tracker = AccessTracker::load(r);
     }
 
     fn plan(&mut self, view: &ClusterView) -> Vec<MoveAction> {

@@ -8,6 +8,7 @@
 //! (Fig. 8) and often *increases* cluster-wide erases (Fig. 6).
 
 use edm_cluster::{AccessEvent, ClusterView, Migrator, MoveAction};
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 use crate::plan::{dest_budget_bytes, distribute, Destination, Selected};
@@ -240,6 +241,14 @@ impl Migrator for Cmt {
 
     fn on_window_reset(&mut self) {
         self.tracker.reset_window();
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.tracker.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader) {
+        self.tracker = AccessTracker::load(r);
     }
 
     fn plan(&mut self, view: &ClusterView) -> Vec<MoveAction> {

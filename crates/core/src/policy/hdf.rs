@@ -7,6 +7,7 @@
 //! the data moved (and hence the write amplification of migration itself).
 
 use edm_cluster::{AccessEvent, ClusterView, Migrator, MoveAction};
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 
 use crate::alg1::calculate_hdf;
 use crate::config::EdmConfig;
@@ -59,6 +60,14 @@ impl Migrator for EdmHdf {
 
     fn on_window_reset(&mut self) {
         self.tracker.reset_window();
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.tracker.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader) {
+        self.tracker = AccessTracker::load(r);
     }
 
     fn plan(&mut self, view: &ClusterView) -> Vec<MoveAction> {

@@ -20,6 +20,7 @@
 use std::collections::HashMap;
 
 use edm_cluster::{AccessEvent, AccessKind, ObjectId};
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 
 /// One object's decayed counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -185,6 +186,64 @@ impl AccessTracker {
     }
 }
 
+impl Snapshot for ObjectHeat {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_f64(self.write_temp);
+        w.put_f64(self.total_temp);
+        w.put_u64(self.last_interval);
+        w.put_u64(self.window_write_pages);
+        w.put_u64(self.window_access_pages);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        ObjectHeat {
+            write_temp: r.take_f64(),
+            total_temp: r.take_f64(),
+            last_interval: r.take_u64(),
+            window_write_pages: r.take_u64(),
+            window_access_pages: r.take_u64(),
+        }
+    }
+}
+
+impl Snapshot for AccessTracker {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.interval_us);
+        self.capacity.save(w);
+        // Canonical order: the heat map sorted by object id.
+        let mut objects: Vec<ObjectId> = self.heats.keys().copied().collect();
+        objects.sort_unstable();
+        w.put_u64(objects.len() as u64);
+        for o in objects {
+            o.save(w);
+            self.heats[&o].save(w);
+        }
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let interval_us = r.take_u64();
+        let capacity: Option<usize> = Option::load(r);
+        let pairs = Vec::<(ObjectId, ObjectHeat)>::load(r);
+        let mut heats = HashMap::with_capacity(pairs.len());
+        for (o, h) in pairs {
+            if heats.insert(o, h).is_some() {
+                r.corrupt(format!("duplicate tracked object {o}"));
+            }
+        }
+        if !r.failed() {
+            if interval_us == 0 {
+                r.corrupt("tracker interval must be positive");
+            }
+            if capacity == Some(0) {
+                r.corrupt("tracker capacity must be positive");
+            }
+        }
+        AccessTracker {
+            interval_us: interval_us.max(1),
+            heats,
+            capacity: capacity.filter(|&c| c > 0),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +382,40 @@ mod tests {
             t.record(ev(0, o, AccessKind::Read, 1));
         }
         assert_eq!(t.tracked_objects(), 500);
+    }
+
+    #[test]
+    fn tracker_snapshot_roundtrip_is_byte_identical() {
+        let mut t = AccessTracker::with_capacity(1000, 64);
+        for o in 0..20u64 {
+            let kind = if o % 3 == 0 {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
+            for k in 0..(o % 5 + 1) {
+                t.record(ev(k * 700, o, kind, o + 1));
+            }
+        }
+        let mut w = SnapWriter::new();
+        t.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = AccessTracker::load(&mut r);
+        r.finish("tracker").unwrap();
+
+        let mut w2 = SnapWriter::new();
+        back.save(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "re-encode must be byte-identical");
+
+        assert_eq!(t.tracked_objects(), back.tracked_objects());
+        assert_eq!(t.capacity(), back.capacity());
+        for o in 0..20u64 {
+            let (a, b) = (t.heat(ObjectId(o), 5000), back.heat(ObjectId(o), 5000));
+            assert_eq!(a.write_temp.to_bits(), b.write_temp.to_bits());
+            assert_eq!(a.total_temp.to_bits(), b.total_temp.to_bits());
+            assert_eq!(a.window_write_pages, b.window_write_pages);
+        }
     }
 
     #[test]

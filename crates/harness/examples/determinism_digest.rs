@@ -13,6 +13,7 @@ fn main() {
         scale: 0.002,
         schedule: MigrationSchedule::Midpoint,
         response_window_us: None,
+        jobs: None,
     };
     for (t, p) in [
         ("home02", "EDM-HDF"),

@@ -1,24 +1,26 @@
 //! `edm-exp` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! edm-exp <experiment> [--scale F] [--osds N[,N...]] [--full]
+//! edm-exp <experiment> [--scale F] [--osds N[,N...]] [--full] [--jobs N]
 //!
-//! experiments: table1 fig1 fig3 fig5 fig6 fig7 fig8
+//! experiments: table1 fig1 fig3 fig5 fig6 fig7 fig8 wearout
 //!              ablate-sigma ablate-lambda ablate-groups all
 //! --scale F    trace scale factor in (0,1]; default 0.05
 //! --full       shorthand for --scale 1.0 (the paper's full Table 1 counts)
 //! --osds N     cluster sizes (default: paper's 16,20 where applicable)
+//! --jobs N     worker threads for matrix sweeps (default: EDM_JOBS env,
+//!              then available cores)
 //! ```
 
 use edm_cluster::MigrationSchedule;
 use edm_harness::experiments::{
-    ablate, failure, fig1, fig3, fig56, fig7, fig8, reliability, table1, EXPERIMENT_IDS,
+    ablate, failure, fig1, fig3, fig56, fig7, fig8, reliability, table1, wearout, EXPERIMENT_IDS,
 };
 use edm_harness::runner::RunConfig;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: edm-exp <experiment> [--scale F] [--osds N[,N...]] [--full]\n\
+        "usage: edm-exp <experiment> [--scale F] [--osds N[,N...]] [--full] [--jobs N]\n\
          experiments: {} all",
         EXPERIMENT_IDS.join(" ")
     );
@@ -40,6 +42,7 @@ fn parse_args() -> Args {
         scale: 0.05,
         schedule: MigrationSchedule::Midpoint,
         response_window_us: None,
+        jobs: None,
     };
     let mut osds: Vec<u32> = vec![16, 20];
     while let Some(flag) = args.next() {
@@ -52,6 +55,13 @@ fn parse_args() -> Args {
                 }
             }
             "--full" => cfg.scale = 1.0,
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => cfg.jobs = Some(n),
+                    _ => usage(),
+                }
+            }
             "--osds" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 osds = v
@@ -92,6 +102,18 @@ fn run_one(id: &str, cfg: &RunConfig, osds: &[u32]) {
         }
         "failure" => {
             println!("{}", failure::render(&failure::run(cfg, osds[0], "home02")));
+        }
+        "wearout" => {
+            // EveryTick gives the checkpointed trajectory migration work
+            // to capture; cap the cluster so `all` stays quick.
+            let cfg = RunConfig {
+                schedule: MigrationSchedule::EveryTick,
+                ..*cfg
+            };
+            println!(
+                "{}",
+                wearout::render(&wearout::run(&cfg, osds[0].min(8), "home02"))
+            );
         }
         "reliability" => {
             // An OSD count not divisible by the group count gives uneven

@@ -15,15 +15,20 @@
 //! * `fig5_*` — one end-to-end cluster cell per trace class (harvard
 //!   presets + the Fig. 3 random workload), timing the full
 //!   synthesize → build → warm-up → replay pipeline.
+//! * `snapshot_save` / `snapshot_restore` — encode/decode throughput of a
+//!   real mid-run checkpoint (the `edm-snap` single-file format), with
+//!   the round trip asserted byte-identical.
 //!
 //! `--smoke` shrinks every workload to a few seconds' worth for CI-style
 //! sanity runs (`scripts/check.sh`); the JSON schema is identical.
 
 use std::time::Instant;
 
-use edm_cluster::MigrationSchedule;
+use edm_cluster::{MigrationSchedule, SnapManifest};
 use edm_harness::runner::{run_cell, Cell, RunConfig};
+use edm_harness::Scenario;
 use edm_obs::NoopRecorder;
+use edm_snap::SnapshotFile;
 use edm_ssd::{Geometry, LatencyModel, Ssd, WearStats};
 
 struct BenchResult {
@@ -194,6 +199,7 @@ fn run_fig5_cells(scale: f64, results: &mut Vec<BenchResult>) {
         scale,
         schedule: MigrationSchedule::Midpoint,
         response_window_us: None,
+        jobs: None,
     };
     for (trace, policy) in [
         ("home02", "EDM-HDF"),
@@ -217,6 +223,74 @@ fn run_fig5_cells(scale: f64, results: &mut Vec<BenchResult>) {
             wall_ms: wall * 1e3,
             ops_per_sec: ops,
             erases: report.aggregate_erases(),
+        });
+    }
+}
+
+/// Times the snapshot format itself: `snapshot_save` re-encodes a real
+/// mid-run checkpoint to disk (asserting the round trip is byte-identical
+/// — the encoder is canonical), `snapshot_restore` parses and
+/// CRC-verifies it back into sections. Best-of-N on a deterministic
+/// input, throughput in snapshot bytes/s.
+fn run_snapshot_cells(scale: f64, reps: u32, results: &mut Vec<BenchResult>) {
+    let dir = std::env::temp_dir().join(format!("edm-perf-snap-{}", std::process::id()));
+    let scenario = Scenario::parse(&format!(
+        "trace deasna\nscale {scale}\nosds 8\npolicy EDM-HDF\nschedule every-tick\n"
+    ))
+    .expect("snapshot-cell scenario");
+    scenario
+        .run_with_obs_checkpointed(&mut NoopRecorder, Some((0, dir.clone())))
+        .expect("snapshot-cell run failed");
+    let mut snaps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("checkpoint dir unreadable")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    snaps.sort();
+    let path = snaps.last().expect("run produced no checkpoints").clone();
+    let bytes = std::fs::read(&path).expect("checkpoint unreadable");
+    let erases: u64 = SnapManifest::from_snapshot(
+        &SnapshotFile::from_bytes(&bytes).expect("checkpoint does not parse"),
+    )
+    .expect("checkpoint has no manifest")
+    .per_osd_erases
+    .iter()
+    .sum();
+
+    let rewrite = dir.join("rewrite.snap");
+    let mut save_wall = f64::INFINITY;
+    let mut restore_wall = f64::INFINITY;
+    for _ in 0..reps {
+        let snap = SnapshotFile::from_bytes(&bytes).expect("checkpoint does not parse");
+        let started = Instant::now();
+        snap.write_to(&rewrite).expect("rewrite failed");
+        save_wall = save_wall.min(started.elapsed().as_secs_f64());
+        assert_eq!(
+            std::fs::read(&rewrite).expect("rewrite unreadable"),
+            bytes,
+            "snapshot round trip is not byte-identical"
+        );
+        let started = Instant::now();
+        let reparsed = SnapshotFile::from_bytes(&bytes).expect("checkpoint does not parse");
+        restore_wall = restore_wall.min(started.elapsed().as_secs_f64());
+        drop(reparsed);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    for (name, wall) in [
+        ("snapshot_save", save_wall),
+        ("snapshot_restore", restore_wall),
+    ] {
+        let bps = bytes.len() as f64 / wall;
+        println!(
+            "{name}: {:.3} ms for {} bytes ({:.1} MB/s)",
+            wall * 1e3,
+            bytes.len(),
+            bps / 1e6
+        );
+        results.push(BenchResult {
+            name: name.into(),
+            wall_ms: wall * 1e3,
+            ops_per_sec: bps,
+            erases,
         });
     }
 }
@@ -257,6 +331,7 @@ fn main() {
         // ~2 ms) and the loose overhead floor.
         run_micro(100_000, 32, 5, 0.85, &mut results);
         run_fig5_cells(0.001, &mut results);
+        run_snapshot_cells(0.001, 3, &mut results);
     } else {
         // The 0.95 floor is a regression guard, not the measurement: the
         // recorded `obs_overhead_noop` cell is the actual overhead number
@@ -265,6 +340,7 @@ fn main() {
         // interleaved best-of-7).
         run_micro(1_500_000, 32, 7, 0.95, &mut results);
         run_fig5_cells(0.005, &mut results);
+        run_snapshot_cells(0.005, 7, &mut results);
     }
     write_json("BENCH_edm.json", &results).expect("writing BENCH_edm.json failed");
     println!("wrote BENCH_edm.json ({} entries)", results.len());

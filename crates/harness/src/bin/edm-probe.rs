@@ -4,6 +4,7 @@
 //! ```text
 //! edm-probe <trace> <policy> [scale] [osds]
 //! edm-probe --journal <file.jsonl>
+//! edm-probe --snapshot <file.snap>
 //! ```
 //!
 //! The `--journal` mode summarizes an observability journal written by
@@ -11,10 +12,18 @@
 //! timeline, the migration-decision trace (trigger evaluations, chosen
 //! plans, predicted effects), and the latency histograms. Exits nonzero
 //! if any line fails to parse.
+//!
+//! The `--snapshot` mode prints an `edm-snap` checkpoint's manifest —
+//! sections and sizes, virtual clock, progress, policy, per-OSD erase
+//! counts, and the embedded scenario — without materializing a
+//! simulator, so it is safe to point at checkpoints from newer or older
+//! simulator builds. Exits nonzero on a corrupt or truncated file.
 
-use edm_cluster::{run_trace, Cluster, ClusterConfig, SimOptions};
+use edm_cluster::{run_trace, Cluster, ClusterConfig, SimOptions, SnapManifest};
 use edm_core::make_policy;
+use edm_harness::SnapMeta;
 use edm_obs::json::{self, JsonValue};
+use edm_snap::SnapshotFile;
 use edm_workload::harvard;
 use edm_workload::synth::synthesize;
 
@@ -28,7 +37,62 @@ fn main() {
             });
             journal_mode(&path);
         }
+        Some("--snapshot") => {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("usage: edm-probe --snapshot <file.snap>");
+                std::process::exit(2);
+            });
+            snapshot_mode(&path);
+        }
         first => run_mode(first.map(str::to_string), args),
+    }
+}
+
+fn snapshot_mode(path: &str) {
+    let snap = SnapshotFile::read_from(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    let size: u64 = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!("{path}: edm-snap v1, {size} bytes");
+    println!("-- sections --");
+    for name in snap.section_names() {
+        let len = snap.reader(name).map(|r| r.remaining()).unwrap_or(0);
+        println!("{name:<10} {len} bytes");
+    }
+    let manifest = SnapManifest::from_snapshot(&snap).unwrap_or_else(|e| {
+        eprintln!("{path}: bad manifest: {e}");
+        std::process::exit(1);
+    });
+    println!("-- manifest --");
+    println!("virtual clock   {:.3}s", manifest.now_us as f64 / 1e6);
+    println!(
+        "progress        {} / {} ops ({:.1}%)",
+        manifest.completed_ops,
+        manifest.total_records,
+        manifest.completed_ops as f64 / manifest.total_records.max(1) as f64 * 100.0
+    );
+    println!("policy          {}", manifest.policy);
+    let total: u64 = manifest.per_osd_erases.iter().sum();
+    println!(
+        "erases          {} total across {} OSDs",
+        total,
+        manifest.per_osd_erases.len()
+    );
+    for (o, e) in manifest.per_osd_erases.iter().enumerate() {
+        println!("  osd{o:<3} {e}");
+    }
+    match SnapMeta::decode(&manifest.extra) {
+        Ok(meta) => {
+            println!("trace fp        {:#018x}", meta.trace_fingerprint);
+            println!("-- embedded scenario --");
+            print!("{}", meta.scenario);
+        }
+        Err(_) if manifest.extra.is_empty() => println!("(no embedded scenario)"),
+        Err(e) => {
+            eprintln!("{path}: bad embedded scenario metadata: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

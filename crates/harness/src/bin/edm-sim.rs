@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! edm-sim <scenario-file> [--obs <out.jsonl>] [--obs-level off|metrics|events]
+//!         [--checkpoint-every <virtual-secs> --checkpoint-dir <dir>]
+//! edm-sim --resume <snapshot.snap> [--obs ...]
 //! edm-sim --example          # print a commented example scenario
 //! ```
 //!
@@ -11,8 +13,18 @@
 //! trailer records) at `--obs-level events`. Passing `--obs` alone
 //! implies `--obs-level events`. Recording is read-only — the printed
 //! report is identical at every level.
+//!
+//! `--checkpoint-every N` cuts an `edm-snap` checkpoint into
+//! `--checkpoint-dir` every N seconds of *virtual* time (at wear-tick
+//! granularity; `0` means every tick). Each checkpoint embeds the
+//! scenario, so `--resume <file>` needs no scenario argument and drives
+//! the run to completion — the printed report and determinism digest are
+//! bit-identical to the uninterrupted run's.
 
-use edm_harness::scenario::{render_report, Scenario};
+use std::path::{Path, PathBuf};
+
+use edm_harness::report::report_digest;
+use edm_harness::scenario::{render_report, resume_snapshot, Scenario};
 use edm_obs::{MemoryRecorder, NoopRecorder, ObsLevel, Recorder};
 
 const EXAMPLE: &str = "\
@@ -29,9 +41,10 @@ force true            # skip the trigger check at plan time
 fail 2000000 3 rebuild  # at 2s of virtual time, OSD 3 dies; rebuild it
 ";
 
-const USAGE: &str =
-    "usage: edm-sim <scenario-file> [--obs <file>] [--obs-level off|metrics|events] \
-     | edm-sim --example";
+const USAGE: &str = "usage: edm-sim <scenario-file> [--obs <file>] \
+     [--obs-level off|metrics|events] \
+     [--checkpoint-every <virtual-secs> --checkpoint-dir <dir>] \
+     | edm-sim --resume <snapshot.snap> | edm-sim --example";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -47,12 +60,39 @@ fn main() {
     let mut path: Option<String> = None;
     let mut obs_path: Option<String> = None;
     let mut obs_level: Option<ObsLevel> = None;
+    let mut ckpt_every_us: Option<u64> = None;
+    let mut ckpt_dir: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--obs" => {
                 let v = it.next().unwrap_or_else(|| fail("--obs needs a file path"));
                 obs_path = Some(v);
+            }
+            "--checkpoint-every" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--checkpoint-every needs a virtual-seconds value"));
+                let secs: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad --checkpoint-every value {v:?}")));
+                if !(secs >= 0.0 && secs.is_finite()) {
+                    fail("--checkpoint-every must be a non-negative number of seconds");
+                }
+                ckpt_every_us = Some((secs * 1e6) as u64);
+            }
+            "--checkpoint-dir" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--checkpoint-dir needs a directory"));
+                ckpt_dir = Some(PathBuf::from(v));
+            }
+            "--resume" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--resume needs a snapshot file"));
+                resume = Some(PathBuf::from(v));
             }
             "--obs-level" => {
                 let v = it
@@ -67,10 +107,18 @@ fn main() {
             other => fail(&format!("unexpected argument {other:?}\n{USAGE}")),
         }
     }
-    let Some(path) = path else {
+    if resume.is_some() && (path.is_some() || ckpt_every_us.is_some() || ckpt_dir.is_some()) {
+        fail("--resume reconstructs the scenario from the snapshot; it takes no scenario file or checkpoint flags");
+    }
+    let checkpoint = match (ckpt_every_us, ckpt_dir) {
+        (Some(every_us), Some(dir)) => Some((every_us, dir)),
+        (None, None) => None,
+        _ => fail("--checkpoint-every and --checkpoint-dir must be given together"),
+    };
+    if resume.is_none() && path.is_none() {
         eprintln!("{USAGE}");
         std::process::exit(2);
-    };
+    }
     // `--obs FILE` alone implies the full journal; a non-off level needs
     // somewhere to go.
     let level = obs_level.unwrap_or(if obs_path.is_some() {
@@ -82,11 +130,6 @@ fn main() {
         fail("--obs-level metrics|events requires --obs <file>");
     }
 
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-    let scenario = Scenario::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
-    eprintln!("running {scenario:?}");
-
     let mut noop = NoopRecorder;
     let mut mem = MemoryRecorder::new(level);
     let obs: &mut dyn Recorder = if level == ObsLevel::Off {
@@ -94,10 +137,23 @@ fn main() {
     } else {
         &mut mem
     };
-    let report = scenario
-        .run_with_obs(obs)
-        .unwrap_or_else(|e| fail(&format!("scenario failed: {e}")));
+    let report = if let Some(snap) = &resume {
+        eprintln!("resuming {}", snap.display());
+        let (scenario, report) = resume_snapshot(Path::new(snap), obs).unwrap_or_else(|e| fail(&e));
+        eprintln!("resumed {scenario:?}");
+        report
+    } else {
+        let path = path.expect("checked above");
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let scenario = Scenario::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        eprintln!("running {scenario:?}");
+        scenario
+            .run_with_obs_checkpointed(obs, checkpoint)
+            .unwrap_or_else(|e| fail(&format!("scenario failed: {e}")))
+    };
     print!("{}", render_report(&report));
+    println!("determinism digest {:#018x}", report_digest(&report));
 
     if let Some(out) = obs_path {
         let result = match level {

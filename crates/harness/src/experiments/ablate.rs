@@ -76,6 +76,7 @@ pub fn lambda_sweep(cfg: &RunConfig, osds: u32, lambdas: &[f64]) -> Vec<(f64, Ru
                 SimOptions {
                     schedule: MigrationSchedule::Midpoint,
                     failures: Vec::new(),
+                    checkpoint: None,
                 },
             );
             (lambda, report)
@@ -120,6 +121,7 @@ pub fn group_sweep(cfg: &RunConfig, osds: u32, groups: &[u32]) -> Vec<(u32, RunR
                 SimOptions {
                     schedule: MigrationSchedule::Midpoint,
                     failures: Vec::new(),
+                    checkpoint: None,
                 },
             );
             (m, report)
@@ -183,6 +185,7 @@ pub fn continuous_sweep(cfg: &RunConfig, osds: u32) -> Vec<(&'static str, RunRep
             SimOptions {
                 schedule,
                 failures: Vec::new(),
+                checkpoint: None,
             },
         );
         (label, report)
@@ -222,6 +225,7 @@ pub fn gc_policy_sweep(cfg: &RunConfig, osds: u32) -> Vec<(&'static str, RunRepo
             SimOptions {
                 schedule: MigrationSchedule::Never,
                 failures: Vec::new(),
+                checkpoint: None,
             },
         );
         (label, report)
@@ -284,6 +288,7 @@ pub fn decay_sweep(cfg: &RunConfig, osds: u32) -> Vec<(&'static str, RunReport)>
             SimOptions {
                 schedule: MigrationSchedule::EveryTick,
                 failures: Vec::new(),
+                checkpoint: None,
             },
         );
         (label, report)

@@ -29,6 +29,7 @@ fn run_one(cfg: &RunConfig, osds: u32, trace_name: &str, failures: Vec<FailureSp
         SimOptions {
             schedule: MigrationSchedule::Never,
             failures,
+            checkpoint: None,
         },
     )
 }
@@ -113,6 +114,7 @@ mod tests {
             scale: 0.002,
             schedule: MigrationSchedule::Never,
             response_window_us: None,
+            jobs: None,
         }
     }
 

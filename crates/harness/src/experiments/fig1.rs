@@ -89,6 +89,7 @@ mod tests {
             scale: 0.002,
             schedule: MigrationSchedule::Never,
             response_window_us: None,
+            jobs: None,
         }
     }
 

@@ -112,6 +112,7 @@ mod tests {
             scale: 0.002,
             schedule: MigrationSchedule::Midpoint,
             response_window_us: None,
+            jobs: None,
         }
     }
 

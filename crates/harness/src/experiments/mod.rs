@@ -12,9 +12,10 @@ pub mod fig7;
 pub mod fig8;
 pub mod reliability;
 pub mod table1;
+pub mod wearout;
 
 /// The canonical experiment ids accepted by `edm-exp`.
-pub const EXPERIMENT_IDS: [&str; 15] = [
+pub const EXPERIMENT_IDS: [&str; 16] = [
     "table1",
     "fig1",
     "fig3",
@@ -24,6 +25,7 @@ pub const EXPERIMENT_IDS: [&str; 15] = [
     "fig8",
     "reliability",
     "failure",
+    "wearout",
     "ablate-sigma",
     "ablate-lambda",
     "ablate-groups",

@@ -94,6 +94,7 @@ pub fn run(cfg: &RunConfig, osds: u32, trace_name: &str) -> Reliability {
         SimOptions {
             schedule: cfg.schedule,
             failures: Vec::new(),
+            checkpoint: None,
         },
     );
     // Lifetime projection on a nominal 3 000 P/E-cycle, 4 096-block
@@ -171,6 +172,7 @@ mod tests {
             scale: 0.003,
             schedule: MigrationSchedule::Midpoint,
             response_window_us: None,
+            jobs: None,
         }
     }
 

@@ -1,0 +1,191 @@
+//! Long-horizon wear-out trajectory via checkpointed segments.
+//!
+//! The paper's Fig. 6 shows erase-count balance at the *end* of a run;
+//! this experiment reconstructs the whole trajectory without any
+//! in-process sampling hooks: the run cuts an `edm-snap` checkpoint at
+//! every wear tick, and each checkpoint's manifest already carries the
+//! per-OSD erase counters at that instant. Reading the manifests back
+//! (cheap — no simulator is materialized) yields erase totals and RSD
+//! over virtual time.
+//!
+//! It doubles as the end-to-end resume-determinism demonstration: after
+//! the uninterrupted run, the middle checkpoint is resumed to completion
+//! and the two reports' digests are compared — they must be identical.
+
+use std::path::PathBuf;
+
+use edm_cluster::{RunReport, SnapManifest};
+use edm_obs::NoopRecorder;
+use edm_snap::SnapshotFile;
+
+use crate::report::{render_table, report_digest};
+use crate::runner::RunConfig;
+use crate::scenario::{resume_snapshot, Scenario};
+
+/// Wear state at one checkpoint.
+#[derive(Debug, Clone)]
+pub struct WearoutPoint {
+    pub now_us: u64,
+    pub completed_ops: u64,
+    pub per_osd_erases: Vec<u64>,
+}
+
+impl WearoutPoint {
+    pub fn aggregate(&self) -> u64 {
+        self.per_osd_erases.iter().sum()
+    }
+
+    /// Relative standard deviation of the per-OSD erase counts (the
+    /// paper's wear-balance metric).
+    pub fn erase_rsd(&self) -> f64 {
+        let n = self.per_osd_erases.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = self.aggregate() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .per_osd_erases
+            .iter()
+            .map(|&e| (e as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+#[derive(Debug)]
+pub struct WearoutResult {
+    pub scenario: Scenario,
+    pub points: Vec<WearoutPoint>,
+    pub report: RunReport,
+    /// Digest of the uninterrupted run's report.
+    pub digest: u64,
+    /// Digest of the report obtained by resuming the middle checkpoint.
+    /// Equal to [`digest`](Self::digest) iff resume is deterministic.
+    pub resumed_digest: u64,
+}
+
+/// Runs the checkpointed trajectory and the resume-determinism check.
+pub fn run(cfg: &RunConfig, osds: u32, trace: &str) -> WearoutResult {
+    let scenario = Scenario {
+        trace: trace.into(),
+        scale: cfg.scale,
+        osds,
+        schedule: cfg.schedule,
+        ..Scenario::default()
+    };
+    let dir = wearout_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    // every_us = 0: cut a checkpoint at every wear tick.
+    let report = scenario
+        .run_with_obs_checkpointed(&mut NoopRecorder, Some((0, dir.clone())))
+        .expect("wearout run failed");
+    let digest = report_digest(&report);
+
+    let mut snaps: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("checkpoint dir unreadable")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "snap"))
+        .collect();
+    snaps.sort();
+    assert!(!snaps.is_empty(), "run produced no checkpoints");
+
+    let points: Vec<WearoutPoint> = snaps
+        .iter()
+        .map(|p| {
+            let snap = SnapshotFile::read_from(p).expect("checkpoint unreadable");
+            let m = SnapManifest::from_snapshot(&snap).expect("checkpoint has no manifest");
+            WearoutPoint {
+                now_us: m.now_us,
+                completed_ops: m.completed_ops,
+                per_osd_erases: m.per_osd_erases,
+            }
+        })
+        .collect();
+
+    let (_, resumed) = resume_snapshot(&snaps[snaps.len() / 2], &mut NoopRecorder)
+        .expect("resume from mid checkpoint failed");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    WearoutResult {
+        scenario,
+        points,
+        report,
+        digest,
+        resumed_digest: report_digest(&resumed),
+    }
+}
+
+fn wearout_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("edm-wearout-{}", std::process::id()))
+}
+
+pub fn render(r: &WearoutResult) -> String {
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            let max = p.per_osd_erases.iter().max().copied().unwrap_or(0);
+            let min = p.per_osd_erases.iter().min().copied().unwrap_or(0);
+            vec![
+                format!("{:.2}", p.now_us as f64 / 1e6),
+                p.completed_ops.to_string(),
+                p.aggregate().to_string(),
+                format!("{:.3}", p.erase_rsd()),
+                format!("{}", max - min),
+            ]
+        })
+        .collect();
+    let mut out = format!(
+        "wear-out trajectory: {} on {} ({} OSDs), {} checkpoints\n",
+        r.scenario.policy,
+        r.scenario.trace,
+        r.scenario.osds,
+        r.points.len()
+    );
+    out.push_str(&render_table(
+        &["t (s)", "ops", "erases", "RSD", "max-min"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "final: {} erases, RSD {:.3} | digest {:#018x} | resumed {:#018x} ({})\n",
+        r.report.aggregate_erases(),
+        r.report.erase_rsd(),
+        r.digest,
+        r.resumed_digest,
+        if r.digest == r.resumed_digest {
+            "MATCH — resume is bit-identical"
+        } else {
+            "MISMATCH — resume diverged"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_cluster::MigrationSchedule;
+
+    #[test]
+    fn wearout_trajectory_and_resume_match() {
+        let cfg = RunConfig {
+            scale: 0.002,
+            schedule: MigrationSchedule::EveryTick,
+            ..RunConfig::default()
+        };
+        let r = run(&cfg, 8, "home02");
+        assert!(r.points.len() >= 2, "want a trajectory, got {:?}", r.points);
+        // Erase totals are monotone over checkpoints.
+        for w in r.points.windows(2) {
+            assert!(w[0].aggregate() <= w[1].aggregate());
+            assert!(w[0].now_us < w[1].now_us);
+        }
+        assert_eq!(r.digest, r.resumed_digest, "resume diverged");
+        let text = render(&r);
+        assert!(text.contains("MATCH"));
+    }
+}

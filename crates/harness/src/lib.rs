@@ -13,5 +13,6 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
+pub use report::report_digest;
 pub use runner::{run_cell, run_matrix, trace_for, Cell, RunConfig};
-pub use scenario::Scenario;
+pub use scenario::{resume_snapshot, Scenario, SnapMeta};

@@ -1,4 +1,63 @@
-//! ASCII table/series rendering for experiment output.
+//! ASCII table/series rendering for experiment output, plus the
+//! determinism digest used to compare runs bit-for-bit.
+
+use edm_cluster::RunReport;
+use edm_snap::SnapWriter;
+
+/// FNV-1a over a byte slice.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hashes every field of a [`RunReport`] — floats by bit pattern — into a
+/// single value. Two runs are bit-identical iff their digests match, so
+/// this is the "resume equals uninterrupted" acceptance check in one
+/// number (printed by `edm-sim`, asserted by `scripts/check.sh`).
+pub fn report_digest(r: &RunReport) -> u64 {
+    let mut w = SnapWriter::new();
+    w.put_str(&r.trace);
+    w.put_str(&r.policy);
+    w.put_u32(r.osds);
+    w.put_u64(r.completed_ops);
+    w.put_u64(r.duration_us);
+    w.put_f64(r.mean_response_us);
+    w.put_u64(r.response_percentiles_us.0);
+    w.put_u64(r.response_percentiles_us.1);
+    w.put_u64(r.response_percentiles_us.2);
+    w.put_u64(r.response_windows.len() as u64);
+    for win in &r.response_windows {
+        w.put_u64(win.start_us);
+        w.put_u64(win.completed_ops);
+        w.put_f64(win.mean_response_us);
+    }
+    w.put_u64(r.per_osd.len() as u64);
+    for o in &r.per_osd {
+        w.put_u32(o.osd);
+        w.put_u64(o.erase_count);
+        w.put_u64(o.write_pages);
+        w.put_u64(o.gc_page_moves);
+        w.put_f64(o.utilization);
+        w.put_u64(o.busy_us);
+        w.put_u64(o.peak_queue_depth);
+    }
+    w.put_u64(r.moved_objects);
+    w.put_u64(r.remap_entries);
+    w.put_u64(r.total_objects);
+    w.put_u64(r.migrations_triggered);
+    w.put_u64(r.failed_osds.len() as u64);
+    for f in &r.failed_osds {
+        w.put_u32(*f);
+    }
+    w.put_u64(r.degraded_ops);
+    w.put_u64(r.lost_ops);
+    w.put_u64(r.rebuilt_objects);
+    fnv1a(&w.into_bytes())
+}
 
 /// Renders a table with a header row; columns sized to content.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -90,5 +149,23 @@ mod tests {
     #[should_panic(expected = "row width mismatch")]
     fn ragged_rows_panic() {
         render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn report_digest_is_stable_and_field_sensitive() {
+        let r = crate::Scenario::parse("trace deasna\nscale 0.001\nosds 8\n")
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report_digest(&r), report_digest(&r.clone()));
+        let mut tweaked = r.clone();
+        tweaked.completed_ops += 1;
+        assert_ne!(report_digest(&r), report_digest(&tweaked));
+        let mut tweaked = r.clone();
+        tweaked.mean_response_us += 1e-9;
+        assert_ne!(report_digest(&r), report_digest(&tweaked));
+        let mut tweaked = r.clone();
+        tweaked.per_osd[0].erase_count ^= 1;
+        assert_ne!(report_digest(&r), report_digest(&tweaked));
     }
 }

@@ -40,6 +40,9 @@ pub struct RunConfig {
     /// Response-window override, µs. `None` scales the paper's 3-minute
     /// window by `scale`.
     pub response_window_us: Option<u64>,
+    /// Worker-thread cap for [`run_matrix`]. `None` falls back to the
+    /// `EDM_JOBS` environment variable, then to the available cores.
+    pub jobs: Option<usize>,
 }
 
 impl Default for RunConfig {
@@ -48,8 +51,33 @@ impl Default for RunConfig {
             scale: 0.05,
             schedule: MigrationSchedule::Midpoint,
             response_window_us: None,
+            jobs: None,
         }
     }
+}
+
+/// Resolves the worker count for a matrix of `cells` cells: explicit
+/// config wins, then the `EDM_JOBS` environment variable, then available
+/// parallelism; always at least 1 and at most the number of cells.
+fn resolve_jobs(cfg: &RunConfig, cells: usize) -> usize {
+    let requested = cfg.jobs.or_else(|| {
+        std::env::var("EDM_JOBS")
+            .ok()
+            .and_then(|v| match v.trim().parse::<usize>() {
+                Ok(n) if n > 0 => Some(n),
+                _ => {
+                    eprintln!("runner: ignoring invalid EDM_JOBS={v:?} (want a positive integer)");
+                    None
+                }
+            })
+    });
+    requested
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .clamp(1, cells.max(1))
 }
 
 /// Synthesizes the named trace at the given scale (Harvard preset or the
@@ -82,17 +110,18 @@ pub fn run_cell(cell: &Cell, cfg: &RunConfig) -> RunReport {
         SimOptions {
             schedule: cfg.schedule,
             failures: Vec::new(),
+            checkpoint: None,
         },
     )
 }
 
-/// Runs a whole matrix in parallel; results keyed by cell.
+/// Runs a whole matrix in parallel; results keyed by cell. Worker count
+/// comes from [`RunConfig::jobs`], the `EDM_JOBS` environment variable,
+/// or the available cores, in that order.
 pub fn run_matrix(cells: &[Cell], cfg: &RunConfig) -> HashMap<Cell, RunReport> {
     let results = Mutex::new(HashMap::with_capacity(cells.len()));
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(cells.len().max(1));
+    let workers = resolve_jobs(cfg, cells.len());
+    eprintln!("runner: {} cells across {} workers", cells.len(), workers);
     let queue = Mutex::new(cells.to_vec());
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -118,9 +147,21 @@ mod tests {
     fn tiny() -> RunConfig {
         RunConfig {
             scale: 0.001,
-            schedule: MigrationSchedule::Midpoint,
-            response_window_us: None,
+            ..RunConfig::default()
         }
+    }
+
+    #[test]
+    fn jobs_resolution_prefers_config() {
+        let cfg = RunConfig {
+            jobs: Some(3),
+            ..RunConfig::default()
+        };
+        assert_eq!(resolve_jobs(&cfg, 10), 3);
+        // Clamped to the number of cells.
+        assert_eq!(resolve_jobs(&cfg, 2), 2);
+        // Never zero, even for an empty matrix.
+        assert!(resolve_jobs(&RunConfig::default(), 0) >= 1);
     }
 
     #[test]

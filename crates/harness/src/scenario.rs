@@ -19,14 +19,18 @@
 //! Unknown keys are rejected (typos should fail loudly, not silently run
 //! a different experiment).
 
+use std::path::{Path, PathBuf};
+
 use edm_cluster::NoMigration;
 use edm_cluster::{
-    run_trace_obs, Cluster, ClusterConfig, FailureSpec, MigrationSchedule, Migrator, OsdId,
-    RunReport, SimOptions,
+    resume_trace_obs, run_trace_obs, CheckpointConfig, Cluster, ClusterConfig, FailureSpec,
+    MigrationSchedule, Migrator, OsdId, RunReport, SimOptions, SnapManifest,
 };
 use edm_core::{Cmt, CmtConfig, EdmCdf, EdmConfig, EdmHdf};
+use edm_snap::{SnapError, SnapReader, SnapWriter, SnapshotFile};
 use edm_workload::harvard;
 use edm_workload::synth::synthesize;
+use edm_workload::Trace;
 
 /// A parsed scenario, ready to run.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,20 +184,54 @@ impl Scenario {
         })
     }
 
-    /// Runs the scenario end to end.
-    pub fn run(&self) -> Result<RunReport, String> {
-        self.run_with_obs(&mut edm_obs::NoopRecorder)
+    /// Renders the scenario back to its text format, canonically.
+    ///
+    /// `parse(to_text(s)) == s` for every parseable scenario — this is
+    /// what gets embedded in snapshots so a resumed run reconstructs the
+    /// exact same workload and cluster without any side files.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("trace {}\n", self.trace));
+        out.push_str(&format!("scale {}\n", self.scale));
+        out.push_str(&format!("osds {}\n", self.osds));
+        out.push_str(&format!("groups {}\n", self.groups));
+        out.push_str(&format!("objects_per_file {}\n", self.objects_per_file));
+        out.push_str(&format!("policy {}\n", self.policy));
+        out.push_str(&format!(
+            "schedule {}\n",
+            match self.schedule {
+                MigrationSchedule::Never => "never",
+                MigrationSchedule::Midpoint => "midpoint",
+                MigrationSchedule::EveryTick => "every-tick",
+            }
+        ));
+        out.push_str(&format!("lambda {}\n", self.lambda));
+        out.push_str(&format!("force {}\n", self.force));
+        if let Some(cc) = self.client_concurrency {
+            out.push_str(&format!("client_concurrency {cc}\n"));
+        }
+        for f in &self.failures {
+            out.push_str(&format!("fail {} {}", f.at_us, f.osd.0));
+            if f.rebuild {
+                out.push_str(" rebuild");
+            }
+            out.push('\n');
+        }
+        out
     }
 
-    /// [`run`](Self::run) with an observability sink. Recording is
-    /// read-only: the report is identical at every obs level.
-    pub fn run_with_obs(&self, obs: &mut dyn edm_obs::Recorder) -> Result<RunReport, String> {
+    /// Synthesizes the scenario's trace (deterministic: spec carries the
+    /// seed, so every call yields a byte-identical trace).
+    pub fn synth_trace(&self) -> Trace {
         let spec = if self.trace == "random" {
             harvard::random_spec()
         } else {
             harvard::spec(&self.trace)
         };
-        let trace = synthesize(&spec.scaled(self.scale));
+        synthesize(&spec.scaled(self.scale))
+    }
+
+    fn build_cluster(&self, trace: &Trace) -> Result<Cluster, String> {
         let mut config = ClusterConfig::paper(self.osds);
         config.groups = self.groups;
         config.objects_per_file = self.objects_per_file;
@@ -203,8 +241,41 @@ impl Scenario {
         config.response_window_us =
             ((config.response_window_us as f64 * self.scale) as u64).max(50_000);
         config.wear_tick_us = ((config.wear_tick_us as f64 * self.scale) as u64).max(100_000);
-        let cluster = Cluster::build(config, &trace)?;
+        Cluster::build(config, trace)
+    }
+
+    /// Runs the scenario end to end.
+    pub fn run(&self) -> Result<RunReport, String> {
+        self.run_with_obs(&mut edm_obs::NoopRecorder)
+    }
+
+    /// [`run`](Self::run) with an observability sink. Recording is
+    /// read-only: the report is identical at every obs level.
+    pub fn run_with_obs(&self, obs: &mut dyn edm_obs::Recorder) -> Result<RunReport, String> {
+        self.run_with_obs_checkpointed(obs, None)
+    }
+
+    /// [`run_with_obs`](Self::run_with_obs), optionally cutting periodic
+    /// checkpoints (`every_us` of virtual time, written under `dir`).
+    /// Each checkpoint embeds the scenario text and the trace fingerprint
+    /// so [`resume_snapshot`] can rebuild the run from the file alone.
+    pub fn run_with_obs_checkpointed(
+        &self,
+        obs: &mut dyn edm_obs::Recorder,
+        checkpoint: Option<(u64, PathBuf)>,
+    ) -> Result<RunReport, String> {
+        let trace = self.synth_trace();
+        let cluster = self.build_cluster(&trace)?;
         let mut policy = self.build_policy()?;
+        let checkpoint = checkpoint.map(|(every_us, dir)| CheckpointConfig {
+            every_us,
+            dir,
+            meta: SnapMeta {
+                scenario: self.to_text(),
+                trace_fingerprint: trace.fingerprint(),
+            }
+            .encode(),
+        });
         Ok(run_trace_obs(
             cluster,
             &trace,
@@ -212,10 +283,73 @@ impl Scenario {
             SimOptions {
                 schedule: self.schedule,
                 failures: self.failures.clone(),
+                checkpoint,
             },
             obs,
         ))
     }
+}
+
+/// Harness metadata embedded in every checkpoint (`manifest.extra`): the
+/// canonical scenario text plus the fingerprint of the synthesized trace,
+/// so resume can re-synthesize the workload and prove it got the same one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapMeta {
+    pub scenario: String,
+    pub trace_fingerprint: u64,
+}
+
+impl SnapMeta {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_str(&self.scenario);
+        w.put_u64(self.trace_fingerprint);
+        w.into_bytes()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<SnapMeta, SnapError> {
+        let mut r = SnapReader::new(bytes);
+        let scenario = r.take_string();
+        let trace_fingerprint = r.take_u64();
+        r.finish("snap-meta")?;
+        Ok(SnapMeta {
+            scenario,
+            trace_fingerprint,
+        })
+    }
+}
+
+/// Resumes a checkpoint written by
+/// [`Scenario::run_with_obs_checkpointed`]: reads the snapshot, rebuilds
+/// the scenario and trace from the embedded metadata, verifies the trace
+/// fingerprint, and drives the run to completion. Returns the scenario
+/// alongside the report so callers can label their output.
+pub fn resume_snapshot(
+    path: &Path,
+    obs: &mut dyn edm_obs::Recorder,
+) -> Result<(Scenario, RunReport), String> {
+    let snap = SnapshotFile::read_from(path)
+        .map_err(|e| format!("{}: cannot read snapshot: {e}", path.display()))?;
+    let manifest = SnapManifest::from_snapshot(&snap)
+        .map_err(|e| format!("{}: bad manifest: {e}", path.display()))?;
+    let meta = SnapMeta::decode(&manifest.extra)
+        .map_err(|e| format!("{}: bad scenario metadata: {e}", path.display()))?;
+    let scenario = Scenario::parse(&meta.scenario)
+        .map_err(|e| format!("{}: embedded scenario: {e}", path.display()))?;
+    let trace = scenario.synth_trace();
+    if trace.fingerprint() != meta.trace_fingerprint {
+        return Err(format!(
+            "{}: re-synthesized trace fingerprint {:#018x} does not match \
+             the checkpoint's {:#018x} — workload generator changed?",
+            path.display(),
+            trace.fingerprint(),
+            meta.trace_fingerprint
+        ));
+    }
+    let mut policy = scenario.build_policy()?;
+    let report = resume_trace_obs(&snap, &trace, policy.as_mut(), None, obs)
+        .map_err(|e| format!("{}: resume failed: {e}", path.display()))?;
+    Ok((scenario, report))
 }
 
 /// Renders a run summary for the CLI.

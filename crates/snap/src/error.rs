@@ -1,0 +1,62 @@
+//! Typed failures for snapshot decoding. Restoring a corrupted,
+//! truncated, or version-mismatched snapshot must surface one of these —
+//! never a panic and never silently-wrong state.
+
+use std::fmt;
+
+/// Why a snapshot could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The file does not start with the `EDMSNAP` magic — not a snapshot.
+    BadMagic,
+    /// The format version is newer (or older) than this build understands.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The input ended before the declared structure did.
+    Truncated { context: String },
+    /// A section body does not match its recorded CRC-32.
+    CrcMismatch { section: String },
+    /// A section the decoder requires is absent.
+    MissingSection { section: String },
+    /// A section decoded but its contents are internally inconsistent
+    /// (bad enum tag, impossible length, invariant violation).
+    Corrupt { section: String, detail: String },
+    /// A section decoded fully but left unread bytes — the body is not
+    /// the exact encoding the decoder expects.
+    TrailingData { section: String },
+    /// Filesystem error while reading or writing the snapshot file.
+    Io(String),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::BadMagic => write!(f, "not an EDM snapshot (bad magic)"),
+            SnapError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads version {supported})"
+            ),
+            SnapError::Truncated { context } => write!(f, "snapshot truncated: {context}"),
+            SnapError::CrcMismatch { section } => {
+                write!(f, "section '{section}' failed its CRC-32 check")
+            }
+            SnapError::MissingSection { section } => {
+                write!(f, "snapshot has no '{section}' section")
+            }
+            SnapError::Corrupt { section, detail } => {
+                write!(f, "section '{section}' is corrupt: {detail}")
+            }
+            SnapError::TrailingData { section } => {
+                write!(f, "section '{section}' has trailing bytes after decode")
+            }
+            SnapError::Io(msg) => write!(f, "snapshot I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+impl From<std::io::Error> for SnapError {
+    fn from(e: std::io::Error) -> Self {
+        SnapError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,310 @@
+//! Single-file snapshot container.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic            8 bytes   b"EDMSNAP1"
+//! format_version   u32
+//! section_count    u32
+//! per section:
+//!   name_len       u32
+//!   name           name_len bytes (UTF-8)
+//!   body_len       u64
+//!   body_crc32     u32       (CRC-32/IEEE over body)
+//!   body           body_len bytes
+//! ```
+//!
+//! Section CRCs are verified lazily — when a section's reader is first
+//! requested — so an inspector that only reads the manifest section pays
+//! only that section's checksum. `from_bytes` still validates the full
+//! structural frame (magic, version, every name/length within bounds,
+//! no trailing garbage), so any single-byte corruption is caught either
+//! structurally at parse time or by the CRC at decode time.
+
+use std::path::Path;
+
+use crate::{crc32, SnapError, SnapReader, SnapWriter, Snapshot};
+
+/// File magic: "EDMSNAP" plus a container-layout generation digit.
+pub const MAGIC: [u8; 8] = *b"EDMSNAP1";
+
+/// Format version of the section contents. Bump when any `Snapshot`
+/// encoding changes shape; old files then fail with
+/// [`SnapError::UnsupportedVersion`] instead of misdecoding.
+pub const FORMAT_VERSION: u32 = 1;
+
+#[derive(Debug)]
+struct Section {
+    name: String,
+    crc: u32,
+    body: Vec<u8>,
+}
+
+/// An in-memory snapshot: an ordered list of named, checksummed sections.
+#[derive(Debug, Default)]
+pub struct SnapshotFile {
+    sections: Vec<Section>,
+}
+
+impl SnapshotFile {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a section holding `writer`'s bytes, stamping its CRC.
+    pub fn push_section(&mut self, name: &str, writer: SnapWriter) {
+        let body = writer.into_bytes();
+        self.sections.push(Section {
+            name: name.to_string(),
+            crc: crc32(&body),
+            body,
+        });
+    }
+
+    /// Convenience: encode `value` into a new section named `name`.
+    pub fn push<T: Snapshot>(&mut self, name: &str, value: &T) {
+        let mut w = SnapWriter::new();
+        value.save(&mut w);
+        self.push_section(name, w);
+    }
+
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|s| s.name.as_str())
+    }
+
+    pub fn section_len(&self, name: &str) -> Option<usize> {
+        self.find(name).map(|s| s.body.len())
+    }
+
+    fn find(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// A reader over `name`'s body, after verifying its CRC.
+    pub fn reader(&self, name: &str) -> Result<SnapReader<'_>, SnapError> {
+        let s = self.find(name).ok_or_else(|| SnapError::MissingSection {
+            section: name.to_string(),
+        })?;
+        if crc32(&s.body) != s.crc {
+            return Err(SnapError::CrcMismatch {
+                section: name.to_string(),
+            });
+        }
+        Ok(SnapReader::new(&s.body))
+    }
+
+    /// Decode a whole section as one `Snapshot` value, enforcing the CRC,
+    /// full consumption, and any corruption the impl latched.
+    pub fn decode<T: Snapshot>(&self, name: &str) -> Result<T, SnapError> {
+        let mut r = self.reader(name)?;
+        let value = T::load(&mut r);
+        r.finish(name)?;
+        Ok(value)
+    }
+
+    /// Serialize the container to its on-disk byte layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for s in &self.sections {
+            out.extend_from_slice(&(s.name.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.name.as_bytes());
+            out.extend_from_slice(&(s.body.len() as u64).to_le_bytes());
+            out.extend_from_slice(&s.crc.to_le_bytes());
+            out.extend_from_slice(&s.body);
+        }
+        out
+    }
+
+    /// Parse the structural frame. Section CRCs are deferred to
+    /// [`SnapshotFile::reader`] / [`SnapshotFile::decode`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
+        let truncated = |context: &str| SnapError::Truncated {
+            context: context.to_string(),
+        };
+        if bytes.len() < MAGIC.len() {
+            return Err(SnapError::BadMagic);
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        let mut pos = MAGIC.len();
+        let take_u32 = |pos: &mut usize, what: &str| -> Result<u32, SnapError> {
+            let end = pos.checked_add(4).filter(|&e| e <= bytes.len());
+            let end = end.ok_or_else(|| truncated(what))?;
+            let v = u32::from_le_bytes(bytes[*pos..end].try_into().unwrap());
+            *pos = end;
+            Ok(v)
+        };
+        let take_u64 = |pos: &mut usize, what: &str| -> Result<u64, SnapError> {
+            let end = pos.checked_add(8).filter(|&e| e <= bytes.len());
+            let end = end.ok_or_else(|| truncated(what))?;
+            let v = u64::from_le_bytes(bytes[*pos..end].try_into().unwrap());
+            *pos = end;
+            Ok(v)
+        };
+        let version = take_u32(&mut pos, "format version")?;
+        if version != FORMAT_VERSION {
+            return Err(SnapError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let count = take_u32(&mut pos, "section count")?;
+        let mut sections = Vec::new();
+        for i in 0..count {
+            let name_len = take_u32(&mut pos, "section name length")? as usize;
+            if name_len > bytes.len() - pos {
+                return Err(truncated("section name"));
+            }
+            let name = std::str::from_utf8(&bytes[pos..pos + name_len])
+                .map_err(|_| SnapError::Corrupt {
+                    section: format!("#{i}"),
+                    detail: "section name is not UTF-8".to_string(),
+                })?
+                .to_string();
+            pos += name_len;
+            let body_len = take_u64(&mut pos, "section body length")?;
+            let crc = take_u32(&mut pos, "section crc")?;
+            if body_len > (bytes.len() - pos) as u64 {
+                return Err(truncated("section body"));
+            }
+            let body = bytes[pos..pos + body_len as usize].to_vec();
+            pos += body_len as usize;
+            sections.push(Section { name, crc, body });
+        }
+        if pos != bytes.len() {
+            return Err(SnapError::TrailingData {
+                section: "<container>".to_string(),
+            });
+        }
+        Ok(Self { sections })
+    }
+
+    /// Write atomically: serialize to `<path>.tmp` then rename over
+    /// `path`, so a process killed mid-checkpoint never leaves a partial
+    /// snapshot under the final name.
+    pub fn write_to(&self, path: &Path) -> Result<(), SnapError> {
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    pub fn read_from(path: &Path) -> Result<Self, SnapError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SnapshotFile {
+        let mut f = SnapshotFile::new();
+        f.push("manifest", &42u64);
+        f.push("body", &vec![1u32, 2, 3]);
+        f
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let f = sample();
+        let bytes = f.to_bytes();
+        let back = SnapshotFile::from_bytes(&bytes).unwrap();
+        assert_eq!(back.decode::<u64>("manifest").unwrap(), 42);
+        assert_eq!(back.decode::<Vec<u32>>("body").unwrap(), vec![1, 2, 3]);
+        assert_eq!(
+            back.to_bytes(),
+            bytes,
+            "re-serialization must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn bad_magic() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert_eq!(
+            SnapshotFile::from_bytes(&bytes).unwrap_err(),
+            SnapError::BadMagic
+        );
+    }
+
+    #[test]
+    fn version_mismatch() {
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 99;
+        assert!(matches!(
+            SnapshotFile::from_bytes(&bytes).unwrap_err(),
+            SnapError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            }
+        ));
+    }
+
+    #[test]
+    fn body_flip_is_crc_mismatch() {
+        let mut bytes = sample().to_bytes();
+        let last = bytes.len() - 1; // final byte of the "body" section body
+        bytes[last] ^= 0x01;
+        let f = SnapshotFile::from_bytes(&bytes).unwrap();
+        assert!(matches!(
+            f.decode::<Vec<u32>>("body").unwrap_err(),
+            SnapError::CrcMismatch { .. }
+        ));
+        // The untouched section still decodes.
+        assert_eq!(f.decode::<u64>("manifest").unwrap(), 42);
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            let err = SnapshotFile::from_bytes(&bytes[..cut])
+                .err()
+                .unwrap_or_else(|| panic!("truncation at {cut} parsed"));
+            assert!(
+                matches!(err, SnapError::BadMagic | SnapError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_section() {
+        let f = sample();
+        assert!(matches!(
+            f.decode::<u64>("nope").unwrap_err(),
+            SnapError::MissingSection { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_container_bytes_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            SnapshotFile::from_bytes(&bytes).unwrap_err(),
+            SnapError::TrailingData { .. }
+        ));
+    }
+
+    #[test]
+    fn atomic_write_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("edmsnap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.edmsnap");
+        sample().write_to(&path).unwrap();
+        assert!(!path.with_extension("edmsnap.tmp").exists());
+        let back = SnapshotFile::read_from(&path).unwrap();
+        assert_eq!(back.decode::<u64>("manifest").unwrap(), 42);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,195 @@
+//! Bounds-checked byte decoder with a *sticky error*: a read past the end
+//! of the input (or an explicit [`SnapReader::corrupt`] call from a
+//! `Snapshot` impl) returns a zero value and latches the failure; every
+//! subsequent read also short-circuits to zero. [`SnapReader::finish`]
+//! converts the latched state — or any unconsumed trailing bytes — into a
+//! typed [`SnapError`]. This lets `Snapshot::load` keep its infallible
+//! `-> Self` signature while guaranteeing corrupt input can never panic,
+//! over-allocate, or masquerade as valid state.
+
+use crate::SnapError;
+
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    error: Option<ReadFail>,
+}
+
+enum ReadFail {
+    Truncated { context: &'static str },
+    Corrupt { detail: String },
+}
+
+impl<'a> SnapReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            error: None,
+        }
+    }
+
+    /// Bytes not yet consumed. Used by collection decoders to reject
+    /// length prefixes that cannot possibly be satisfied.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True once any read has failed; further reads return zero values.
+    pub fn failed(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Latch a corruption complaint from a `Snapshot` impl (bad enum tag,
+    /// impossible field combination). First failure wins.
+    pub fn corrupt(&mut self, detail: impl Into<String>) {
+        if self.error.is_none() {
+            self.error = Some(ReadFail::Corrupt {
+                detail: detail.into(),
+            });
+        }
+    }
+
+    fn take<const N: usize>(&mut self, context: &'static str) -> [u8; N] {
+        if self.error.is_some() || self.remaining() < N {
+            if self.error.is_none() {
+                self.error = Some(ReadFail::Truncated { context });
+            }
+            return [0; N];
+        }
+        let mut out = [0; N];
+        out.copy_from_slice(&self.buf[self.pos..self.pos + N]);
+        self.pos += N;
+        out
+    }
+
+    pub fn take_u8(&mut self) -> u8 {
+        self.take::<1>("u8")[0]
+    }
+
+    pub fn take_u16(&mut self) -> u16 {
+        u16::from_le_bytes(self.take("u16"))
+    }
+
+    pub fn take_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take("u32"))
+    }
+
+    pub fn take_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take("u64"))
+    }
+
+    pub fn take_usize(&mut self) -> usize {
+        let v = self.take_u64();
+        if v > usize::MAX as u64 {
+            self.corrupt("usize out of range");
+            return 0;
+        }
+        v as usize
+    }
+
+    pub fn take_bool(&mut self) -> bool {
+        match self.take_u8() {
+            0 => false,
+            1 => true,
+            _ => {
+                self.corrupt("bool tag");
+                false
+            }
+        }
+    }
+
+    pub fn take_f64(&mut self) -> f64 {
+        f64::from_bits(self.take_u64())
+    }
+
+    /// Length-prefixed raw bytes; empty on failure.
+    pub fn take_bytes(&mut self) -> Vec<u8> {
+        let len = self.take_u64();
+        if self.error.is_some() || len as usize > self.remaining() {
+            if self.error.is_none() {
+                self.error = Some(ReadFail::Truncated { context: "bytes" });
+            }
+            return Vec::new();
+        }
+        let out = self.buf[self.pos..self.pos + len as usize].to_vec();
+        self.pos += len as usize;
+        out
+    }
+
+    /// Length-prefixed UTF-8 string; empty on failure or invalid UTF-8.
+    pub fn take_string(&mut self) -> String {
+        let bytes = self.take_bytes();
+        match String::from_utf8(bytes) {
+            Ok(s) => s,
+            Err(_) => {
+                self.corrupt("invalid UTF-8 in string");
+                String::new()
+            }
+        }
+    }
+
+    /// Report the section's decode outcome: any latched failure, or
+    /// trailing bytes left after a complete decode (the body must be the
+    /// exact encoding — extra bytes mean the reader and writer disagree).
+    pub fn finish(self, section: &str) -> Result<(), SnapError> {
+        match self.error {
+            Some(ReadFail::Truncated { context }) => Err(SnapError::Truncated {
+                context: format!("{section}: {context}"),
+            }),
+            Some(ReadFail::Corrupt { detail }) => Err(SnapError::Corrupt {
+                section: section.to_string(),
+                detail,
+            }),
+            None if self.pos != self.buf.len() => Err(SnapError::TrailingData {
+                section: section.to_string(),
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sticky_error_short_circuits() {
+        let mut r = SnapReader::new(&[1, 2]);
+        assert_eq!(r.take_u64(), 0); // too short → latches
+        assert!(r.failed());
+        assert_eq!(r.take_u8(), 0); // would fit, but sticky
+        assert!(matches!(r.finish("s"), Err(SnapError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_data_detected() {
+        let mut r = SnapReader::new(&[1, 2, 3]);
+        assert_eq!(r.take_u8(), 1);
+        assert!(matches!(r.finish("s"), Err(SnapError::TrailingData { .. })));
+    }
+
+    #[test]
+    fn exact_consumption_ok() {
+        let mut r = SnapReader::new(&[5, 0, 0, 0]);
+        assert_eq!(r.take_u32(), 5);
+        assert!(r.finish("s").is_ok());
+    }
+
+    #[test]
+    fn bad_bool_is_corrupt() {
+        let mut r = SnapReader::new(&[9]);
+        assert!(!r.take_bool());
+        assert!(matches!(r.finish("s"), Err(SnapError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn oversized_bytes_claim_rejected() {
+        let mut w = crate::SnapWriter::new();
+        w.put_u64(1 << 40);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(r.take_bytes().is_empty());
+        assert!(r.failed());
+    }
+}

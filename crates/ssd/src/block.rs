@@ -4,6 +4,7 @@
 //! (NAND constraint), individually invalidated by out-of-place updates,
 //! and reclaimed all at once by an erase.
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 /// State of one physical page inside a block.
@@ -127,6 +128,52 @@ impl Block {
     /// already passed.
     pub fn next_valid_page(&self, from: u32) -> Option<u32> {
         (from..self.pages_per_block()).find(|&i| self.pages[i as usize] == PageState::Valid)
+    }
+}
+
+impl Snapshot for PageState {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            PageState::Free => 0,
+            PageState::Valid => 1,
+            PageState::Invalid => 2,
+        });
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        match r.take_u8() {
+            0 => PageState::Free,
+            1 => PageState::Valid,
+            2 => PageState::Invalid,
+            _ => {
+                r.corrupt("PageState tag");
+                PageState::Free
+            }
+        }
+    }
+}
+
+impl Snapshot for Block {
+    fn save(&self, w: &mut SnapWriter) {
+        self.pages.save(w);
+        w.put_u32(self.write_ptr);
+        w.put_u32(self.valid);
+        w.put_u64(self.erase_count);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let pages = Vec::<PageState>::load(r);
+        let write_ptr = r.take_u32();
+        let valid = r.take_u32();
+        let erase_count = r.take_u64();
+        let counted = pages.iter().filter(|p| **p == PageState::Valid).count() as u32;
+        if counted != valid || write_ptr as usize > pages.len() {
+            r.corrupt("block page-state bookkeeping disagrees with counters");
+        }
+        Block {
+            pages,
+            write_ptr,
+            valid,
+            erase_count,
+        }
     }
 }
 

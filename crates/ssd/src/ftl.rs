@@ -13,6 +13,7 @@
 use std::collections::VecDeque;
 
 use edm_obs::{Event, NoopRecorder, Recorder};
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 use crate::block::Block;
@@ -790,6 +791,106 @@ impl PageLevelFtl {
             ));
         }
         Ok(())
+    }
+}
+
+impl Snapshot for PhysPage {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u32(self.block);
+        w.put_u32(self.page);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        PhysPage {
+            block: r.take_u32(),
+            page: r.take_u32(),
+        }
+    }
+}
+
+impl Snapshot for VictimPolicy {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            VictimPolicy::Greedy => 0,
+            VictimPolicy::Fifo => 1,
+            VictimPolicy::CostBenefit => 2,
+        });
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        match r.take_u8() {
+            0 => VictimPolicy::Greedy,
+            1 => VictimPolicy::Fifo,
+            2 => VictimPolicy::CostBenefit,
+            _ => {
+                r.corrupt("VictimPolicy tag");
+                VictimPolicy::Greedy
+            }
+        }
+    }
+}
+
+impl Snapshot for FtlConfig {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u32(self.gc_low_watermark);
+        w.put_u32(self.gc_high_watermark);
+        self.victim_policy.save(w);
+        self.wear_leveling.save(w);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        FtlConfig {
+            gc_low_watermark: r.take_u32(),
+            gc_high_watermark: r.take_u32(),
+            victim_policy: VictimPolicy::load(r),
+            wear_leveling: WearLevelConfig::load(r),
+        }
+    }
+}
+
+impl Snapshot for PageLevelFtl {
+    /// Every field is serialized exactly — including derived structures
+    /// whose internal order affects future decisions (free pool, victim
+    /// buckets, FIFO retire queue) — so a restored FTL replays the exact
+    /// same GC and allocation sequence as the original.
+    fn save(&self, w: &mut SnapWriter) {
+        self.geometry.save(w);
+        self.config.save(w);
+        self.blocks.save(w);
+        self.l2p.save(w);
+        self.p2l.save(w);
+        self.free_blocks.save(w);
+        self.active.save(w);
+        self.gc_active.save(w);
+        self.candidates.save(w);
+        self.retire_order.save(w);
+        self.spread.save(w);
+        self.retire_seq.save(w);
+        w.put_u64(self.next_seq);
+        w.put_u64(self.mapped_pages);
+        self.stats.save(w);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let ftl = PageLevelFtl {
+            geometry: Geometry::load(r),
+            config: FtlConfig::load(r),
+            blocks: Vec::load(r),
+            l2p: Vec::load(r),
+            p2l: Vec::load(r),
+            free_blocks: FreePool::load(r),
+            active: Option::load(r),
+            gc_active: Option::load(r),
+            candidates: VictimBuckets::load(r),
+            retire_order: VecDeque::load(r),
+            spread: SpreadTracker::load(r),
+            retire_seq: Vec::load(r),
+            next_seq: r.take_u64(),
+            mapped_pages: r.take_u64(),
+            stats: WearStats::load(r),
+        };
+        if !r.failed() {
+            if let Err(e) = ftl.check_invariants() {
+                r.corrupt(format!("FTL invariants: {e}"));
+            }
+        }
+        ftl
     }
 }
 

@@ -4,6 +4,7 @@
 //! i.e. 32 pages per block. Reads and writes operate on pages; erases
 //! operate on whole blocks ("out-of-place update", §I).
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 /// Default page size used in the paper: 4 KB.
@@ -104,6 +105,27 @@ impl Default for Geometry {
     /// convenient for tests.
     fn default() -> Self {
         Geometry::for_exported_capacity(64 * 1024 * 1024)
+    }
+}
+
+impl Snapshot for Geometry {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.page_size);
+        w.put_u32(self.pages_per_block);
+        w.put_u32(self.blocks);
+        w.put_u32(self.over_provision_ppt);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let g = Geometry {
+            page_size: r.take_u64(),
+            pages_per_block: r.take_u32(),
+            blocks: r.take_u32(),
+            over_provision_ppt: r.take_u32(),
+        };
+        if let Err(e) = g.validate() {
+            r.corrupt(format!("geometry: {e}"));
+        }
+        g
     }
 }
 

@@ -5,6 +5,7 @@
 //! erase a block. Every operation on [`crate::Ssd`] returns the simulated
 //! device time it consumed, built from these constants.
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 /// Simulated device time, in microseconds.
@@ -107,6 +108,30 @@ impl LatencyModel {
 impl Default for LatencyModel {
     fn default() -> Self {
         LatencyModel::PAPER
+    }
+}
+
+impl Snapshot for DeviceTime {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        DeviceTime(r.take_u64())
+    }
+}
+
+impl Snapshot for LatencyModel {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.page_read_us);
+        w.put_u64(self.page_write_us);
+        w.put_u64(self.block_erase_us);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        LatencyModel {
+            page_read_us: r.take_u64(),
+            page_write_us: r.take_u64(),
+            block_erase_us: r.take_u64(),
+        }
     }
 }
 

@@ -2,6 +2,7 @@
 //! FTL, plus the steady-state warm-up procedure of §IV.
 
 use edm_obs::Recorder;
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 use crate::ftl::{FtlConfig, FtlError, PageLevelFtl};
@@ -182,6 +183,19 @@ impl Ssd {
     /// See [`PageLevelFtl::check_invariants`].
     pub fn check_invariants(&self) -> Result<(), String> {
         self.ftl.check_invariants()
+    }
+}
+
+impl Snapshot for Ssd {
+    fn save(&self, w: &mut SnapWriter) {
+        self.ftl.save(w);
+        self.latency.save(w);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        Ssd {
+            ftl: PageLevelFtl::load(r),
+            latency: LatencyModel::load(r),
+        }
     }
 }
 

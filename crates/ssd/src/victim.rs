@@ -18,6 +18,8 @@
 //! whole set resolve ties with an explicit total key instead, which picks
 //! the same element the ordered scan did.
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
+
 /// Victim-candidate set: full blocks bucketed by their valid-page count.
 #[derive(Debug, Clone)]
 pub struct VictimBuckets {
@@ -166,6 +168,53 @@ impl VictimBuckets {
             }
         }
         Ok(())
+    }
+}
+
+impl Snapshot for VictimBuckets {
+    /// Bucket contents are serialized exactly as stored — intra-bucket
+    /// order is behaviour-relevant (`swap_remove` positions feed future
+    /// slot updates), so a bit-identical restore must preserve it. The
+    /// `slot` index is derivable and rebuilt on load.
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.slot.len() as u64);
+        self.buckets.save(w);
+        w.put_u64(self.min_valid as u64);
+        w.put_u64(self.len as u64);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let mut blocks = r.take_usize();
+        // A corrupt count read outside a CRC-checked section must not
+        // drive an unbounded allocation.
+        if blocks > 1 << 24 {
+            r.corrupt("implausible block count");
+            blocks = 0;
+        }
+        let buckets = Vec::<Vec<u32>>::load(r);
+        let min_valid = r.take_usize();
+        let len = r.take_usize();
+        let mut slot = vec![None; blocks];
+        let mut seen = 0usize;
+        for (v, bucket) in buckets.iter().enumerate() {
+            for (pos, &block) in bucket.iter().enumerate() {
+                match slot.get_mut(block as usize) {
+                    Some(s @ None) => {
+                        *s = Some((v as u32, pos));
+                        seen += 1;
+                    }
+                    _ => r.corrupt("bucket entry out of range or duplicated"),
+                }
+            }
+        }
+        if seen != len {
+            r.corrupt("bucket population disagrees with recorded len");
+        }
+        VictimBuckets {
+            buckets,
+            slot,
+            min_valid,
+            len,
+        }
     }
 }
 

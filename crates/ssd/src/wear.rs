@@ -5,6 +5,7 @@
 //! valid-page ratio of GC victim blocks, uᵣ, which the wear model of
 //! §III.B.1 estimates from utilization (Fig. 3).
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 /// Cumulative wear counters of one SSD.
@@ -61,6 +62,27 @@ impl WearStats {
         self.block_erases += other.block_erases;
         self.gc_victims += other.gc_victims;
         self.victim_valid_pages += other.victim_valid_pages;
+    }
+}
+
+impl Snapshot for WearStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.host_page_writes);
+        w.put_u64(self.host_page_reads);
+        w.put_u64(self.gc_page_moves);
+        w.put_u64(self.block_erases);
+        w.put_u64(self.gc_victims);
+        w.put_u64(self.victim_valid_pages);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        WearStats {
+            host_page_writes: r.take_u64(),
+            host_page_reads: r.take_u64(),
+            gc_page_moves: r.take_u64(),
+            block_erases: r.take_u64(),
+            gc_victims: r.take_u64(),
+            victim_valid_pages: r.take_u64(),
+        }
     }
 }
 

@@ -17,6 +17,7 @@
 
 use std::collections::BTreeSet;
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 /// Wear-leveling configuration.
@@ -182,6 +183,59 @@ impl SpreadTracker {
     /// Same trigger as [`static_leveling_due`], from the cached extremes.
     pub fn due(&self, threshold: u64) -> bool {
         threshold != 0 && self.max - self.min > threshold
+    }
+}
+
+impl Snapshot for WearLevelConfig {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_bool(self.dynamic);
+        w.put_u64(self.static_threshold);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        WearLevelConfig {
+            dynamic: r.take_bool(),
+            static_threshold: r.take_u64(),
+        }
+    }
+}
+
+impl Snapshot for FreePool {
+    /// FIFO order is behaviour-relevant, so the deque is serialized as-is;
+    /// the wear-ordered set round-trips through its sorted iteration.
+    fn save(&self, w: &mut SnapWriter) {
+        self.fifo.save(w);
+        self.by_wear.save(w);
+        w.put_bool(self.dynamic);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let fifo = std::collections::VecDeque::<u32>::load(r);
+        let by_wear = BTreeSet::<(u64, u32)>::load(r);
+        let dynamic = r.take_bool();
+        if dynamic && !fifo.is_empty() || !dynamic && !by_wear.is_empty() {
+            r.corrupt("free pool holds blocks in the inactive ordering");
+        }
+        FreePool {
+            fifo,
+            by_wear,
+            dynamic,
+        }
+    }
+}
+
+impl Snapshot for SpreadTracker {
+    fn save(&self, w: &mut SnapWriter) {
+        self.hist.save(w);
+        w.put_u64(self.min);
+        w.put_u64(self.max);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let hist = Vec::<u64>::load(r);
+        let min = r.take_u64();
+        let max = r.take_u64();
+        if min > max || max as usize >= hist.len().max(1) {
+            r.corrupt("spread tracker extremes out of histogram range");
+        }
+        SpreadTracker { hist, min, max }
     }
 }
 

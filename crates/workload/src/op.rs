@@ -4,6 +4,7 @@
 //! NFS trace file" (§V.A); these four operation kinds are what a trace
 //! record carries.
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a file in a trace (maps to an inode number in the
@@ -72,6 +73,15 @@ pub struct TraceRecord {
     pub user: u32,
     pub file: FileId,
     pub op: FileOp,
+}
+
+impl Snapshot for FileId {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        FileId(r.take_u64())
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! popularity exponents, the overlap between the read-hot and write-hot
 //! file sets, and the file-size distribution.
 
+use edm_snap::{SnapReader, SnapWriter, Snapshot};
 use serde::{Deserialize, Serialize};
 
 /// Skew profile of a workload: how concentrated accesses are and how much
@@ -167,6 +168,77 @@ impl WorkloadSpec {
     /// Total payload bytes this workload will read plus write (expected).
     pub fn expected_bytes(&self) -> u64 {
         self.write_cnt * self.avg_write_size + self.read_cnt * self.avg_read_size
+    }
+}
+
+impl Snapshot for SkewProfile {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_f64(self.write_theta);
+        w.put_f64(self.read_theta);
+        w.put_f64(self.hot_overlap);
+        w.put_f64(self.size_coupling);
+        w.put_u32(self.phases);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        SkewProfile {
+            write_theta: r.take_f64(),
+            read_theta: r.take_f64(),
+            hot_overlap: r.take_f64(),
+            size_coupling: r.take_f64(),
+            phases: r.take_u32(),
+        }
+    }
+}
+
+impl Snapshot for FileSizeModel {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.min_bytes);
+        w.put_u64(self.max_bytes);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        FileSizeModel {
+            min_bytes: r.take_u64(),
+            max_bytes: r.take_u64(),
+        }
+    }
+}
+
+impl Snapshot for WorkloadSpec {
+    /// The spec (including its seed) is enough to regenerate the entire
+    /// trace deterministically, so a snapshot records it instead of the
+    /// trace body; synthesis consumes the seeded RNG completely, so "every
+    /// RNG position" reduces to this value.
+    fn save(&self, w: &mut SnapWriter) {
+        self.name.save(w);
+        w.put_u64(self.file_cnt);
+        w.put_u64(self.write_cnt);
+        w.put_u64(self.avg_write_size);
+        w.put_u64(self.read_cnt);
+        w.put_u64(self.avg_read_size);
+        self.skew.save(w);
+        self.file_sizes.save(w);
+        w.put_u32(self.users);
+        w.put_u64(self.seed);
+    }
+    fn load(r: &mut SnapReader) -> Self {
+        let spec = WorkloadSpec {
+            name: String::load(r),
+            file_cnt: r.take_u64(),
+            write_cnt: r.take_u64(),
+            avg_write_size: r.take_u64(),
+            read_cnt: r.take_u64(),
+            avg_read_size: r.take_u64(),
+            skew: SkewProfile::load(r),
+            file_sizes: FileSizeModel::load(r),
+            users: r.take_u32(),
+            seed: r.take_u64(),
+        };
+        if !r.failed() {
+            if let Err(e) = spec.validate() {
+                r.corrupt(format!("workload spec: {e}"));
+            }
+        }
+        spec
     }
 }
 

@@ -114,6 +114,46 @@ impl Trace {
         Ok(())
     }
 
+    /// FNV-1a digest of the full trace content (name, every record, every
+    /// file size). A resumed simulation re-synthesizes its trace from the
+    /// checkpointed [`crate::WorkloadSpec`] and compares this fingerprint
+    /// against the one recorded at checkpoint time, so a drifted generator
+    /// or edited scenario is caught before replay diverges silently.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(h: &mut u64, x: u64) {
+            for b in x.to_le_bytes() {
+                *h = (*h ^ b as u64).wrapping_mul(PRIME);
+            }
+        }
+        let mut h = OFFSET;
+        for b in self.name.as_bytes() {
+            h = (h ^ *b as u64).wrapping_mul(PRIME);
+        }
+        eat(&mut h, self.records.len() as u64);
+        for r in &self.records {
+            eat(&mut h, r.time_us);
+            eat(&mut h, r.user as u64);
+            eat(&mut h, r.file.0);
+            let (tag, offset, len) = match r.op {
+                FileOp::Open => (0u64, 0, 0),
+                FileOp::Close => (1, 0, 0),
+                FileOp::Read { offset, len } => (2, offset, len),
+                FileOp::Write { offset, len } => (3, offset, len),
+            };
+            eat(&mut h, tag);
+            eat(&mut h, offset);
+            eat(&mut h, len);
+        }
+        eat(&mut h, self.file_sizes.len() as u64);
+        for (f, size) in &self.file_sizes {
+            eat(&mut h, f.0);
+            eat(&mut h, *size);
+        }
+        h
+    }
+
     /// Serializes to the line-oriented text format:
     ///
     /// ```text
@@ -326,5 +366,26 @@ mod tests {
     #[test]
     fn footprint_sums_file_sizes() {
         assert_eq!(sample().footprint_bytes(), 150_000);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let t = sample();
+        assert_eq!(t.fingerprint(), sample().fingerprint());
+
+        let mut changed = sample();
+        changed.records[1].op = FileOp::Write {
+            offset: 0,
+            len: 8193,
+        };
+        assert_ne!(t.fingerprint(), changed.fingerprint());
+
+        let mut renamed = sample();
+        renamed.name = "other".into();
+        assert_ne!(t.fingerprint(), renamed.fingerprint());
+
+        let mut resized = sample();
+        resized.file_sizes.insert(FileId(2), 50_001);
+        assert_ne!(t.fingerprint(), resized.fingerprint());
     }
 }

@@ -51,6 +51,7 @@ fn main() {
             SimOptions {
                 schedule: MigrationSchedule::Never,
                 failures,
+                checkpoint: None,
             },
         );
         println!("== {label} ==");

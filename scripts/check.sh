@@ -47,4 +47,35 @@ event_count="$(wc -l < "$obs_dir/smoke.jsonl")"
 [ "$event_count" -gt 0 ] || { echo "obs smoke: empty journal"; exit 1; }
 echo "obs smoke: $event_count journal lines OK"
 
+echo "==> checkpoint/resume smoke (edm-sim --checkpoint-* / --resume / edm-probe --snapshot)"
+# An uninterrupted run and a run resumed from a mid-run checkpoint must
+# print bit-identical reports and determinism digests.
+cat > "$obs_dir/ckpt.scn" <<'EOF'
+trace home02
+scale 0.002
+osds 8
+policy EDM-CDF
+schedule every-tick
+fail 150000 1 rebuild
+EOF
+./target/release/edm-sim "$obs_dir/ckpt.scn" \
+    --checkpoint-every 0 --checkpoint-dir "$obs_dir/ckpts" \
+    > "$obs_dir/uninterrupted.txt" 2> /dev/null
+snap_count="$(ls "$obs_dir"/ckpts/*.snap | wc -l)"
+[ "$snap_count" -ge 2 ] \
+    || { echo "ckpt smoke: want >=2 checkpoints, got $snap_count"; exit 1; }
+mid_snap="$(ls "$obs_dir"/ckpts/*.snap | sed -n "$(( (snap_count + 1) / 2 ))p")"
+./target/release/edm-sim --resume "$mid_snap" \
+    > "$obs_dir/resumed.txt" 2> /dev/null
+diff "$obs_dir/uninterrupted.txt" "$obs_dir/resumed.txt" \
+    || { echo "ckpt smoke: resumed run diverged from uninterrupted run"; exit 1; }
+grep -q "determinism digest 0x" "$obs_dir/resumed.txt" \
+    || { echo "ckpt smoke: no determinism digest printed"; exit 1; }
+probe_snap="$(./target/release/edm-probe --snapshot "$mid_snap")"
+echo "$probe_snap" | grep -q "embedded scenario" \
+    || { echo "ckpt smoke: probe found no embedded scenario"; exit 1; }
+echo "$probe_snap" | grep -q "policy          EDM-CDF" \
+    || { echo "ckpt smoke: probe manifest missing policy"; exit 1; }
+echo "ckpt smoke: $snap_count checkpoints, resume digest matches OK"
+
 echo "All checks passed."

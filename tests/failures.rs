@@ -24,6 +24,7 @@ fn run_with_failures(trace: &Trace, failures: Vec<FailureSpec>) -> RunReport {
         SimOptions {
             schedule: MigrationSchedule::Never,
             failures,
+            checkpoint: None,
         },
     )
 }
@@ -166,6 +167,7 @@ fn failure_during_migration_aborts_cleanly() {
                     rebuild: false,
                 })
                 .collect(),
+            checkpoint: None,
         },
     );
     assert_eq!(r.completed_ops, t.records.len() as u64);

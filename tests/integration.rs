@@ -123,6 +123,7 @@ fn forced_midpoint_vs_never_schedules() {
         SimOptions {
             schedule: MigrationSchedule::Never,
             failures: Vec::new(),
+            checkpoint: None,
         },
     );
     assert_eq!(never.moved_objects, 0, "Never schedule must not migrate");
@@ -249,6 +250,7 @@ fn every_tick_schedule_completes_and_migrates() {
         SimOptions {
             schedule: MigrationSchedule::EveryTick,
             failures: Vec::new(),
+            checkpoint: None,
         },
     );
     assert_eq!(r.completed_ops, trace.records.len() as u64);

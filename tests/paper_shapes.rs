@@ -12,6 +12,7 @@ fn cfg(scale: f64) -> RunConfig {
         scale,
         schedule: MigrationSchedule::Midpoint,
         response_window_us: None,
+        jobs: None,
     }
 }
 
