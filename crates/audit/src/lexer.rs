@@ -1,0 +1,405 @@
+//! A small hand-rolled Rust lexer: just enough token structure for the
+//! audit rules, with the parts that trip up grep-style checkers done
+//! properly — strings (including raw strings with arbitrary `#` fences
+//! and byte strings), char literals vs. lifetimes, and *nested* block
+//! comments.
+//!
+//! The lexer is total: any input produces a token stream without
+//! panicking. Unterminated strings/comments extend to end of input.
+//! Tokens carry byte spans into the source and 1-based line numbers;
+//! spans are strictly monotonic and non-overlapping (property-tested).
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (rules match on text).
+    Ident,
+    /// `'a`, `'static`, `'_` — *not* a char literal.
+    Lifetime,
+    /// Integer literal, including suffixed (`4096u64`) and hex/oct/bin.
+    Int,
+    /// Float literal (`0.5`, `1e-3`, `2.0f32`).
+    Float,
+    /// `"…"`, `r#"…"#`, `b"…"`, `br##"…"##` — all string-ish literals.
+    Str,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `// …` (incl. `///`, `//!`) — text includes the slashes.
+    LineComment,
+    /// `/* … */` with nesting — text includes the delimiters.
+    BlockComment,
+    /// Any other single character (`.`, `:`, `{`, `!`, …).
+    Punct,
+}
+
+/// One token: kind plus location. The text is borrowed via
+/// [`Token::text`] to keep the stream allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Tokenizes `src` completely. Total: never panics, consumes every byte
+/// (every byte of input lies inside exactly zero or one token span, and
+/// spans appear in strictly increasing order).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_line_comment();
+                    self.push(TokKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.take_block_comment();
+                    self.push(TokKind::BlockComment, start, line);
+                }
+                b'r' | b'b' if self.try_raw_or_byte_literal() => {
+                    // kind was pushed by the helper
+                }
+                b'"' => {
+                    self.take_string();
+                    self.push(TokKind::Str, start, line);
+                }
+                b'\'' => {
+                    let kind = self.take_quote();
+                    self.push(kind, start, line);
+                }
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                    self.take_ident();
+                    self.push(TokKind::Ident, start, line);
+                }
+                b'0'..=b'9' => {
+                    let kind = self.take_number();
+                    self.push(kind, start, line);
+                }
+                _ => {
+                    // One punct per char; skip over multi-byte UTF-8
+                    // sequences as a single Punct so spans stay on char
+                    // boundaries.
+                    let ch_len = utf8_len(b);
+                    self.pos = (self.pos + ch_len).min(self.bytes.len());
+                    self.push(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump_counting_lines(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn take_line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn take_block_comment(&mut self) {
+        self.pos += 2; // consume "/*"
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump_counting_lines();
+            }
+        }
+    }
+
+    /// At a `"`: consume the (cooked) string literal, honoring `\`
+    /// escapes. Unterminated strings run to end of input.
+    fn take_string(&mut self) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.pos < self.bytes.len() {
+                        self.bump_counting_lines();
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.bump_counting_lines(),
+            }
+        }
+    }
+
+    /// At `r` or `b`: if this starts `r"`, `r#…#"`, `br"`, `b"`, `b'`,
+    /// or a raw identifier `r#ident`, consume it and push the right
+    /// token, returning true. Otherwise return false (plain identifier).
+    fn try_raw_or_byte_literal(&mut self) -> bool {
+        let start = self.pos;
+        let line = self.line;
+        let mut i = self.pos + 1;
+        let first = self.bytes[self.pos];
+        if first == b'b' && self.bytes.get(i) == Some(&b'r') {
+            i += 1; // br…
+        }
+        let mut hashes = 0usize;
+        while self.bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        match (first, self.bytes.get(i).copied()) {
+            // Raw string r"…", r#"…"#, br##"…"## (b requires the r).
+            (b'r', Some(b'"')) | (b'b', Some(b'"')) if first == b'r' || i > self.pos + 1 => {
+                self.pos = i + 1;
+                self.take_raw_string_body(hashes);
+                self.push(TokKind::Str, start, line);
+                true
+            }
+            // Cooked byte string b"…" (no hashes, no r).
+            (b'b', Some(b'"')) if hashes == 0 => {
+                self.pos = i;
+                self.take_string();
+                self.push(TokKind::Str, start, line);
+                true
+            }
+            // Byte char b'x'.
+            (b'b', Some(b'\'')) if hashes == 0 => {
+                self.pos = i + 1;
+                self.take_char_body();
+                self.push(TokKind::Char, start, line);
+                true
+            }
+            // Raw identifier r#ident.
+            (b'r', Some(c)) if hashes == 1 && is_ident_start(c) => {
+                self.pos = i;
+                self.take_ident();
+                self.push(TokKind::Ident, start, line);
+                true
+            }
+            _ => {
+                self.take_ident();
+                self.push(TokKind::Ident, start, line);
+                true
+            }
+        }
+    }
+
+    /// After the opening quote of a raw string with `hashes` fence
+    /// hashes: consume until `"` followed by that many `#`s.
+    fn take_raw_string_body(&mut self, hashes: usize) {
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.bytes.get(self.pos + 1 + k) != Some(&b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.bump_counting_lines();
+        }
+    }
+
+    /// At a `'`: decide char literal vs. lifetime.
+    fn take_quote(&mut self) -> TokKind {
+        // 'x' / '\…' are char literals; '<ident> without a closing quote
+        // right after one char is a lifetime ('a, 'static, '_).
+        match (self.peek(1), self.peek(2)) {
+            (Some(b'\\'), _) => {
+                self.pos += 1;
+                self.take_char_body();
+                TokKind::Char
+            }
+            (Some(c), Some(b'\'')) if c != b'\'' => {
+                // 'x' exactly — note ''' (empty) stays a Punct-ish char.
+                self.pos += 3;
+                TokKind::Char
+            }
+            (Some(c), _) if is_ident_start(c) => {
+                self.pos += 1;
+                self.take_ident();
+                TokKind::Lifetime
+            }
+            (Some(c), _) if !c.is_ascii() => {
+                // Multi-byte char literal like '→'.
+                self.pos += 1;
+                self.take_char_body();
+                TokKind::Char
+            }
+            _ => {
+                self.pos += 1;
+                TokKind::Char
+            }
+        }
+    }
+
+    /// After the opening quote of a char literal: consume through the
+    /// closing quote, honoring escapes.
+    fn take_char_body(&mut self) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.pos < self.bytes.len() {
+                        self.bump_counting_lines();
+                    }
+                }
+                b'\'' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => return, // never span a char literal over a newline
+                _ => self.bump_counting_lines(),
+            }
+        }
+    }
+
+    fn take_ident(&mut self) {
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+    }
+
+    /// At a digit: consume the numeric literal (int or float), including
+    /// type suffixes. `1.max(0)` and `0..10` keep the dot out of the
+    /// number; `1.5`, `1e-3`, `2.0f32` fold it in.
+    fn take_number(&mut self) -> TokKind {
+        let radix_prefixed = self.bytes[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x') | Some(b'o') | Some(b'b'));
+        if radix_prefixed {
+            self.pos += 2;
+            while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                self.pos += 1;
+            }
+            return TokKind::Int;
+        }
+        let mut float = false;
+        while self.pos < self.bytes.len() && matches!(self.bytes[self.pos], b'0'..=b'9' | b'_') {
+            self.pos += 1;
+        }
+        if self.bytes.get(self.pos) == Some(&b'.')
+            && matches!(self.bytes.get(self.pos + 1), Some(b'0'..=b'9'))
+        {
+            float = true;
+            self.pos += 1;
+            while self.pos < self.bytes.len() && matches!(self.bytes[self.pos], b'0'..=b'9' | b'_')
+            {
+                self.pos += 1;
+            }
+        } else if self.bytes.get(self.pos) == Some(&b'.')
+            && !matches!(self.bytes.get(self.pos + 1), Some(b'.'))
+            && !matches!(self.bytes.get(self.pos + 1), Some(&c) if is_ident_start(c))
+        {
+            // `1.` trailing-dot float (not a range, not a method call).
+            float = true;
+            self.pos += 1;
+        }
+        // Exponent: 1e9, 1.5e-3.
+        if matches!(self.bytes.get(self.pos), Some(b'e') | Some(b'E'))
+            && (matches!(self.bytes.get(self.pos + 1), Some(b'0'..=b'9'))
+                || (matches!(self.bytes.get(self.pos + 1), Some(b'+') | Some(b'-'))
+                    && matches!(self.bytes.get(self.pos + 2), Some(b'0'..=b'9'))))
+        {
+            float = true;
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.pos < self.bytes.len() && matches!(self.bytes[self.pos], b'0'..=b'9' | b'_')
+            {
+                self.pos += 1;
+            }
+        }
+        // Type suffix (u64, f32, …) folds into the token; an `f` suffix
+        // marks a float (`2f64`).
+        let suffix_start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        if self.bytes.get(suffix_start) == Some(&b'f') {
+            float = true;
+        }
+        if float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}

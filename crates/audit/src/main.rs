@@ -1,0 +1,101 @@
+#![forbid(unsafe_code)]
+//! `edm-audit` — scan the workspace, print the findings report, exit
+//! nonzero on any unsuppressed finding.
+//!
+//! ```text
+//! edm-audit [--root <dir>] [--fix-report [<path>]] [--list-rules]
+//! ```
+//!
+//! With no `--root`, the workspace root is found by walking up from the
+//! current directory to the first `Cargo.toml` with a `[workspace]`
+//! table.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut fix_report: Option<Option<PathBuf>> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--fix-report" => {
+                // Optional path operand; default is stdout.
+                let path = args
+                    .peek()
+                    .filter(|a| !a.starts_with("--"))
+                    .map(PathBuf::from);
+                if path.is_some() {
+                    args.next();
+                }
+                fix_report = Some(path);
+            }
+            "--list-rules" => {
+                for (id, desc) in edm_audit::RULES {
+                    println!("{id:24} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("edm-audit: cannot read current directory: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match edm_audit::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("edm-audit: no workspace root found above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let outcome = match edm_audit::audit_workspace(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("edm-audit: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match fix_report {
+        Some(Some(path)) => {
+            if let Err(e) = std::fs::write(&path, outcome.render_json()) {
+                eprintln!("edm-audit: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprint!("{}", outcome.render_text());
+        }
+        Some(None) => print!("{}", outcome.render_json()),
+        None => print!("{}", outcome.render_text()),
+    }
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("edm-audit: {err}");
+    }
+    eprintln!("usage: edm-audit [--root <dir>] [--fix-report [<path>]] [--list-rules]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

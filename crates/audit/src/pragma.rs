@@ -1,0 +1,142 @@
+//! The `edm-audit: allow` suppression pragma.
+//!
+//! Grammar (inside a line comment, leading `//`/`///`/`//!` stripped):
+//!
+//! ```text
+//! // edm-audit: allow(<rule-id>, "<reason>")
+//! ```
+//!
+//! The reason string is mandatory and must be non-empty: a suppression
+//! without a recorded justification is itself a finding. A pragma
+//! suppresses findings of `<rule-id>`:
+//!
+//! * on its **own line**, when the line also holds code, or
+//! * on the **next code line** otherwise — lines holding only comments
+//!   or whitespace are skipped, so pragmas stack.
+
+use crate::lexer::{TokKind, Token};
+
+/// One parsed suppression.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    pub rule: String,
+    pub reason: String,
+    /// Line the pragma comment starts on.
+    pub line: u32,
+    /// Line whose findings it suppresses.
+    pub target_line: u32,
+}
+
+/// A malformed pragma: reported as a finding, never honored.
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    pub line: u32,
+    pub detail: String,
+}
+
+/// Extracts pragmas (and pragma syntax errors) from a token stream.
+pub fn parse_pragmas(src: &str, tokens: &[Token]) -> (Vec<Pragma>, Vec<PragmaError>) {
+    // Lines that carry at least one non-comment token: pragma targets.
+    let code_lines: Vec<u32> = {
+        let mut v: Vec<u32> = tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|t| t.line)
+            .collect();
+        v.dedup();
+        v
+    };
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for t in tokens {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = t.text(src).trim_start_matches('/').trim_start_matches('!');
+        let body = body.trim();
+        let Some(rest) = body.strip_prefix("edm-audit:") else {
+            // Catch near-misses like "edm-audit allow(...)" so a typo'd
+            // pragma fails loudly instead of silently not suppressing.
+            // Prose that merely mentions the tool name stays a comment.
+            if body.starts_with("edm-audit") && body.contains("allow") {
+                errors.push(PragmaError {
+                    line: t.line,
+                    detail: "pragma must start with exactly `edm-audit: allow(...)`".to_string(),
+                });
+            }
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Ok((rule, reason)) => {
+                let own_line_has_code = code_lines.binary_search(&t.line).is_ok();
+                let target_line = if own_line_has_code {
+                    t.line
+                } else {
+                    // First code line strictly after the pragma; a
+                    // trailing pragma with no code after it targets its
+                    // own line (and will report as unused).
+                    match code_lines.binary_search(&(t.line + 1)) {
+                        Ok(i) => code_lines[i],
+                        Err(i) => code_lines.get(i).copied().unwrap_or(t.line),
+                    }
+                };
+                pragmas.push(Pragma {
+                    rule,
+                    reason,
+                    line: t.line,
+                    target_line,
+                });
+            }
+            Err(detail) => errors.push(PragmaError {
+                line: t.line,
+                detail,
+            }),
+        }
+    }
+    (pragmas, errors)
+}
+
+/// Parses `allow(<rule>, "<reason>")`, returning (rule, reason).
+fn parse_allow(s: &str) -> Result<(String, String), String> {
+    let Some(args) = s.strip_prefix("allow") else {
+        return Err(format!(
+            "unknown pragma action `{}` (only `allow`)",
+            first_word(s)
+        ));
+    };
+    let args = args.trim_start();
+    let Some(args) = args.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(args) = args.strip_suffix(')') else {
+        return Err("pragma is missing its closing `)`".to_string());
+    };
+    let Some((rule, reason)) = args.split_once(',') else {
+        return Err(
+            "expected `allow(<rule>, \"<reason>\")` — the reason string is mandatory".to_string(),
+        );
+    };
+    let rule = rule.trim();
+    if rule.is_empty()
+        || !rule
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_')
+    {
+        return Err(format!("`{rule}` is not a rule id"));
+    }
+    let reason = reason.trim();
+    let reason = reason
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| "the reason must be a double-quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("the reason string must not be empty".to_string());
+    }
+    Ok((rule.to_string(), reason.trim().to_string()))
+}
+
+fn first_word(s: &str) -> &str {
+    s.split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .next()
+        .unwrap_or("")
+}

@@ -1,0 +1,729 @@
+//! The rule engine: every audit rule, run over the significant
+//! (comment-free) token stream of each workspace file.
+//!
+//! Rules are lexical heuristics, tuned to this codebase and biased
+//! toward *catching* violations: a false positive costs one explanatory
+//! pragma, a false negative silently breaks replayability. Each rule
+//! documents its scope; DESIGN.md §8 records the rationale.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{TokKind, Token};
+use crate::report::Finding;
+use crate::source::{FileKind, SourceFile};
+
+/// Registry of every rule id with a one-line description. The pragma
+/// checker rejects `allow(...)` of ids not listed here.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "det.map_iter",
+        "iteration over HashMap/HashSet in simulation-state crates (unordered)",
+    ),
+    (
+        "det.wallclock",
+        "Instant::now/SystemTime::now outside harness bins and bench",
+    ),
+    (
+        "det.ambient_rng",
+        "ambient randomness (thread_rng, OsRng, from_entropy, rand::random)",
+    ),
+    (
+        "det.env_read",
+        "process-environment read (std::env) outside harness bins and bench",
+    ),
+    ("panic.unwrap", ".unwrap() in non-test library code"),
+    ("panic.expect", ".expect(...) in non-test library code"),
+    (
+        "panic.panic",
+        "panic!/todo!/unimplemented! in non-test library code",
+    ),
+    ("panic.unreachable", "unreachable! in non-test library code"),
+    (
+        "panic.slice_index",
+        "slice indexing by integer literal in non-test library code",
+    ),
+    (
+        "num.lossy_cast",
+        "lossy `as` cast in wear/erase accounting files",
+    ),
+    (
+        "num.float_eq",
+        "==/!= against a float literal in wear/erase accounting files",
+    ),
+    (
+        "snap.field_coverage",
+        "Snapshot impl whose save or load path misses a struct field",
+    ),
+    (
+        "unsafe.forbid_missing",
+        "library crate root without #![forbid(unsafe_code)]",
+    ),
+    ("pragma.malformed", "unparseable edm-audit pragma"),
+    (
+        "pragma.unknown_rule",
+        "pragma allows a rule id that does not exist",
+    ),
+    ("pragma.unused", "pragma that suppressed nothing"),
+];
+
+pub fn rule_exists(id: &str) -> bool {
+    RULES.iter().any(|(r, _)| *r == id)
+}
+
+/// Crates whose `src` holds simulation state: map iteration order there
+/// can reach the event sequence, so `det.map_iter` applies.
+const SIM_STATE_CRATES: &[&str] = &["ssd", "cluster", "core", "workload"];
+
+/// Files under the `num.*` rules: wear/erase accounting, where a lossy
+/// cast or an exact float compare skews endurance results silently.
+fn in_numeric_scope(path: &str) -> bool {
+    path.ends_with("/wear.rs") || path.ends_with("/temperature.rs") || path.contains("/policy/")
+}
+
+/// Convenience view over one file's significant tokens.
+struct View<'a> {
+    src: &'a str,
+    toks: &'a [Token],
+}
+
+impl<'a> View<'a> {
+    fn text(&self, i: usize) -> &'a str {
+        self.toks[i].text(self.src)
+    }
+    fn kind(&self, i: usize) -> Option<TokKind> {
+        self.toks.get(i).map(|t| t.kind)
+    }
+    fn is(&self, i: usize, s: &str) -> bool {
+        self.toks.get(i).is_some_and(|t| t.text(self.src) == s)
+    }
+    fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text(self.src) == s)
+    }
+    fn line(&self, i: usize) -> u32 {
+        self.toks[i].line
+    }
+    /// Two puncts form a glued operator (`==`, `::`) only when adjacent.
+    fn glued(&self, i: usize) -> bool {
+        i + 1 < self.toks.len() && self.toks[i].end == self.toks[i + 1].start
+    }
+}
+
+/// Runs every applicable rule over `file`, appending findings.
+pub fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let v = View {
+        src: &file.src,
+        toks: &file.sig,
+    };
+    let f = |rule: &'static str, line: u32, message: String| Finding {
+        rule,
+        path: file.rel_path.clone(),
+        line,
+        message,
+    };
+    let in_test = |line: u32| file.in_cfg_test(line);
+    let lib = file.kind == FileKind::LibSrc;
+    // Harness bins own the process boundary (CLI args, wall-clock cell
+    // timing); the audit bin is repo tooling. Everything else must stay
+    // deterministic.
+    let tool_bin = file.kind == FileKind::BinSrc
+        && (file.crate_name == "harness" || file.crate_name == "audit");
+    let ambient_exempt = matches!(
+        file.kind,
+        FileKind::Bench | FileKind::TestCode | FileKind::Example
+    ) || tool_bin;
+
+    // --- det.map_iter ------------------------------------------------
+    if lib && SIM_STATE_CRATES.contains(&file.crate_name.as_str()) {
+        let decls = hash_container_idents(&v);
+        for i in 0..v.toks.len() {
+            if in_test(v.line(i)) {
+                continue;
+            }
+            // ident.iter() / .keys() / .values() / .drain() / …
+            if v.kind(i) == Some(TokKind::Ident)
+                && decls.contains(v.text(i))
+                && v.is(i + 1, ".")
+                && v.kind(i + 2) == Some(TokKind::Ident)
+            {
+                let m = v.text(i + 2);
+                const ITER_METHODS: &[&str] = &[
+                    "iter",
+                    "iter_mut",
+                    "keys",
+                    "values",
+                    "values_mut",
+                    "drain",
+                    "into_iter",
+                    "into_keys",
+                    "into_values",
+                    "retain",
+                ];
+                if ITER_METHODS.contains(&m) && v.is(i + 3, "(") {
+                    findings.push(f(
+                        "det.map_iter",
+                        v.line(i),
+                        format!(
+                            "`.{m}()` on hash container `{}` iterates in unspecified order",
+                            v.text(i)
+                        ),
+                    ));
+                }
+            }
+            // for … in [&|&mut] [self.]ident { … }
+            if v.is_ident(i, "for") {
+                if let Some((name, line)) = for_loop_over(&v, i, &decls) {
+                    findings.push(f(
+                        "det.map_iter",
+                        line,
+                        format!(
+                            "`for` loop over hash container `{name}` iterates in unspecified order"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- det.wallclock / det.ambient_rng / det.env_read --------------
+    if !ambient_exempt {
+        for i in 0..v.toks.len() {
+            if in_test(v.line(i)) {
+                continue;
+            }
+            if (v.is_ident(i, "Instant") || v.is_ident(i, "SystemTime"))
+                && v.is(i + 1, ":")
+                && v.is(i + 2, ":")
+                && v.is_ident(i + 3, "now")
+            {
+                findings.push(f(
+                    "det.wallclock",
+                    v.line(i),
+                    format!("`{}::now()` reads the wall clock", v.text(i)),
+                ));
+            }
+            if v.is_ident(i, "thread_rng")
+                || v.is_ident(i, "OsRng")
+                || v.is_ident(i, "from_entropy")
+                || (v.is_ident(i, "rand")
+                    && v.is(i + 1, ":")
+                    && v.is(i + 2, ":")
+                    && v.is_ident(i + 3, "random"))
+            {
+                findings.push(f(
+                    "det.ambient_rng",
+                    v.line(i),
+                    format!("`{}` draws ambient (unseeded) randomness", v.text(i)),
+                ));
+            }
+            if v.is_ident(i, "env") && v.is(i + 1, ":") && v.is(i + 2, ":") {
+                const ENV_READS: &[&str] = &[
+                    "var",
+                    "var_os",
+                    "vars",
+                    "args",
+                    "args_os",
+                    "temp_dir",
+                    "current_dir",
+                ];
+                if let Some(TokKind::Ident) = v.kind(i + 3) {
+                    let m = v.text(i + 3);
+                    if ENV_READS.contains(&m) {
+                        findings.push(f(
+                            "det.env_read",
+                            v.line(i),
+                            format!("`env::{m}` reads the process environment"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- panic.* -----------------------------------------------------
+    if lib {
+        for i in 0..v.toks.len() {
+            if in_test(v.line(i)) {
+                continue;
+            }
+            if v.is(i, ".") && v.kind(i + 1) == Some(TokKind::Ident) && v.is(i + 2, "(") {
+                match v.text(i + 1) {
+                    "unwrap" => findings.push(f(
+                        "panic.unwrap",
+                        v.line(i + 1),
+                        "`.unwrap()` panics on the error path".to_string(),
+                    )),
+                    "expect" => findings.push(f(
+                        "panic.expect",
+                        v.line(i + 1),
+                        "`.expect(...)` panics on the error path".to_string(),
+                    )),
+                    _ => {}
+                }
+            }
+            if v.kind(i) == Some(TokKind::Ident) && v.is(i + 1, "!") {
+                match v.text(i) {
+                    "panic" | "todo" | "unimplemented" => findings.push(f(
+                        "panic.panic",
+                        v.line(i),
+                        format!("`{}!` aborts the simulation", v.text(i)),
+                    )),
+                    "unreachable" => findings.push(f(
+                        "panic.unreachable",
+                        v.line(i),
+                        "`unreachable!` aborts if the impossible happens".to_string(),
+                    )),
+                    _ => {}
+                }
+            }
+            // ident[<int literal>] — indexing that panics out of bounds.
+            // `!` before `[` is a macro (vec![…]); `<` before means a
+            // generic argument list, not an expression.
+            if v.kind(i) == Some(TokKind::Ident)
+                && v.is(i + 1, "[")
+                && v.kind(i + 2) == Some(TokKind::Int)
+                && v.is(i + 3, "]")
+            {
+                findings.push(f(
+                    "panic.slice_index",
+                    v.line(i),
+                    format!(
+                        "`{}[{}]` panics when the index is out of bounds",
+                        v.text(i),
+                        v.text(i + 2)
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- num.* -------------------------------------------------------
+    if lib && in_numeric_scope(&file.rel_path) {
+        const NARROWING: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+        for i in 0..v.toks.len() {
+            if in_test(v.line(i)) {
+                continue;
+            }
+            if v.is_ident(i, "as")
+                && v.kind(i + 1) == Some(TokKind::Ident)
+                && NARROWING.contains(&v.text(i + 1))
+            {
+                findings.push(f(
+                    "num.lossy_cast",
+                    v.line(i),
+                    format!(
+                        "`as {}` can silently truncate wear accounting",
+                        v.text(i + 1)
+                    ),
+                ));
+            }
+            // `== 1.0` / `1.0 !=` — exact float comparison.
+            let eq = (v.is(i, "=") && v.glued(i) && v.is(i + 1, "="))
+                || (v.is(i, "!") && v.glued(i) && v.is(i + 1, "="));
+            if eq {
+                let lhs_float = i > 0 && v.kind(i - 1) == Some(TokKind::Float);
+                let rhs_float = v.kind(i + 2) == Some(TokKind::Float);
+                if lhs_float || rhs_float {
+                    findings.push(f(
+                        "num.float_eq",
+                        v.line(i),
+                        "exact comparison against a float literal".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers in this file declared with a HashMap/HashSet type or
+/// initialized from `HashMap::…`/`HashSet::…`. Lexical, so a name
+/// declared as a hash container *anywhere* in the file taints every
+/// use of that name — bias toward catching.
+fn hash_container_idents(v: &View<'_>) -> BTreeSet<String> {
+    let mut decls = BTreeSet::new();
+    for i in 0..v.toks.len() {
+        if v.kind(i) != Some(TokKind::Ident) {
+            continue;
+        }
+        let name = v.text(i);
+        if name == "HashMap" || name == "HashSet" {
+            // Walk back over `: & mut std :: collections ::` noise to the
+            // declared identifier.
+            let mut j = i;
+            let mut saw_colon = false;
+            while j > 0 {
+                j -= 1;
+                let t = v.text(j);
+                match t {
+                    ":" => saw_colon = true,
+                    "&" | "mut" | "std" | "collections" => {}
+                    "=" => {
+                        // `let x = HashMap::new()` — identifier before `=`.
+                        if v.kind(j.wrapping_sub(1)) == Some(TokKind::Ident) && j >= 1 {
+                            decls.insert(v.text(j - 1).to_string());
+                        }
+                        break;
+                    }
+                    _ => {
+                        if saw_colon && v.kind(j) == Some(TokKind::Ident) {
+                            decls.insert(t.to_string());
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    decls
+}
+
+/// If the `for` loop starting at token `i` iterates directly over a
+/// declared hash container (`for x in &self.map`), returns the
+/// container name and loop line. Method-call iterations are caught by
+/// the `.iter()`-family check instead.
+fn for_loop_over(v: &View<'_>, i: usize, decls: &BTreeSet<String>) -> Option<(String, u32)> {
+    // Find `in` at bracket depth 0 (patterns may contain tuples).
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    loop {
+        match v.toks.get(j)? {
+            t if t.text(v.src) == "(" || t.text(v.src) == "[" => depth += 1,
+            t if t.text(v.src) == ")" || t.text(v.src) == "]" => depth -= 1,
+            t if t.kind == TokKind::Ident && t.text(v.src) == "in" && depth == 0 => break,
+            t if t.text(v.src) == "{" => return None, // no `in`: not a loop
+            _ => {}
+        }
+        j += 1;
+        if j > i + 64 {
+            return None;
+        }
+    }
+    // Expression tokens until the body `{`: accept only the simple
+    // direct-iteration shape.
+    let mut name: Option<String> = None;
+    let mut k = j + 1;
+    loop {
+        let t = v.toks.get(k)?;
+        let txt = t.text(v.src);
+        if txt == "{" {
+            break;
+        }
+        match txt {
+            "&" | "mut" | "self" | "." => {}
+            _ if t.kind == TokKind::Ident && decls.contains(txt) => {
+                name = Some(txt.to_string());
+            }
+            _ => return None, // any other shape: method calls etc.
+        }
+        k += 1;
+        if k > j + 8 {
+            return None;
+        }
+    }
+    name.map(|n| (n, v.line(i)))
+}
+
+// ---------------------------------------------------------------------
+// Workspace-level rules: Snapshot field coverage and forbid(unsafe_code).
+// ---------------------------------------------------------------------
+
+/// Named-field structs collected across the workspace:
+/// (crate, struct name) → candidate field lists (one per definition
+/// site, to survive same-name structs in different modules).
+pub type StructTable = BTreeMap<(String, String), Vec<Vec<String>>>;
+
+/// Pass A: record every `struct Name { field: Type, … }` in `file`.
+pub fn collect_structs(file: &SourceFile, table: &mut StructTable) {
+    let v = View {
+        src: &file.src,
+        toks: &file.sig,
+    };
+    let mut i = 0;
+    while i < v.toks.len() {
+        if !v.is_ident(i, "struct") || v.kind(i + 1) != Some(TokKind::Ident) {
+            i += 1;
+            continue;
+        }
+        let name = v.text(i + 1).to_string();
+        let mut j = i + 2;
+        // Skip generics.
+        if v.is(j, "<") {
+            let mut angle = 0i32;
+            while j < v.toks.len() {
+                match v.text(j) {
+                    "<" => angle += 1,
+                    ">" => {
+                        angle -= 1;
+                        if angle <= 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Skip a where clause; stop at `{`, bail on tuple/unit structs.
+        while j < v.toks.len() && !v.is(j, "{") {
+            if v.is(j, "(") || v.is(j, ";") {
+                break;
+            }
+            j += 1;
+        }
+        if !v.is(j, "{") {
+            i = j.max(i + 1);
+            continue;
+        }
+        let mut fields = Vec::new();
+        let mut brace = 1i32;
+        let mut expect_field = true; // at `{` or after a field's `,`
+        j += 1;
+        while j < v.toks.len() && brace > 0 {
+            match v.text(j) {
+                "{" => brace += 1,
+                "}" => brace -= 1,
+                "," if brace == 1 => expect_field = true,
+                "#" if brace == 1 => {
+                    // Skip an attribute `#[…]` without disturbing
+                    // expect_field.
+                    if v.is(j + 1, "[") {
+                        let mut br = 0i32;
+                        j += 1;
+                        while j < v.toks.len() {
+                            match v.text(j) {
+                                "[" => br += 1,
+                                "]" => {
+                                    br -= 1;
+                                    if br == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                    }
+                }
+                "pub" if brace == 1 => {}
+                "(" if brace == 1 => {
+                    // pub(crate) etc. — skip the parenthesized vis.
+                    let mut par = 1i32;
+                    j += 1;
+                    while j < v.toks.len() && par > 0 {
+                        match v.text(j) {
+                            "(" => par += 1,
+                            ")" => par -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    continue;
+                }
+                _ => {
+                    if expect_field
+                        && brace == 1
+                        && v.kind(j) == Some(TokKind::Ident)
+                        && v.is(j + 1, ":")
+                        && !v.is(j + 2, ":")
+                    {
+                        fields.push(v.text(j).to_string());
+                        expect_field = false;
+                    }
+                }
+            }
+            j += 1;
+        }
+        if !fields.is_empty() {
+            table
+                .entry((file.crate_name.clone(), name))
+                .or_default()
+                .push(fields);
+        }
+        i = j;
+    }
+}
+
+/// Pass B: for every `impl Snapshot for T` in `file`, check that each
+/// field of `T` (when `T` is a named-field struct in the same crate)
+/// appears in both the `save` and the `load` body.
+pub fn check_snapshot_coverage(
+    file: &SourceFile,
+    table: &StructTable,
+    findings: &mut Vec<Finding>,
+) {
+    if file.kind != FileKind::LibSrc {
+        return;
+    }
+    let v = View {
+        src: &file.src,
+        toks: &file.sig,
+    };
+    let mut i = 0;
+    while i < v.toks.len() {
+        if !v.is_ident(i, "impl") {
+            i += 1;
+            continue;
+        }
+        let impl_line = v.line(i);
+        if file.in_cfg_test(impl_line) {
+            i += 1;
+            continue;
+        }
+        // Scan the header up to `{`; require …`Snapshot` `for` TypePath.
+        let mut j = i + 1;
+        let mut saw_snapshot_for = false;
+        let mut type_name: Option<String> = None;
+        while j < v.toks.len() && !v.is(j, "{") {
+            if v.is_ident(j, "for") && j > 0 && v.is_ident(j - 1, "Snapshot") {
+                saw_snapshot_for = true;
+            } else if saw_snapshot_for && v.kind(j) == Some(TokKind::Ident) && type_name.is_none() {
+                // First ident after `for` that is not a path prefix: take
+                // the *last* path segment before generics end the name.
+                let mut k = j;
+                let mut last = v.text(j);
+                while v.is(k + 1, ":") && v.is(k + 2, ":") && v.kind(k + 3) == Some(TokKind::Ident)
+                {
+                    k += 3;
+                    last = v.text(k);
+                }
+                type_name = Some(last.to_string());
+                j = k;
+            }
+            j += 1;
+            if j > i + 48 {
+                break;
+            }
+        }
+        if !saw_snapshot_for || !v.is(j, "{") {
+            i += 1;
+            continue;
+        }
+        let body_start = j;
+        let body_end = match matching_brace(&v, body_start) {
+            Some(e) => e,
+            None => {
+                i = body_start + 1;
+                continue;
+            }
+        };
+        let Some(tname) = type_name else {
+            i = body_end;
+            continue;
+        };
+        let key = (file.crate_name.clone(), tname.clone());
+        if let Some(candidates) = table.get(&key) {
+            let save_idents = fn_body_idents(&v, body_start, body_end, "save");
+            let load_idents = fn_body_idents(&v, body_start, body_end, "load");
+            // Same-name structs in different modules: report only if the
+            // check fails for every candidate definition, and report the
+            // candidate with the fewest missing fields.
+            let mut best: Option<Vec<String>> = None;
+            for fields in candidates {
+                let mut missing = Vec::new();
+                for field in fields {
+                    let in_save = save_idents.contains(field.as_str());
+                    let in_load = load_idents.contains(field.as_str());
+                    if !in_save || !in_load {
+                        let side = match (in_save, in_load) {
+                            (false, false) => "save and load paths",
+                            (false, true) => "save path",
+                            _ => "load path",
+                        };
+                        missing.push(format!("`{field}` missing from the {side}"));
+                    }
+                }
+                if missing.is_empty() {
+                    best = None;
+                    break;
+                }
+                if best.as_ref().is_none_or(|b| missing.len() < b.len()) {
+                    best = Some(missing);
+                }
+            }
+            if let Some(missing) = best {
+                for m in missing {
+                    findings.push(Finding {
+                        rule: "snap.field_coverage",
+                        path: file.rel_path.clone(),
+                        line: impl_line,
+                        message: format!("Snapshot impl for `{tname}`: field {m}"),
+                    });
+                }
+            }
+        }
+        i = body_end;
+    }
+}
+
+/// Index just past the brace matching the `{` at `open`.
+fn matching_brace(v: &View<'_>, open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for j in open..v.toks.len() {
+        match v.text(j) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// All ident texts inside the body of `fn <name>` within [start, end).
+fn fn_body_idents<'s>(v: &View<'s>, start: usize, end: usize, name: &str) -> BTreeSet<&'s str> {
+    let mut out = BTreeSet::new();
+    let mut j = start;
+    while j < end.min(v.toks.len()) {
+        if v.is_ident(j, "fn") && v.is_ident(j + 1, name) {
+            // Find the body `{` (skip the signature).
+            let mut k = j + 2;
+            while k < end && !v.is(k, "{") {
+                k += 1;
+            }
+            if let Some(close) = matching_brace(v, k) {
+                for t in k..close.min(end) {
+                    if v.kind(t) == Some(TokKind::Ident) {
+                        out.insert(v.text(t));
+                    }
+                }
+            }
+            return out;
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Library crate roots must carry `#![forbid(unsafe_code)]`.
+pub fn check_forbid_unsafe(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if !(file.rel_path.starts_with("crates/") && file.rel_path.ends_with("/src/lib.rs")) {
+        return;
+    }
+    let v = View {
+        src: &file.src,
+        toks: &file.sig,
+    };
+    for i in 0..v.toks.len() {
+        if v.is(i, "#")
+            && v.is(i + 1, "!")
+            && v.is(i + 2, "[")
+            && v.is_ident(i + 3, "forbid")
+            && v.is(i + 4, "(")
+            && v.is_ident(i + 5, "unsafe_code")
+        {
+            return;
+        }
+    }
+    findings.push(Finding {
+        rule: "unsafe.forbid_missing",
+        path: file.rel_path.clone(),
+        line: 1,
+        message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+    });
+}

@@ -1,0 +1,156 @@
+//! Lexer unit tests: the edges a grep-style checker gets wrong —
+//! strings hiding `//`, raw-string fences, nested block comments, and
+//! the char-literal-vs-lifetime split.
+
+use edm_audit::{lex, TokKind};
+
+fn kinds(src: &str) -> Vec<(TokKind, String)> {
+    lex(src)
+        .iter()
+        .map(|t| (t.kind, t.text(src).to_string()))
+        .collect()
+}
+
+fn only(src: &str, kind: TokKind) -> Vec<String> {
+    kinds(src)
+        .into_iter()
+        .filter(|(k, _)| *k == kind)
+        .map(|(_, s)| s)
+        .collect()
+}
+
+#[test]
+fn string_hides_comment_and_quote() {
+    let src = r#"let s = "not // a comment \" still string"; x"#;
+    assert_eq!(
+        only(src, TokKind::Str),
+        vec![r#""not // a comment \" still string""#]
+    );
+    assert!(only(src, TokKind::LineComment).is_empty());
+    assert_eq!(only(src, TokKind::Ident), vec!["let", "s", "x"]);
+}
+
+#[test]
+fn raw_strings_with_fences() {
+    let src = r###"let a = r"plain"; let b = r#"has " quote"#; let c = br##"x"# y"##;"###;
+    assert_eq!(
+        only(src, TokKind::Str),
+        vec![
+            r#"r"plain""#,
+            r##"r#"has " quote"#"##,
+            r###"br##"x"# y"##"###
+        ]
+    );
+}
+
+#[test]
+fn raw_string_swallows_comment_marker() {
+    let src = "let s = r#\"// edm-audit: allow(x, \"y\")\"#;";
+    assert!(only(src, TokKind::LineComment).is_empty());
+    assert_eq!(only(src, TokKind::Str).len(), 1);
+}
+
+#[test]
+fn nested_block_comments() {
+    let src = "a /* outer /* inner */ still comment */ b";
+    assert_eq!(only(src, TokKind::Ident), vec!["a", "b"]);
+    assert_eq!(
+        only(src, TokKind::BlockComment),
+        vec!["/* outer /* inner */ still comment */"]
+    );
+}
+
+#[test]
+fn unterminated_block_comment_reaches_eof() {
+    let src = "a /* never closed";
+    assert_eq!(only(src, TokKind::Ident), vec!["a"]);
+    assert_eq!(only(src, TokKind::BlockComment), vec!["/* never closed"]);
+}
+
+#[test]
+fn char_literal_vs_lifetime() {
+    let src = "let c: char = 'x'; fn f<'a>(s: &'a str) { let n = '\\n'; let b = b'z'; }";
+    assert_eq!(only(src, TokKind::Char), vec!["'x'", "'\\n'", "b'z'"]);
+    assert_eq!(only(src, TokKind::Lifetime), vec!["'a", "'a"]);
+}
+
+#[test]
+fn static_lifetime_is_not_a_char() {
+    let src = "const S: &'static str = \"s\";";
+    assert_eq!(only(src, TokKind::Lifetime), vec!["'static"]);
+    assert!(only(src, TokKind::Char).is_empty());
+}
+
+#[test]
+fn numbers_int_vs_float() {
+    let src =
+        "let a = 42; let b = 0xFFu64; let c = 0.5; let d = 1e-3; let e = 2.0f32; let f = 1_000;";
+    assert_eq!(only(src, TokKind::Int), vec!["42", "0xFFu64", "1_000"]);
+    assert_eq!(only(src, TokKind::Float), vec!["0.5", "1e-3", "2.0f32"]);
+}
+
+#[test]
+fn range_is_not_a_float() {
+    // `0..5` must lex as Int, Punct, Punct, Int — not a float `0.` plus junk.
+    let src = "for i in 0..5 {}";
+    assert_eq!(only(src, TokKind::Int), vec!["0", "5"]);
+    assert!(only(src, TokKind::Float).is_empty());
+}
+
+#[test]
+fn line_numbers_are_one_based_and_track_newlines() {
+    let src = "a\nb\n\nc";
+    let lines: Vec<u32> = lex(src)
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.line)
+        .collect();
+    assert_eq!(lines, vec![1, 2, 4]);
+}
+
+#[test]
+fn multiline_tokens_report_their_first_line() {
+    let src = "/* one\ntwo */ x \"a\nb\" y";
+    let toks = lex(src);
+    let bc = toks
+        .iter()
+        .find(|t| t.kind == TokKind::BlockComment)
+        .unwrap();
+    assert_eq!(bc.line, 1);
+    let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+    assert_eq!(s.line, 2, "string opens on the comment's closing line");
+    let y = toks.iter().rfind(|t| t.kind == TokKind::Ident).unwrap();
+    assert_eq!((y.text(src), y.line), ("y", 3));
+}
+
+#[test]
+fn glued_puncts_keep_adjacent_spans() {
+    // The rule engine matches `::` and `==` as adjacent single-char
+    // puncts whose spans touch; verify the lexer preserves adjacency.
+    let src = "a::b == c";
+    let toks = lex(src);
+    let puncts: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Punct).collect();
+    assert_eq!(puncts.len(), 4);
+    assert_eq!(puncts[0].end, puncts[1].start, ":: must be adjacent");
+    assert_eq!(puncts[2].end, puncts[3].start, "== must be adjacent");
+}
+
+#[test]
+fn every_byte_covered_in_order() {
+    let src = "fn main() { let s = \"x\"; /* c */ } // tail";
+    let toks = lex(src);
+    let mut prev_end = 0;
+    for t in &toks {
+        assert!(
+            t.start >= prev_end,
+            "spans must not overlap or go backwards"
+        );
+        assert!(t.end > t.start, "empty token span");
+        assert!(
+            src[prev_end..t.start].chars().all(char::is_whitespace),
+            "only whitespace may fall between tokens"
+        );
+        prev_end = t.end;
+    }
+    assert!(src[prev_end..].chars().all(char::is_whitespace));
+}

@@ -1,0 +1,115 @@
+//! Pragma parser tests: grammar acceptance, mandatory reasons, and
+//! target-line resolution (same line vs. next code line, stacking).
+
+use edm_audit::{lex, parse_pragmas};
+
+type ParsedPragma = (String, String, u32, u32);
+
+fn pragmas(src: &str) -> (Vec<ParsedPragma>, Vec<(u32, String)>) {
+    let toks = lex(src);
+    let (ps, es) = parse_pragmas(src, &toks);
+    (
+        ps.into_iter()
+            .map(|p| (p.rule, p.reason, p.line, p.target_line))
+            .collect(),
+        es.into_iter().map(|e| (e.line, e.detail)).collect(),
+    )
+}
+
+#[test]
+fn trailing_pragma_targets_its_own_line() {
+    let src = "let x = m.unwrap(); // edm-audit: allow(panic.unwrap, \"checked above\")\n";
+    let (ps, es) = pragmas(src);
+    assert!(es.is_empty(), "{es:?}");
+    assert_eq!(ps.len(), 1);
+    let (rule, reason, line, target) = &ps[0];
+    assert_eq!(
+        (rule.as_str(), reason.as_str()),
+        ("panic.unwrap", "checked above")
+    );
+    assert_eq!((*line, *target), (1, 1));
+}
+
+#[test]
+fn own_line_pragma_targets_next_code_line() {
+    let src = "\n// edm-audit: allow(det.map_iter, \"order-insensitive sum\")\nlet s: u64 = m.values().sum();\n";
+    let (ps, es) = pragmas(src);
+    assert!(es.is_empty(), "{es:?}");
+    assert_eq!(ps[0].2, 2, "pragma line");
+    assert_eq!(ps[0].3, 3, "target line");
+}
+
+#[test]
+fn pragmas_stack_over_comments() {
+    let src = "\
+// edm-audit: allow(panic.unwrap, \"reason one\")\n\
+// an unrelated explanatory comment\n\
+// edm-audit: allow(det.map_iter, \"reason two\")\n\
+for k in m.keys().unwrap() {}\n";
+    let (ps, es) = pragmas(src);
+    assert!(es.is_empty(), "{es:?}");
+    assert_eq!(ps.len(), 2);
+    assert!(
+        ps.iter().all(|p| p.3 == 4),
+        "both target the code line: {ps:?}"
+    );
+}
+
+#[test]
+fn doc_comment_pragma_is_honored() {
+    let src = "/// edm-audit: allow(panic.expect, \"constructor contract\")\nlet v = o.expect(\"cfg\");\n";
+    let (ps, es) = pragmas(src);
+    assert!(es.is_empty(), "{es:?}");
+    assert_eq!(ps[0].3, 2);
+}
+
+#[test]
+fn missing_reason_is_an_error() {
+    let (ps, es) = pragmas("// edm-audit: allow(panic.unwrap)\nx.unwrap();\n");
+    assert!(ps.is_empty());
+    assert_eq!(es.len(), 1);
+    assert!(es[0].1.contains("mandatory"), "{es:?}");
+}
+
+#[test]
+fn empty_reason_is_an_error() {
+    let (ps, es) = pragmas("// edm-audit: allow(panic.unwrap, \"  \")\nx.unwrap();\n");
+    assert!(ps.is_empty());
+    assert!(es[0].1.contains("must not be empty"), "{es:?}");
+}
+
+#[test]
+fn unquoted_reason_is_an_error() {
+    let (ps, es) = pragmas("// edm-audit: allow(panic.unwrap, checked)\nx.unwrap();\n");
+    assert!(ps.is_empty());
+    assert!(es[0].1.contains("double-quoted"), "{es:?}");
+}
+
+#[test]
+fn unknown_action_is_an_error() {
+    let (ps, es) = pragmas("// edm-audit: deny(panic.unwrap, \"r\")\n");
+    assert!(ps.is_empty());
+    assert!(es[0].1.contains("unknown pragma action"), "{es:?}");
+}
+
+#[test]
+fn near_miss_without_colon_is_an_error() {
+    let (ps, es) = pragmas("// edm-audit allow(panic.unwrap, \"r\")\n");
+    assert!(ps.is_empty());
+    assert_eq!(es.len(), 1, "{es:?}");
+}
+
+#[test]
+fn prose_mentioning_the_tool_is_not_a_pragma() {
+    let (ps, es) = pragmas("// edm-audit scans this file like any other\n");
+    assert!(ps.is_empty());
+    assert!(es.is_empty(), "{es:?}");
+}
+
+#[test]
+fn pragma_inside_string_literal_is_inert() {
+    let src = "let s = \"// edm-audit: allow(panic.unwrap, \\\"r\\\")\";\n";
+    let (ps, es) = pragmas(src);
+    assert!(ps.is_empty(), "{ps:?}");
+    assert!(es.is_empty(), "{es:?}");
+}

@@ -1,0 +1,102 @@
+//! Property tests for the lexer's totality contract: any input — valid
+//! Rust or byte soup — lexes without panicking, and the resulting spans
+//! are strictly monotonic, non-overlapping, in-bounds, and UTF-8
+//! sliceable. The audit engine itself must also never panic on
+//! arbitrary input, since it runs on work-in-progress source trees.
+
+use proptest::prelude::*;
+
+use edm_audit::{audit_sources, lex, parse_pragmas, TokKind};
+
+/// Strings biased toward lexer trouble: quote characters, comment
+/// openers, raw-string fences, backslashes, newlines, and multi-byte
+/// UTF-8 — plus plain alphanumerics to form identifiers around them.
+fn trouble_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just("\"".to_string()),
+            Just("'".to_string()),
+            Just("//".to_string()),
+            Just("/*".to_string()),
+            Just("*/".to_string()),
+            Just("r#".to_string()),
+            Just("br##\"".to_string()),
+            Just("\\".to_string()),
+            Just("\n".to_string()),
+            Just("é漢".to_string()),
+            Just("b'".to_string()),
+            Just("0x".to_string()),
+            Just("1e".to_string()),
+            Just("..".to_string()),
+            (0u8..26, 1usize..4).prop_map(|(c, n)| ((b'a' + c) as char).to_string().repeat(n)),
+            Just(" ".to_string()),
+        ],
+        0..64,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lex_never_panics_and_spans_are_sound(src in trouble_string()) {
+        let toks = lex(&src);
+        let mut prev_end = 0usize;
+        for t in &toks {
+            prop_assert!(t.start >= prev_end, "overlapping/backwards span");
+            prop_assert!(t.end > t.start, "empty span");
+            prop_assert!(t.end <= src.len(), "span past end of input");
+            // Spans must land on char boundaries so text() can't panic.
+            prop_assert!(src.is_char_boundary(t.start));
+            prop_assert!(src.is_char_boundary(t.end));
+            let _ = t.text(&src);
+            prev_end = t.end;
+        }
+        // Bytes between tokens are whitespace only: nothing is dropped.
+        let mut cursor = 0usize;
+        for t in &toks {
+            prop_assert!(src[cursor..t.start].chars().all(char::is_whitespace));
+            cursor = t.end;
+        }
+        prop_assert!(src[cursor..].chars().all(char::is_whitespace));
+    }
+
+    #[test]
+    fn token_lines_are_monotonic(src in trouble_string()) {
+        let toks = lex(&src);
+        let mut prev = 1u32;
+        for t in &toks {
+            prop_assert!(t.line >= prev, "line numbers must not decrease");
+            prev = t.line;
+        }
+    }
+
+    #[test]
+    fn pragma_parse_never_panics(src in trouble_string()) {
+        let toks = lex(&src);
+        let _ = parse_pragmas(&src, &toks);
+    }
+
+    #[test]
+    fn full_audit_never_panics_on_soup(src in trouble_string()) {
+        // Run the soup through every rule path, including the
+        // snapshot-coverage struct collector and crate-root check.
+        let out = audit_sources(vec![("crates/ssd/src/lib.rs".to_string(), src)]);
+        let _ = out.render_text();
+        let _ = out.render_json();
+    }
+
+    #[test]
+    fn comments_and_strings_never_leak_tokens(
+        bytes in prop::collection::vec(32u8..127, 0..24)
+    ) {
+        // Whatever printable junk sits inside a string or comment, it
+        // must stay a single Str/comment token.
+        let reason = String::from_utf8(bytes).expect("printable ASCII");
+        let src = format!("let s = \"{}\";", reason.replace(['\\', '"'], ""));
+        let toks = lex(&src);
+        let strs = toks.iter().filter(|t| t.kind == TokKind::Str).count();
+        prop_assert_eq!(strs, 1, "{}", src);
+    }
+}

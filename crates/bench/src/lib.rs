@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared helpers for the Criterion bench suite.
 //!
 //! Every figure bench does two things:

@@ -99,7 +99,9 @@ impl Cluster {
     /// Builds the policy-facing snapshot (§III.B inputs).
     pub fn view(&self, now_us: u64) -> ClusterView {
         let placement = self.catalog.placement();
+        // edm-audit: allow(panic.slice_index, "ClusterConfig validation guarantees at least one OSD")
         let page_size = self.osds[0].ssd().geometry().page_size;
+        // edm-audit: allow(panic.slice_index, "ClusterConfig validation guarantees at least one OSD")
         let pages_per_block = self.osds[0].ssd().geometry().pages_per_block;
         let osds = self
             .osds

@@ -145,6 +145,7 @@ impl Snapshot for ExtentAllocator {
             // The free list's invariants (sorted, non-overlapping,
             // non-adjacent, in bounds) are what `free()` relies on.
             let ok = a.free.iter().all(|e| e.len > 0 && e.end() <= a.capacity)
+                // edm-audit: allow(panic.slice_index, "windows(2) yields exactly two elements per window")
                 && a.free.windows(2).all(|p| p[0].end() < p[1].start);
             if !ok {
                 r.corrupt("extent free list violates its invariants");

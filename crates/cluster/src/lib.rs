@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # edm-cluster — object-storage cluster simulator
 //!
 //! The cluster substrate of the EDM reproduction (Ou et al., IPDPS 2014).

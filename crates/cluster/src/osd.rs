@@ -273,6 +273,7 @@ impl Snapshot for Osd {
         self.ssd.save(w);
         self.extents.save(w);
         let mut dir: Vec<(ObjectId, Extent)> =
+            // edm-audit: allow(det.map_iter, "entries are collected and sorted by object id before serialization")
             self.directory.iter().map(|(&o, &e)| (o, e)).collect();
         dir.sort_by_key(|(o, _)| *o);
         dir.save(w);
@@ -297,6 +298,7 @@ impl Snapshot for Osd {
             wc_window_pages: r.take_u64(),
         };
         if !r.failed() {
+            // edm-audit: allow(det.map_iter, "summation over values is order-insensitive")
             let dir_bytes: u64 = osd.directory.values().map(|e| e.len).sum();
             if dir_bytes != osd.extents.used_bytes() {
                 r.corrupt("object directory disagrees with the extent allocator");

@@ -31,6 +31,7 @@ impl Placement {
             groups,
             objects_per_file,
         };
+        // edm-audit: allow(panic.expect, "constructor contract: callers pass validated parameters; a bad config is a programming error")
         p.validate().expect("invalid placement parameters");
         p
     }

@@ -6,7 +6,7 @@
 //! re-migrate objects that already have an entry (moving such an object
 //! only updates its entry and does not grow the table).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use edm_snap::{SnapReader, SnapWriter, Snapshot};
 
@@ -15,7 +15,9 @@ use crate::ids::{ObjectId, OsdId};
 /// Overlay of moved objects on top of hash placement.
 #[derive(Debug, Clone, Default)]
 pub struct RemappingTable {
-    map: HashMap<ObjectId, OsdId>,
+    /// Ordered by object id so `iter` (and the snapshot encoding) is
+    /// deterministic without a sort.
+    map: BTreeMap<ObjectId, OsdId>,
     /// Total remap insert/update operations (monotone; counts every move).
     moves_recorded: u64,
 }
@@ -70,7 +72,8 @@ impl RemappingTable {
         self.moves_recorded
     }
 
-    /// Iterates over (object, current OSD) entries in unspecified order.
+    /// Iterates over (object, current OSD) entries in ascending object
+    /// id order.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, OsdId)> + '_ {
         self.map.iter().map(|(o, d)| (*o, *d))
     }
@@ -85,18 +88,17 @@ impl RemappingTable {
 }
 
 impl Snapshot for RemappingTable {
-    /// Entries are serialized sorted by object id so two equal tables
-    /// always produce the same bytes regardless of hash-map history.
+    /// Entries are serialized sorted by object id (the map's natural
+    /// order) so two equal tables always produce the same bytes.
     fn save(&self, w: &mut SnapWriter) {
-        let mut entries: Vec<(ObjectId, OsdId)> = self.iter().collect();
-        entries.sort();
+        let entries: Vec<(ObjectId, OsdId)> = self.map.iter().map(|(&o, &d)| (o, d)).collect();
         entries.save(w);
         w.put_u64(self.moves_recorded);
     }
     fn load(r: &mut SnapReader) -> Self {
         let entries = Vec::<(ObjectId, OsdId)>::load(r);
         let moves_recorded = r.take_u64();
-        let map: HashMap<ObjectId, OsdId> = entries.iter().copied().collect();
+        let map: BTreeMap<ObjectId, OsdId> = entries.iter().copied().collect();
         if map.len() != entries.len() {
             r.corrupt("remapping table has duplicate entries");
         }

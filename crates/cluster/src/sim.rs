@@ -12,7 +12,7 @@
 //! in the paper.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::path::PathBuf;
 
 use edm_obs::{Event as ObsEvent, NoopRecorder, Recorder};
@@ -418,7 +418,7 @@ struct Engine<'a> {
     /// concurrency — the multi-threaded replayer of §IV).
     outstanding: Vec<u32>,
 
-    inflight: HashMap<u64, Inflight>,
+    inflight: BTreeMap<u64, Inflight>,
     next_token: u64,
 
     queues: Vec<VecDeque<SubReq>>,
@@ -432,16 +432,16 @@ struct Engine<'a> {
     blocking_moves: bool,
     /// Objects whose move is in flight → parked sub-requests (always
     /// empty lists when moves are non-blocking).
-    moving: HashMap<ObjectId, Vec<SubReq>>,
+    moving: BTreeMap<ObjectId, Vec<SubReq>>,
     /// Source OSD and destination of each in-flight move.
-    move_routes: HashMap<ObjectId, MoveAction>,
+    move_routes: BTreeMap<ObjectId, MoveAction>,
     /// Pending moves per source OSD (one stream per source).
     move_queues: Vec<VecDeque<MoveAction>>,
 
     /// OSDs that have failed so far.
     failed: Vec<bool>,
     /// In-flight rebuilds of lost objects.
-    rebuilds: HashMap<ObjectId, RebuildState>,
+    rebuilds: BTreeMap<ObjectId, RebuildState>,
     degraded_ops: u64,
     lost_ops: u64,
     rebuilt_objects: u64,
@@ -527,6 +527,7 @@ impl<'a> Engine<'a> {
                         remaining: ios.len() as u32,
                     },
                 );
+                // edm-audit: allow(panic.slice_index, "ClusterConfig validation guarantees at least one OSD")
                 let page_size = self.cluster.osds[0].ssd().geometry().page_size;
                 for io in ios {
                     let object = placement.object_id(record.file, io.object_index);
@@ -565,6 +566,7 @@ impl<'a> Engine<'a> {
         let object = match sub.payload {
             Payload::FileIo { object, .. } => object,
             // Move I/Os carry explicit endpoints and are enqueued directly.
+            // edm-audit: allow(panic.unreachable, "routing invariant: mover payloads are enqueued directly, never routed")
             _ => unreachable!("move I/O must not be routed"),
         };
         if self.blocking_moves {
@@ -598,6 +600,7 @@ impl<'a> Engine<'a> {
             degraded,
         } = sub.payload
         else {
+            // edm-audit: allow(panic.unreachable, "degraded handling is only reached from the FileIo dispatch arm")
             unreachable!("only file I/O can be degraded");
         };
         if degraded {
@@ -611,6 +614,7 @@ impl<'a> Engine<'a> {
             .cluster
             .catalog
             .file(file)
+            // edm-audit: allow(panic.expect, "catalog invariant: every placed object belongs to a cataloged file")
             .expect("degraded object has a file")
             .objects
             .iter()
@@ -635,6 +639,7 @@ impl<'a> Engine<'a> {
         // write turns the last of them into the redundancy update.
         self.inflight
             .get_mut(&token)
+            // edm-audit: allow(panic.expect, "engine invariant: sub-ops outlive their parent op until the last completion")
             .expect("degraded sub-op has an op")
             .remaining += alive.len() as u32 - 1;
         let last = alive.len() - 1;
@@ -737,6 +742,7 @@ impl<'a> Engine<'a> {
                 dev.write_object_obs(lost, offset, len, obs)
             }
         }
+        // edm-audit: allow(panic.panic, "a failed device op means corrupted simulator state; aborting beats mis-simulating")
         .unwrap_or_else(|e| panic!("device op failed on {osd}: {e}"));
         self.obs.set_device(None);
         let service = self.cluster.config.osd_overhead_us + device.as_micros();
@@ -747,6 +753,7 @@ impl<'a> Engine<'a> {
 
     fn on_osd_done(&mut self, osd: OsdId) {
         let o = osd.0 as usize;
+        // edm-audit: allow(panic.expect, "engine invariant: a completion event implies a request in service")
         let sub = self.current[o].take().expect("completion without service");
         let sojourn = self.now - sub.enqueued_us;
         self.cluster.osds[o].record_service(sojourn);
@@ -783,6 +790,7 @@ impl<'a> Engine<'a> {
         let state = self
             .rebuilds
             .get_mut(&lost)
+            // edm-audit: allow(panic.expect, "engine invariant: rebuild reads are only issued for tracked rebuilds")
             .expect("rebuild read for unknown rebuild");
         state.pending_reads -= 1;
         if state.pending_reads > 0 {
@@ -836,11 +844,13 @@ impl<'a> Engine<'a> {
             let inflight = self
                 .inflight
                 .get_mut(&token)
+                // edm-audit: allow(panic.expect, "engine invariant: sub-op tokens are removed only at the final completion")
                 .expect("sub-op for unknown file op");
             inflight.remaining -= 1;
             inflight.remaining == 0
         };
         if done {
+            // edm-audit: allow(panic.expect, "same map was read two lines above; token is present")
             let inflight = self.inflight.remove(&token).expect("just seen");
             let response = self.now - inflight.issued_us;
             self.responses.record(self.now, response);
@@ -887,6 +897,7 @@ impl<'a> Engine<'a> {
         let size = self
             .cluster
             .object_size(object)
+            // edm-audit: allow(panic.expect, "move invariant: move completions only arrive for tracked moves")
             .expect("moving unknown object");
         let next = offset + len;
         if next < size {
@@ -916,6 +927,7 @@ impl<'a> Engine<'a> {
                     Payload::FileIo { object: o, .. } if o == object
                 );
                 if matches {
+                    // edm-audit: allow(panic.expect, "index comes from position() on the same queue")
                     redirected.push(queue.remove(i).expect("index checked"));
                 } else {
                     i += 1;
@@ -924,6 +936,7 @@ impl<'a> Engine<'a> {
         }
         self.cluster.osds[action.source.0 as usize]
             .remove_object(object)
+            // edm-audit: allow(panic.expect, "move invariant: the source copy is dropped only after the move completes")
             .expect("source copy must exist until the move completes");
         self.cluster.catalog.record_move(object, action.dest);
         self.obs.counter("sim.moved_objects", 1);
@@ -967,6 +980,7 @@ impl<'a> Engine<'a> {
         let size = self
             .cluster
             .object_size(action.object)
+            // edm-audit: allow(panic.expect, "move invariant: move completions only arrive for tracked moves")
             .expect("moving unknown object");
         match self.cluster.osds[action.dest.0 as usize].create_object(action.object, size, false) {
             Ok(_) => {}
@@ -976,6 +990,7 @@ impl<'a> Engine<'a> {
                 self.start_next_move(source);
                 return;
             }
+            // edm-audit: allow(panic.panic, "a failed accepted move means corrupted simulator state; aborting beats mis-simulating")
             Err(e) => panic!("move of {} to {}: {e}", action.object, action.dest),
         }
         self.moving.insert(action.object, Vec::new());
@@ -1012,16 +1027,16 @@ impl<'a> Engine<'a> {
         }
         self.failed[o] = true;
 
-        // Abort every in-flight move that touches the dead device. Sorted:
-        // the map's iteration order is unspecified and must not leak into
-        // the order partial copies are dropped and requests unparked.
-        let mut touched: Vec<ObjectId> = self
+        // Abort every in-flight move that touches the dead device. The
+        // routes live in a BTreeMap so this iterates in ascending object
+        // order — the order partial copies are dropped and requests
+        // unparked is part of replayed state.
+        let touched: Vec<ObjectId> = self
             .move_routes
             .iter()
             .filter(|(_, a)| a.source == osd || a.dest == osd)
             .map(|(&obj, _)| obj)
             .collect();
-        touched.sort_unstable();
         for obj in touched {
             let action = self.move_routes[&obj];
             // Drop the half-written destination copy (unless the dest
@@ -1029,6 +1044,7 @@ impl<'a> Engine<'a> {
             if action.dest != osd && self.cluster.osds[action.dest.0 as usize].has_object(obj) {
                 self.cluster.osds[action.dest.0 as usize]
                     .remove_object(obj)
+                    // edm-audit: allow(panic.expect, "guarded by has_object on the line above")
                     .expect("partial move copy exists");
             }
             self.failed_moves += 1;
@@ -1046,7 +1062,7 @@ impl<'a> Engine<'a> {
                 self.route(sub);
             }
         }
-        let live_moves: std::collections::HashSet<ObjectId> =
+        let live_moves: std::collections::BTreeSet<ObjectId> =
             self.move_routes.keys().copied().collect();
         for q in &mut self.queues {
             q.retain(|sub| {
@@ -1078,6 +1094,7 @@ impl<'a> Engine<'a> {
             .collect();
         for object in lost {
             let (file, _) = placement.object_owner(object);
+            // edm-audit: allow(panic.expect, "catalog invariant: every lost object belongs to a cataloged file")
             let meta = self.cluster.catalog.file(file).expect("lost object's file");
             let size = meta.object_size;
             let siblings: Vec<ObjectId> = meta
@@ -1107,6 +1124,7 @@ impl<'a> Engine<'a> {
             match self.cluster.osds[dest.0 as usize].create_object(object, size, false) {
                 Ok(_) => {}
                 Err(OsdError::NoSpace { .. }) => continue,
+                // edm-audit: allow(panic.panic, "rebuild allocation is pre-sized against free space; failure is corrupted state")
                 Err(e) => panic!("rebuild allocation on {dest}: {e}"),
             }
             self.rebuilds.insert(
@@ -1140,6 +1158,7 @@ impl<'a> Engine<'a> {
         }
         let placement = *self.cluster.catalog.placement();
         validate_plan(&plan, &view, false, |o| placement.group_of(o))
+            // edm-audit: allow(panic.panic, "plans are validated before acceptance; an invalid plan is a policy bug worth aborting on")
             .unwrap_or_else(|e| panic!("policy {} produced invalid plan: {e}", self.policy.name()));
 
         // Capacity sanitation: never let a destination's free space drop
@@ -1151,6 +1170,7 @@ impl<'a> Engine<'a> {
             .iter()
             .map(|o| o.free_bytes() as i64)
             .collect();
+        // edm-audit: allow(panic.slice_index, "ClusterConfig validation guarantees at least one OSD")
         let reserve = (self.cluster.osds[0].capacity_bytes() as f64
             * self.cluster.config.dest_free_reserve) as i64;
         let mut accepted = 0u64;
@@ -1165,6 +1185,7 @@ impl<'a> Engine<'a> {
             let size = self
                 .cluster
                 .object_size(action.object)
+                // edm-audit: allow(panic.expect, "plan validation already resolved every object against the catalog")
                 .expect("plan references unknown object") as i64;
             let dest_free = &mut projected_free[action.dest.0 as usize];
             if *dest_free - size < reserve {
@@ -1355,6 +1376,7 @@ impl<'a> Engine<'a> {
         self.obs.counter("sim.checkpoints", 1);
         self.to_snapshot()
             .write_to(&path)
+            // edm-audit: allow(panic.panic, "checkpoint I/O failure is unrecoverable for the run; abort with the path in the message")
             .unwrap_or_else(|e| panic!("checkpoint write to {} failed: {e}", path.display()));
     }
 
@@ -1478,30 +1500,29 @@ impl<'a> Engine<'a> {
     }
 }
 
-/// Serializes a hash map as its canonical sorted-by-key pair list.
-fn save_sorted_map<K, V>(w: &mut SnapWriter, map: &HashMap<K, V>)
+/// Serializes an ordered map as its sorted-by-key pair list — the same
+/// canonical bytes the old hash-map path produced after sorting.
+fn save_sorted_map<K, V>(w: &mut SnapWriter, map: &BTreeMap<K, V>)
 where
-    K: Snapshot + Ord + Copy + std::hash::Hash,
+    K: Snapshot + Ord + Copy,
     V: Snapshot,
 {
-    let mut keys: Vec<K> = map.keys().copied().collect();
-    keys.sort_unstable();
-    w.put_u64(keys.len() as u64);
-    for k in keys {
+    w.put_u64(map.len() as u64);
+    for (k, v) in map {
         k.save(w);
-        map[&k].save(w);
+        v.save(w);
     }
 }
 
-/// Reads a sorted pair list back into a hash map, latching `Corrupt` on
-/// duplicate keys.
-fn load_map<K, V>(r: &mut SnapReader, what: &str) -> HashMap<K, V>
+/// Reads a sorted pair list back into an ordered map, latching `Corrupt`
+/// on duplicate keys.
+fn load_map<K, V>(r: &mut SnapReader, what: &str) -> BTreeMap<K, V>
 where
-    K: Snapshot + Eq + Copy + std::hash::Hash + std::fmt::Debug,
+    K: Snapshot + Ord + Copy + std::fmt::Debug,
     V: Snapshot,
 {
     let pairs = Vec::<(K, V)>::load(r);
-    let mut map = HashMap::with_capacity(pairs.len());
+    let mut map = BTreeMap::new();
     for (k, v) in pairs {
         if map.insert(k, v).is_some() {
             r.corrupt(format!("duplicate {what} key {k:?}"));
@@ -1634,18 +1655,18 @@ fn new_engine<'a>(
         cursors: vec![0; scripts.len()],
         outstanding: vec![0; scripts.len()],
         scripts,
-        inflight: HashMap::new(),
+        inflight: BTreeMap::new(),
         next_token: 0,
         queues: (0..osds).map(|_| VecDeque::new()).collect(),
         current: vec![None; osds],
         busy_us: vec![0; osds],
         peak_queue_depth: vec![0; osds],
         blocking_moves,
-        moving: HashMap::new(),
-        move_routes: HashMap::new(),
+        moving: BTreeMap::new(),
+        move_routes: BTreeMap::new(),
         move_queues: (0..osds).map(|_| VecDeque::new()).collect(),
         failed: vec![false; osds],
-        rebuilds: HashMap::new(),
+        rebuilds: BTreeMap::new(),
         degraded_ops: 0,
         lost_ops: 0,
         rebuilt_objects: 0,

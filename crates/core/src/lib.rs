@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # edm-core — the EDM endurance-aware data migration scheme
 //!
 //! From-scratch reproduction of *EDM: an Endurance-aware Data Migration
@@ -72,6 +73,7 @@ pub fn make_policy(name: &str) -> Box<dyn Migrator> {
         "CMT" => Box::new(Cmt::default()),
         "EDM-HDF" => Box::new(EdmHdf::default()),
         "EDM-CDF" => Box::new(EdmCdf::default()),
+        // edm-audit: allow(panic.panic, "CLI-facing parse: rejecting an unknown policy name loudly is the contract")
         other => panic!("unknown policy {other:?}; see POLICY_NAMES"),
     }
 }

@@ -84,9 +84,11 @@ pub fn staggering(lifetimes: &[DeviceLifetime]) -> Staggering {
         .map(|l| l.periods_to_wearout)
         .filter(|p| p.is_finite())
         .collect();
+    // edm-audit: allow(panic.expect, "erase counts come from wear stats and are always finite")
     order.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let min_gap = order
         .windows(2)
+        // edm-audit: allow(panic.slice_index, "windows(2) yields exactly two elements per window")
         .map(|w| w[1] - w[0])
         .fold(f64::INFINITY, f64::min);
     let total_span = match (order.first(), order.last()) {
@@ -110,6 +112,7 @@ pub fn max_simultaneous_wearouts(lifetimes: &[DeviceLifetime], window: f64) -> u
         .map(|l| l.periods_to_wearout)
         .filter(|p| p.is_finite())
         .collect();
+    // edm-audit: allow(panic.expect, "erase counts come from wear stats and are always finite")
     order.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let mut best = usize::from(!order.is_empty());
     for i in 0..order.len() {

@@ -32,6 +32,7 @@ pub fn distribute(selected: &[Selected], dests: &mut [Destination]) -> Vec<MoveA
         let Some(best) = dests
             .iter_mut()
             .filter(|d| d.osd != s.source && d.budget_bytes >= s.size_bytes as i64)
+            // edm-audit: allow(panic.expect, "demand values are sums of finite page counts")
             .max_by(|a, b| a.demand.partial_cmp(&b.demand).expect("finite demand"))
         else {
             continue;

@@ -28,6 +28,7 @@ pub struct EdmCdf {
 
 impl EdmCdf {
     pub fn new(cfg: EdmConfig) -> Self {
+        // edm-audit: allow(panic.expect, "constructor contract: callers pass validated EDM configuration")
         cfg.validate().expect("invalid EDM configuration");
         let tracker = match cfg.tracker_capacity {
             Some(cap) => AccessTracker::with_capacity(cfg.temperature_interval_us, cap),

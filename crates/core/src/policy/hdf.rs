@@ -26,6 +26,7 @@ pub struct EdmHdf {
 
 impl EdmHdf {
     pub fn new(cfg: EdmConfig) -> Self {
+        // edm-audit: allow(panic.expect, "constructor contract: callers pass validated EDM configuration")
         cfg.validate().expect("invalid EDM configuration");
         let tracker = match cfg.tracker_capacity {
             Some(cap) => AccessTracker::with_capacity(cfg.temperature_interval_us, cap),
@@ -156,6 +157,7 @@ impl Migrator for EdmHdf {
                     .collect();
                 candidates.sort_by(|a, b| {
                     b.1.partial_cmp(&a.1)
+                        // edm-audit: allow(panic.expect, "temperatures are finite by construction (sums of decayed counters)")
                         .expect("temperatures are finite")
                         .then(b.2.cmp(&a.2))
                         .then(a.0.object.cmp(&b.0.object))

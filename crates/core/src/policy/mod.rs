@@ -93,7 +93,9 @@ pub(crate) mod testutil {
                 .iter()
                 .enumerate()
                 .map(|(i, &(wc, u, ewma))| OsdView {
+                    // edm-audit: allow(num.lossy_cast, "OSD index is bounded by the validated u32 OSD count")
                     osd: OsdId(i as u32),
+                    // edm-audit: allow(num.lossy_cast, "OSD index is bounded by the validated u32 OSD count")
                     group: GroupId(i as u32 % m),
                     wc_pages: wc,
                     utilization: u,

@@ -17,7 +17,7 @@
 //! tally of the current measurement window that HDF's object selection
 //! needs to satisfy ΔWc.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use edm_cluster::{AccessEvent, AccessKind, ObjectId};
 use edm_snap::{SnapReader, SnapWriter, Snapshot};
@@ -48,6 +48,7 @@ impl ObjectHeat {
             let factor = if elapsed >= 1075 {
                 0.0
             } else {
+                // edm-audit: allow(num.lossy_cast, "explicitly clamped to i32::MAX on the same expression")
                 (0.5f64).powi(elapsed.min(i32::MAX as u64) as i32)
             };
             self.write_temp *= factor;
@@ -67,7 +68,9 @@ impl ObjectHeat {
 #[derive(Debug, Clone)]
 pub struct AccessTracker {
     interval_us: u64,
-    heats: HashMap<ObjectId, ObjectHeat>,
+    /// Ordered by object id: iteration order reaches pruning, the hot
+    /// cache, and the snapshot encoding, so it must be deterministic.
+    heats: BTreeMap<ObjectId, ObjectHeat>,
     capacity: Option<usize>,
 }
 
@@ -80,7 +83,7 @@ impl AccessTracker {
         assert!(interval_us > 0, "interval must be positive");
         AccessTracker {
             interval_us,
-            heats: HashMap::new(),
+            heats: BTreeMap::new(),
             capacity: None,
         }
     }
@@ -118,6 +121,7 @@ impl AccessTracker {
                 (o, h.total_temp)
             })
             .collect();
+        // edm-audit: allow(panic.expect, "temperatures are finite by construction (sums of decayed counters)")
         temps.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
         for (o, _) in temps.into_iter().take(self.heats.len() - cap) {
             self.heats.remove(&o);
@@ -169,6 +173,7 @@ impl AccessTracker {
         v.sort_by(|a, b| {
             b.1.write_temp
                 .partial_cmp(&a.1.write_temp)
+                // edm-audit: allow(panic.expect, "temperatures are finite by construction (sums of decayed counters)")
                 .expect("temperatures are finite")
                 .then(a.0.cmp(&b.0))
         });
@@ -209,20 +214,18 @@ impl Snapshot for AccessTracker {
     fn save(&self, w: &mut SnapWriter) {
         w.put_u64(self.interval_us);
         self.capacity.save(w);
-        // Canonical order: the heat map sorted by object id.
-        let mut objects: Vec<ObjectId> = self.heats.keys().copied().collect();
-        objects.sort_unstable();
-        w.put_u64(objects.len() as u64);
-        for o in objects {
+        // Canonical order for free: the heat map iterates by object id.
+        w.put_u64(self.heats.len() as u64);
+        for (o, heat) in &self.heats {
             o.save(w);
-            self.heats[&o].save(w);
+            heat.save(w);
         }
     }
     fn load(r: &mut SnapReader) -> Self {
         let interval_us = r.take_u64();
         let capacity: Option<usize> = Option::load(r);
         let pairs = Vec::<(ObjectId, ObjectHeat)>::load(r);
-        let mut heats = HashMap::with_capacity(pairs.len());
+        let mut heats = BTreeMap::new();
         for (o, h) in pairs {
             if heats.insert(o, h).is_some() {
                 r.corrupt(format!("duplicate tracked object {o}"));

@@ -172,6 +172,7 @@ fn run_one(id: &str, cfg: &RunConfig, osds: &[u32]) {
 
 fn main() {
     let args = parse_args();
+    #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
     let started = std::time::Instant::now();
     if args.experiment == "all" {
         for id in EXPERIMENT_IDS {

@@ -72,6 +72,7 @@ fn ftl_micro(page_writes: u64, span_pages: u64, mode: MicroMode) -> (f64, u64, W
     let live_extents = (g.exported_pages() * 11 / 20) / span_pages;
     let hot_extents = (live_extents / 10).max(1);
     let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
     let started = Instant::now();
     // Fill the live range once, then hammer it with skewed overwrites.
     let mut written = 0u64;
@@ -208,6 +209,7 @@ fn run_fig5_cells(scale: f64, results: &mut Vec<BenchResult>) {
         ("random", "Baseline"),
     ] {
         let cell = Cell::new(trace, policy, 8);
+        #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
         let started = Instant::now();
         let report = run_cell(&cell, &cfg);
         let wall = started.elapsed().as_secs_f64();
@@ -261,6 +263,7 @@ fn run_snapshot_cells(scale: f64, reps: u32, results: &mut Vec<BenchResult>) {
     let mut restore_wall = f64::INFINITY;
     for _ in 0..reps {
         let snap = SnapshotFile::from_bytes(&bytes).expect("checkpoint does not parse");
+        #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
         let started = Instant::now();
         snap.write_to(&rewrite).expect("rewrite failed");
         save_wall = save_wall.min(started.elapsed().as_secs_f64());
@@ -269,6 +272,7 @@ fn run_snapshot_cells(scale: f64, reps: u32, results: &mut Vec<BenchResult>) {
             bytes,
             "snapshot round trip is not byte-identical"
         );
+        #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
         let started = Instant::now();
         let reparsed = SnapshotFile::from_bytes(&bytes).expect("checkpoint does not parse");
         restore_wall = restore_wall.min(started.elapsed().as_secs_f64());
@@ -293,6 +297,40 @@ fn run_snapshot_cells(scale: f64, reps: u32, results: &mut Vec<BenchResult>) {
             erases,
         });
     }
+}
+
+/// Times a full workspace scan by the static analyzer. The auditor runs
+/// on every `cargo test` and in `scripts/check.sh`, so its wall time is
+/// part of the edit-compile-check loop and worth tracking like any
+/// other hot path. `ops_per_sec` is files scanned per second.
+fn run_audit_cell(reps: u32, results: &mut Vec<BenchResult>) {
+    let cwd = std::env::current_dir().expect("cwd");
+    let root = edm_audit::find_workspace_root(&cwd).expect("workspace root above cwd");
+    let mut wall = f64::INFINITY;
+    let mut scanned = 0usize;
+    for _ in 0..reps {
+        #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
+        let started = Instant::now();
+        let outcome = edm_audit::audit_workspace(&root).expect("workspace scan failed");
+        wall = wall.min(started.elapsed().as_secs_f64());
+        assert!(
+            outcome.is_clean(),
+            "edm-audit found unsuppressed findings:\n{}",
+            outcome.render_text()
+        );
+        scanned = outcome.files_scanned;
+    }
+    let fps = scanned as f64 / wall;
+    println!(
+        "audit_workspace: {:.3} ms for {scanned} files ({fps:.0} files/s)",
+        wall * 1e3
+    );
+    results.push(BenchResult {
+        name: "audit_workspace".into(),
+        wall_ms: wall * 1e3,
+        ops_per_sec: fps,
+        erases: 0,
+    });
 }
 
 fn json_escape(s: &str) -> String {
@@ -332,6 +370,7 @@ fn main() {
         run_micro(100_000, 32, 5, 0.85, &mut results);
         run_fig5_cells(0.001, &mut results);
         run_snapshot_cells(0.001, 3, &mut results);
+        run_audit_cell(3, &mut results);
     } else {
         // The 0.95 floor is a regression guard, not the measurement: the
         // recorded `obs_overhead_noop` cell is the actual overhead number
@@ -341,6 +380,7 @@ fn main() {
         run_micro(1_500_000, 32, 7, 0.95, &mut results);
         run_fig5_cells(0.005, &mut results);
         run_snapshot_cells(0.005, 7, &mut results);
+        run_audit_cell(7, &mut results);
     }
     write_json("BENCH_edm.json", &results).expect("writing BENCH_edm.json failed");
     println!("wrote BENCH_edm.json ({} entries)", results.len());

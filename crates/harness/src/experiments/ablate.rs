@@ -42,6 +42,7 @@ pub fn sigma_sweep(cfg: &RunConfig, sigmas: &[f64]) -> Vec<(f64, f64)> {
 pub fn render_sigma(rows: &[(f64, f64)]) -> String {
     let best = rows
         .iter()
+        // edm-audit: allow(panic.expect, "per-OSD means of finite latencies")
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
         .map(|r| r.0)
         .unwrap_or(f64::NAN);
@@ -63,6 +64,7 @@ pub fn lambda_sweep(cfg: &RunConfig, osds: u32, lambdas: &[f64]) -> Vec<(f64, Ru
         .iter()
         .map(|&lambda| {
             let cluster =
+                // edm-audit: allow(panic.expect, "experiment setup with a pinned valid config; abort is the harness failure mode")
                 Cluster::build(ClusterConfig::paper(osds), &trace).expect("cluster build");
             let mut policy = EdmHdf::new(EdmConfig {
                 lambda,
@@ -112,6 +114,7 @@ pub fn group_sweep(cfg: &RunConfig, osds: u32, groups: &[u32]) -> Vec<(u32, RunR
             let mut cluster_cfg = ClusterConfig::paper(osds);
             cluster_cfg.groups = m;
             cluster_cfg.objects_per_file = m.min(4);
+            // edm-audit: allow(panic.expect, "experiment setup with a pinned valid config; abort is the harness failure mode")
             let cluster = Cluster::build(cluster_cfg, &trace).expect("cluster build");
             let mut policy = EdmHdf::default();
             let report = run_trace(
@@ -173,6 +176,7 @@ pub fn continuous_sweep(cfg: &RunConfig, osds: u32) -> Vec<(&'static str, RunRep
         // gets multiple evaluation rounds within the scaled replay.
         cluster_cfg.wear_tick_us =
             ((cluster_cfg.wear_tick_us as f64 * cfg.scale) as u64).max(100_000);
+        // edm-audit: allow(panic.expect, "experiment setup with a pinned valid config; abort is the harness failure mode")
         let cluster = Cluster::build(cluster_cfg, &trace).expect("cluster build");
         let mut policy = EdmHdf::new(EdmConfig {
             force,
@@ -216,6 +220,7 @@ pub fn gc_policy_sweep(cfg: &RunConfig, osds: u32) -> Vec<(&'static str, RunRepo
     .map(|(label, policy)| {
         let mut cluster_cfg = ClusterConfig::paper(osds);
         cluster_cfg.ftl.victim_policy = policy;
+        // edm-audit: allow(panic.expect, "experiment setup with a pinned valid config; abort is the harness failure mode")
         let cluster = Cluster::build(cluster_cfg, &trace).expect("cluster build");
         let mut noop = NoMigration;
         let report = run_trace(
@@ -275,6 +280,7 @@ pub fn decay_sweep(cfg: &RunConfig, osds: u32) -> Vec<(&'static str, RunReport)>
     let run_mode = |label: &'static str, interval_us: u64| -> (&'static str, RunReport) {
         let mut cluster_cfg = ClusterConfig::paper(osds);
         cluster_cfg.wear_tick_us = tick_us;
+        // edm-audit: allow(panic.expect, "experiment setup with a pinned valid config; abort is the harness failure mode")
         let cluster = Cluster::build(cluster_cfg, &trace).expect("cluster build");
         let mut policy = EdmHdf::new(EdmConfig {
             force: false,

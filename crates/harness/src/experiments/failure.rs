@@ -20,6 +20,7 @@ pub struct Scenario {
 
 fn run_one(cfg: &RunConfig, osds: u32, trace_name: &str, failures: Vec<FailureSpec>) -> RunReport {
     let trace = trace_for(trace_name, cfg.scale);
+    // edm-audit: allow(panic.expect, "experiment setup with a pinned valid config; abort is the harness failure mode")
     let cluster = Cluster::build(ClusterConfig::paper(osds), &trace).expect("build");
     let mut policy = NoMigration;
     run_trace(

@@ -66,6 +66,7 @@ impl Reliability {
             .collect();
         let window = finite.iter().copied().fold(0.0_f64, f64::max) * 0.01;
         let mut order = finite;
+        // edm-audit: allow(panic.expect, "erase counts come from wear stats and are always finite")
         order.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let mut best = usize::from(!order.is_empty());
         for i in 0..order.len() {
@@ -85,6 +86,7 @@ pub fn run(cfg: &RunConfig, osds: u32, trace_name: &str) -> Reliability {
     let trace = trace_for(trace_name, cfg.scale);
     let config = ClusterConfig::paper(osds);
     let placement = config.placement();
+    // edm-audit: allow(panic.expect, "experiment setup with a pinned valid config; abort is the harness failure mode")
     let cluster = Cluster::build(config, &trace).expect("cluster build");
     let mut policy = EdmHdf::default();
     let report = run_trace(

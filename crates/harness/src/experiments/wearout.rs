@@ -82,11 +82,14 @@ pub fn run(cfg: &RunConfig, osds: u32, trace: &str) -> WearoutResult {
     // every_us = 0: cut a checkpoint at every wear tick.
     let report = scenario
         .run_with_obs_checkpointed(&mut NoopRecorder, Some((0, dir.clone())))
+        // edm-audit: allow(panic.expect, "experiment harness: a failed run should abort the experiment loudly")
         .expect("wearout run failed");
     let digest = report_digest(&report);
 
     let mut snaps: Vec<PathBuf> = std::fs::read_dir(&dir)
+        // edm-audit: allow(panic.expect, "experiment harness: scratch dir was just created by this process")
         .expect("checkpoint dir unreadable")
+        // edm-audit: allow(panic.expect, "experiment harness: scratch dir was just created by this process")
         .map(|e| e.expect("dir entry").path())
         .filter(|p| p.extension().is_some_and(|x| x == "snap"))
         .collect();
@@ -96,7 +99,9 @@ pub fn run(cfg: &RunConfig, osds: u32, trace: &str) -> WearoutResult {
     let points: Vec<WearoutPoint> = snaps
         .iter()
         .map(|p| {
+            // edm-audit: allow(panic.expect, "experiment harness: reading back a checkpoint this run just wrote")
             let snap = SnapshotFile::read_from(p).expect("checkpoint unreadable");
+            // edm-audit: allow(panic.expect, "experiment harness: reading back a checkpoint this run just wrote")
             let m = SnapManifest::from_snapshot(&snap).expect("checkpoint has no manifest");
             WearoutPoint {
                 now_us: m.now_us,
@@ -107,6 +112,7 @@ pub fn run(cfg: &RunConfig, osds: u32, trace: &str) -> WearoutResult {
         .collect();
 
     let (_, resumed) = resume_snapshot(&snaps[snaps.len() / 2], &mut NoopRecorder)
+        // edm-audit: allow(panic.expect, "experiment harness: resume from a checkpoint this run just wrote")
         .expect("resume from mid checkpoint failed");
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -120,6 +126,7 @@ pub fn run(cfg: &RunConfig, osds: u32, trace: &str) -> WearoutResult {
 }
 
 fn wearout_dir() -> PathBuf {
+    // edm-audit: allow(det.env_read, "scratch directory for experiment checkpoints; its location never reaches simulation state")
     std::env::temp_dir().join(format!("edm-wearout-{}", std::process::id()))
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # edm-harness — regenerating the paper's tables and figures
 //!
 //! One module per evaluation artifact of the paper (Table 1, Figures 1,

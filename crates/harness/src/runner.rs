@@ -61,6 +61,7 @@ impl Default for RunConfig {
 /// parallelism; always at least 1 and at most the number of cells.
 fn resolve_jobs(cfg: &RunConfig, cells: usize) -> usize {
     let requested = cfg.jobs.or_else(|| {
+        // edm-audit: allow(det.env_read, "operator override for sweep parallelism; the job count never affects per-cell results")
         std::env::var("EDM_JOBS")
             .ok()
             .and_then(|v| match v.trim().parse::<usize>() {
@@ -101,6 +102,7 @@ pub fn run_cell(cell: &Cell, cfg: &RunConfig) -> RunReport {
     config.response_window_us = cfg
         .response_window_us
         .unwrap_or(((config.response_window_us as f64 * cfg.scale) as u64).max(50_000));
+    // edm-audit: allow(panic.expect, "experiment setup with a pinned valid config; abort is the harness failure mode")
     let cluster = Cluster::build(config, &trace).expect("cluster build failed");
     let mut policy = make_policy(&cell.policy);
     run_trace(
@@ -126,17 +128,20 @@ pub fn run_matrix(cells: &[Cell], cfg: &RunConfig) -> HashMap<Cell, RunReport> {
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // edm-audit: allow(panic.expect, "a poisoned queue means a worker already panicked; propagate the abort")
                 let Some(cell) = queue.lock().expect("queue poisoned").pop() else {
                     break;
                 };
                 let report = run_cell(&cell, cfg);
                 results
                     .lock()
+                    // edm-audit: allow(panic.expect, "a poisoned results lock means a worker already panicked; propagate the abort")
                     .expect("results poisoned")
                     .insert(cell, report);
             });
         }
     });
+    // edm-audit: allow(panic.expect, "a poisoned results lock means a worker already panicked; propagate the abort")
     results.into_inner().expect("results poisoned")
 }
 

@@ -96,6 +96,7 @@ impl Histogram {
                 return (lo, hi.min(self.max));
             }
         }
+        // edm-audit: allow(panic.unreachable, "rank <= count is checked by the caller; bucket sums cover every observation")
         unreachable!("rank <= count implies a bucket is found");
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! edm-obs: cross-layer observability for the EDM reproduction.
 //!
 //! This crate sits below every other workspace crate and provides:

@@ -134,16 +134,16 @@ impl SnapshotFile {
         let take_u32 = |pos: &mut usize, what: &str| -> Result<u32, SnapError> {
             let end = pos.checked_add(4).filter(|&e| e <= bytes.len());
             let end = end.ok_or_else(|| truncated(what))?;
-            let v = u32::from_le_bytes(bytes[*pos..end].try_into().unwrap());
+            let arr: [u8; 4] = bytes[*pos..end].try_into().map_err(|_| truncated(what))?;
             *pos = end;
-            Ok(v)
+            Ok(u32::from_le_bytes(arr))
         };
         let take_u64 = |pos: &mut usize, what: &str| -> Result<u64, SnapError> {
             let end = pos.checked_add(8).filter(|&e| e <= bytes.len());
             let end = end.ok_or_else(|| truncated(what))?;
-            let v = u64::from_le_bytes(bytes[*pos..end].try_into().unwrap());
+            let arr: [u8; 8] = bytes[*pos..end].try_into().map_err(|_| truncated(what))?;
             *pos = end;
-            Ok(v)
+            Ok(u64::from_le_bytes(arr))
         };
         let version = take_u32(&mut pos, "format version")?;
         if version != FORMAT_VERSION {

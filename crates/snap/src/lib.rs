@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # edm-snap — deterministic checkpoint/restore for the EDM simulator
 //!
 //! A snapshot captures the complete simulator state — FTL page maps and

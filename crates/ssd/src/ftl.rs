@@ -148,6 +148,7 @@ pub struct PageLevelFtl {
 
 impl PageLevelFtl {
     pub fn new(geometry: Geometry, config: FtlConfig) -> Self {
+        // edm-audit: allow(panic.expect, "constructor contract: callers pass validated geometry")
         geometry.validate().expect("invalid flash geometry");
         assert!(
             config.gc_low_watermark >= 2,
@@ -334,6 +335,7 @@ impl PageLevelFtl {
                     break;
                 }
             }
+            // edm-audit: allow(panic.expect, "ensure_host_active on the previous line installs an active block")
             let active = self.active.expect("ensure_host_active provides a block");
             let run = (end - lpn).min(self.blocks[active as usize].free_pages() as u64);
             for _ in 0..run {
@@ -570,6 +572,7 @@ impl PageLevelFtl {
         let mut best: Option<(u64, u32, u32)> = None;
         for (valid, block) in self.candidates.iter() {
             let key = (self.blocks[block as usize].erase_count(), valid, block);
+            // edm-audit: allow(panic.expect, "short-circuit: is_none() was checked first")
             if best.is_none() || key < best.expect("just checked") {
                 best = Some(key);
             }
@@ -644,6 +647,7 @@ impl PageLevelFtl {
                 page,
             }
             .linear(self.geometry.pages_per_block)]
+            // edm-audit: allow(panic.expect, "FTL invariant: reverse map covers every valid page")
             .expect("valid page must have an owner");
             let dest = self.ensure_gc_active()?;
             let dest_page = self.program_into(dest, lpn);
@@ -695,6 +699,7 @@ impl PageLevelFtl {
             let block = self.free_blocks.pop().ok_or(FtlError::DeviceFull)?;
             self.gc_active = Some(block);
         }
+        // edm-audit: allow(panic.expect, "ensure_gc_active on the previous line installs a GC block")
         Ok(self.gc_active.expect("just ensured"))
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # edm-ssd — NAND flash SSD model
 //!
 //! The flash substrate of the EDM reproduction (Ou et al., *EDM: an

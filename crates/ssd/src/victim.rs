@@ -81,6 +81,7 @@ impl VictimBuckets {
     pub fn remove(&mut self, block: u32) -> u32 {
         let (valid, pos) = self.slot[block as usize]
             .take()
+            // edm-audit: allow(panic.expect, "bucket invariant: a block is always removed from the bucket it was filed under")
             .expect("removing a non-candidate block");
         self.remove_at(valid, pos);
         self.len -= 1;
@@ -125,6 +126,7 @@ impl VictimBuckets {
             .iter()
             .copied()
             .min()
+            // edm-audit: allow(panic.expect, "pop only runs after the scan found this bucket non-empty")
             .expect("bucket is non-empty");
         Some((self.min_valid as u32, block))
     }

@@ -88,6 +88,7 @@ pub fn top_share(values: &[u64], fraction: f64) -> f64 {
 /// Jaccard similarity of the top-`fraction` hot sets of two tallies.
 fn hot_overlap(a: &HashMap<FileId, u64>, b: &HashMap<FileId, u64>, fraction: f64) -> f64 {
     let top = |m: &HashMap<FileId, u64>| -> std::collections::HashSet<FileId> {
+        // edm-audit: allow(det.map_iter, "entries are sorted (count desc, id asc) immediately after collection")
         let mut v: Vec<(FileId, u64)> = m.iter().map(|(&f, &x)| (f, x)).collect();
         v.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
         let k = ((v.len() as f64 * fraction).ceil() as usize).max(1);

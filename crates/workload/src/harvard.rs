@@ -176,6 +176,7 @@ pub fn spec(name: &str) -> WorkloadSpec {
             },
             0xED07,
         ),
+        // edm-audit: allow(panic.panic, "CLI-facing parse: rejecting an unknown trace name loudly is the contract")
         other => panic!("unknown Harvard workload {other:?}; see TRACE_NAMES"),
     }
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # edm-workload — trace substrate for the EDM reproduction
 //!
 //! The paper (Ou et al., IPDPS 2014) evaluates EDM by replaying seven NFS

@@ -24,6 +24,7 @@ const MEAN_GAP_US: u64 = 1_000;
 /// Generates the trace described by `spec`. Deterministic: the same spec
 /// (including its seed) always yields the identical trace.
 pub fn synthesize(spec: &WorkloadSpec) -> Trace {
+    // edm-audit: allow(panic.expect, "constructor contract: callers pass validated workload specs")
     spec.validate().expect("invalid workload spec");
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut trace = Trace::new(spec.name.clone());

@@ -88,10 +88,14 @@ impl Trace {
     /// referenced file has a size, every access fits inside its file.
     pub fn validate(&self) -> Result<(), String> {
         for w in self.records.windows(2) {
+            // edm-audit: allow(panic.slice_index, "windows(2) yields exactly two elements per window")
             if w[0].time_us > w[1].time_us {
                 return Err(format!(
                     "records out of order: {} then {}",
-                    w[0].time_us, w[1].time_us
+                    // edm-audit: allow(panic.slice_index, "windows(2) yields exactly two elements per window")
+                    w[0].time_us,
+                    // edm-audit: allow(panic.slice_index, "windows(2) yields exactly two elements per window")
+                    w[1].time_us
                 ));
             }
         }
@@ -164,8 +168,10 @@ impl Trace {
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        // edm-audit: allow(panic.expect, "write! into a String is infallible")
         writeln!(out, "# edm-trace v1 {}", self.name).expect("string write");
         for (f, size) in &self.file_sizes {
+            // edm-audit: allow(panic.expect, "write! into a String is infallible")
             writeln!(out, "F {} {}", f.0, size).expect("string write");
         }
         for r in &self.records {
@@ -189,6 +195,7 @@ impl Trace {
                     len
                 ),
             }
+            // edm-audit: allow(panic.expect, "write! into a String is infallible")
             .expect("string write");
         }
         out

@@ -10,6 +10,12 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> edm-audit"
+# Determinism & panic-hygiene static analysis: exits nonzero on any
+# unsuppressed finding. Runs before the release build so rule
+# violations surface in seconds, not after a full compile.
+cargo run -q -p edm-audit --bin edm-audit
+
 echo "==> cargo build --release"
 cargo build --release
 

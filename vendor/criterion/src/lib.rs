@@ -104,6 +104,7 @@ impl Bencher {
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         std::hint::black_box(routine()); // warm-up, untimed
         for _ in 0..self.target_samples {
+            #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
             let start = Instant::now();
             std::hint::black_box(routine());
             self.samples.push(start.elapsed());
@@ -118,6 +119,7 @@ impl Bencher {
         std::hint::black_box(routine(setup()));
         for _ in 0..self.target_samples {
             let input = setup();
+            #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
             let start = Instant::now();
             std::hint::black_box(routine(input));
             self.samples.push(start.elapsed());
