@@ -24,12 +24,14 @@
 //! §8. The `vendor/` stand-ins are deliberately out of scope — they
 //! model *external* crates.
 
+pub mod ci;
 mod lexer;
 mod pragma;
 mod report;
 mod rules;
 mod source;
 
+pub use ci::check_workflow_gate;
 pub use lexer::{lex, TokKind, Token};
 pub use pragma::{parse_pragmas, Pragma, PragmaError};
 pub use report::{AuditOutcome, Finding, Suppressed};
@@ -157,7 +159,18 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<AuditOutcome> {
             std::fs::read_to_string(&p).map(|src| (rel, src))
         })
         .collect::<std::io::Result<Vec<_>>>()?;
-    Ok(audit_sources(loaded))
+    let mut outcome = audit_sources(loaded);
+    // Non-.rs gate files: the CI workflow must invoke every check.sh
+    // step (ci.workflow_gate). Not pragma-suppressible — there is no
+    // Rust source line to hang a pragma on, and drift here should hurt.
+    let check_sh = std::fs::read_to_string(root.join(ci::CHECK_SH_PATH)).ok();
+    let workflow = std::fs::read_to_string(root.join(ci::WORKFLOW_PATH)).ok();
+    outcome.findings.extend(ci::check_workflow_gate(
+        check_sh.as_deref(),
+        workflow.as_deref(),
+    ));
+    outcome.sort();
+    Ok(outcome)
 }
 
 /// Walks up from `start` to the first directory whose `Cargo.toml`

@@ -64,6 +64,10 @@ pub const RULES: &[(&str, &str)] = &[
         "pragma allows a rule id that does not exist",
     ),
     ("pragma.unused", "pragma that suppressed nothing"),
+    (
+        "ci.workflow_gate",
+        "CI workflow does not invoke every scripts/check.sh step",
+    ),
 ];
 
 pub fn rule_exists(id: &str) -> bool {
@@ -125,10 +129,12 @@ pub fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
     let in_test = |line: u32| file.in_cfg_test(line);
     let lib = file.kind == FileKind::LibSrc;
     // Harness bins own the process boundary (CLI args, wall-clock cell
-    // timing); the audit bin is repo tooling. Everything else must stay
-    // deterministic.
+    // timing); the audit and fuzz bins are repo tooling. Everything else
+    // must stay deterministic.
     let tool_bin = file.kind == FileKind::BinSrc
-        && (file.crate_name == "harness" || file.crate_name == "audit");
+        && (file.crate_name == "harness"
+            || file.crate_name == "audit"
+            || file.crate_name == "fuzz");
     let ambient_exempt = matches!(
         file.kind,
         FileKind::Bench | FileKind::TestCode | FileKind::Example

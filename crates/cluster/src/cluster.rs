@@ -142,6 +142,117 @@ impl Cluster {
         let (file, _) = self.catalog.placement().object_owner(object);
         self.catalog.file(file).map(|m| m.object_size)
     }
+
+    /// Structural invariants of a quiescent cluster (post-build or
+    /// end-of-run), for the differential fuzzer's policy oracle:
+    ///
+    /// 1. per-device accounting stays inside capacity;
+    /// 2. the remapping table only overlays cataloged objects, never maps
+    ///    an object to its home OSD (such entries are pruned on return),
+    ///    and never points outside the cluster — and being a map keyed by
+    ///    object id it cannot hold duplicate entries, so the overlay stays
+    ///    one-to-one;
+    /// 3. every cataloged object is present in the directory of exactly
+    ///    the OSD the catalog locates it on, and no OSD holds objects the
+    ///    catalog does not place there;
+    /// 4. no two objects of one file share an SSD group (RAID-5 fault
+    ///    independence, §III.D) — placement guarantees it initially and
+    ///    intra-group migration/rebuild must preserve it. Only checked
+    ///    when `enforce_group_independence` is set: the CMT baseline
+    ///    deliberately ignores group boundaries (its moves may co-locate
+    ///    a file's objects), while the EDM policies and rebuild must not.
+    ///
+    /// `failed_osds` are devices killed by fault injection: objects still
+    /// located there may be lost (directory emptied on failure), so they
+    /// are exempt from the presence and group checks.
+    pub fn check_invariants(
+        &self,
+        failed_osds: &[u32],
+        enforce_group_independence: bool,
+    ) -> Result<(), String> {
+        self.config.validate()?;
+        let placement = *self.catalog.placement();
+        for osd in &self.osds {
+            let u = osd.utilization();
+            if !(0.0..=1.0).contains(&u) {
+                return Err(format!("{}: utilization {u} outside [0, 1]", osd.id));
+            }
+            if osd.free_bytes() > osd.capacity_bytes() {
+                return Err(format!(
+                    "{}: free bytes {} exceed capacity {}",
+                    osd.id,
+                    osd.free_bytes(),
+                    osd.capacity_bytes()
+                ));
+            }
+        }
+        for (object, dest) in self.catalog.remap().iter() {
+            if dest.0 >= self.config.osds {
+                return Err(format!("remap entry {object} -> {dest}: no such OSD"));
+            }
+            let (file, index) = placement.object_owner(object);
+            let known = self
+                .catalog
+                .file(file)
+                .is_some_and(|m| m.objects.get(index as usize) == Some(&object));
+            if !known {
+                return Err(format!(
+                    "remap entry {object} -> {dest}: object is not in the catalog"
+                ));
+            }
+            if dest == self.catalog.home_of(object) {
+                return Err(format!(
+                    "remap entry {object} -> {dest}: points at the object's home \
+                     (home entries must be pruned)"
+                ));
+            }
+        }
+        let mut expected = vec![0u64; self.config.osds as usize];
+        for meta in self.catalog.files() {
+            let mut groups_seen: Vec<crate::ids::GroupId> = Vec::new();
+            for &obj in &meta.objects {
+                let loc = self.catalog.locate(obj);
+                let Some(osd) = self.osds.get(loc.0 as usize) else {
+                    return Err(format!("{obj} located on nonexistent {loc}"));
+                };
+                if failed_osds.contains(&loc.0) {
+                    continue; // possibly lost with its device
+                }
+                if !osd.has_object(obj) {
+                    return Err(format!(
+                        "{obj} located on {loc} but absent from its directory"
+                    ));
+                }
+                if let Some(slot) = expected.get_mut(loc.0 as usize) {
+                    *slot += 1;
+                }
+                if enforce_group_independence {
+                    let g = placement.group_of(loc);
+                    if groups_seen.contains(&g) {
+                        return Err(format!(
+                            "file {:?}: two objects share {g} — RAID-5 fault independence broken",
+                            meta.file
+                        ));
+                    }
+                    groups_seen.push(g);
+                }
+            }
+        }
+        for osd in &self.osds {
+            if failed_osds.contains(&osd.id.0) {
+                continue;
+            }
+            let have = osd.object_count() as u64;
+            let want = expected.get(osd.id.0 as usize).copied().unwrap_or(0);
+            if have != want {
+                return Err(format!(
+                    "{}: directory holds {have} objects but the catalog places {want} there",
+                    osd.id
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Snapshot for Cluster {

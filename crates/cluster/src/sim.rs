@@ -787,11 +787,11 @@ impl<'a> Engine<'a> {
     /// One sibling read of a rebuild finished; once all have, start the
     /// chunked reconstruction writes at the destination.
     fn on_rebuild_read_done(&mut self, lost: ObjectId) {
-        let state = self
-            .rebuilds
-            .get_mut(&lost)
-            // edm-audit: allow(panic.expect, "engine invariant: rebuild reads are only issued for tracked rebuilds")
-            .expect("rebuild read for unknown rebuild");
+        // A later failure may have aborted this rebuild while the sibling
+        // read was in flight; the read then completes as a harmless no-op.
+        let Some(state) = self.rebuilds.get_mut(&lost) else {
+            return;
+        };
         state.pending_reads -= 1;
         if state.pending_reads > 0 {
             return;
@@ -811,7 +811,10 @@ impl<'a> Engine<'a> {
 
     /// One reconstruction chunk landed; continue or finalize the rebuild.
     fn on_rebuild_write_done(&mut self, lost: ObjectId, offset: u64, len: u64) {
-        let state = &self.rebuilds[&lost];
+        // Aborted by a later failure while this chunk was in service.
+        let Some(state) = self.rebuilds.get(&lost) else {
+            return;
+        };
         let (dest, size) = (state.dest, state.size);
         let next = offset + len;
         if next < size {
@@ -917,6 +920,9 @@ impl<'a> Engine<'a> {
         // before the move started (mover chunks overtake them in the
         // queue), or during it for non-blocking lazy copies — must be
         // redirected to the destination before the source copy disappears.
+        // That includes rebuild reads of this object as a surviving
+        // sibling: a failure elsewhere enqueues them at the object's
+        // location at failure time, which this move has just vacated.
         let mut redirected = Vec::new();
         {
             let queue = &mut self.queues[action.source.0 as usize];
@@ -925,6 +931,9 @@ impl<'a> Engine<'a> {
                 let matches = matches!(
                     queue[i].payload,
                     Payload::FileIo { object: o, .. } if o == object
+                ) || matches!(
+                    queue[i].payload,
+                    Payload::RebuildRead { sibling, .. } if sibling == object
                 );
                 if matches {
                     // edm-audit: allow(panic.expect, "index comes from position() on the same queue")
@@ -957,7 +966,12 @@ impl<'a> Engine<'a> {
         self.last_completion_us = self.now;
         self.unblock(object);
         for sub in redirected {
-            self.route(sub);
+            match sub.payload {
+                // Rebuild reads are bound to a device, not routed through
+                // the catalog: send them to the sibling's new home.
+                Payload::RebuildRead { .. } => self.enqueue(action.dest, sub),
+                _ => self.route(sub),
+            }
         }
         self.start_next_move(action.source);
     }
@@ -1055,12 +1069,45 @@ impl<'a> Engine<'a> {
             q.retain(|a| a.dest != osd);
         }
         // Purge mover chunks touching the dead device from every queue,
-        // then re-route the dead device's foreground requests.
+        // then re-route the dead device's foreground requests. Rebuild
+        // chunks queued on the dead device are unfinishable — remember
+        // which rebuilds they belonged to so those can be aborted below.
         let drained: Vec<SubReq> = self.queues[o].drain(..).collect();
+        let mut dropped_rebuilds: Vec<ObjectId> = Vec::new();
         for sub in drained {
-            if let Payload::FileIo { .. } = sub.payload {
-                self.route(sub);
+            match sub.payload {
+                Payload::FileIo { .. } => self.route(sub),
+                Payload::RebuildRead { lost, .. } | Payload::RebuildWrite { lost, .. } => {
+                    dropped_rebuilds.push(lost);
+                }
+                Payload::MoveRead { .. } | Payload::MoveWrite { .. } => {}
             }
+        }
+        // Abort rebuilds this failure makes unfinishable: those
+        // reconstructing onto the dead device, and those whose queued
+        // chunks were just dropped with its queue. Their half-written
+        // destination copies are removed so directory/catalog agreement
+        // holds at the end of the run; sibling reads still in flight
+        // elsewhere complete as harmless no-ops.
+        let mut aborted: std::collections::BTreeSet<ObjectId> =
+            dropped_rebuilds.into_iter().collect();
+        aborted.extend(
+            self.rebuilds
+                .iter()
+                .filter(|(_, st)| st.dest == osd)
+                .map(|(&lost, _)| lost),
+        );
+        for lost in aborted {
+            let Some(state) = self.rebuilds.remove(&lost) else {
+                continue;
+            };
+            if state.dest != osd && self.cluster.osds[state.dest.0 as usize].has_object(lost) {
+                self.cluster.osds[state.dest.0 as usize]
+                    .remove_object(lost)
+                    // edm-audit: allow(panic.expect, "guarded by has_object on the line above")
+                    .expect("partial rebuild copy exists");
+            }
+            self.obs.counter("sim.aborted_rebuilds", 1);
         }
         let live_moves: std::collections::BTreeSet<ObjectId> =
             self.move_routes.keys().copied().collect();
@@ -1173,8 +1220,23 @@ impl<'a> Engine<'a> {
         // edm-audit: allow(panic.slice_index, "ClusterConfig validation guarantees at least one OSD")
         let reserve = (self.cluster.osds[0].capacity_bytes() as f64
             * self.cluster.config.dest_free_reserve) as i64;
+        // Objects already queued or mid-transfer from an earlier round
+        // must not be queued again: the view still shows them on their
+        // old source (every-tick scheduling re-plans while moves are
+        // pending), so a second accepted move would read from a location
+        // the first move has already vacated by the time it starts.
+        let pending: std::collections::HashSet<ObjectId> = self
+            .move_routes
+            .keys()
+            .copied()
+            .chain(self.move_queues.iter().flatten().map(|a| a.object))
+            .collect();
         let mut accepted = 0u64;
         for action in plan {
+            if pending.contains(&action.object) {
+                self.failed_moves += 1;
+                continue;
+            }
             // Policies see failed devices in the view (their last measured
             // stats are real); the engine is responsible for never routing
             // a move through one.

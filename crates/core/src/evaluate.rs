@@ -2,11 +2,22 @@
 //! the cluster's wear balance, before any data moves.
 //!
 //! Algorithm 1 computes per-device deltas; the policies then approximate
-//! those deltas with whole objects. This module closes the loop: given the
-//! view and the concrete plan, it applies each move's estimated write-page
-//! and byte footprint to the per-device state and re-evaluates the wear
-//! model — so tests (and operators) can check that a plan actually
-//! improves the imbalance it was asked to fix, and by how much.
+//! those deltas with whole objects. This module closes the loop by
+//! projecting the wear model one temperature window ahead: each device's
+//! erase estimate is `Ec(wc + rate, u)`, where `rate` is the window write
+//! pages of the objects resident on it (last window as the predictor for
+//! the next, the same estimate the policies plan with). The plan shifts
+//! each move's rate and byte footprint to its destination and the
+//! projection is re-evaluated — so tests (and operators) can check that a
+//! plan actually improves the imbalance it was asked to fix, and by how
+//! much. Erases already incurred (`wc`) stay where they physically
+//! happened on both sides of the comparison; only *future* writes move.
+//!
+//! The one-time write cost of copying the data itself is deliberately
+//! excluded: it is a transient the policies already budget separately,
+//! and the fuzz battery accounts for it in the erase totals oracle.
+//! Including it here would veto every cold-data (CDF) plan, whose payoff
+//! accrues over many future windows.
 
 use std::collections::HashMap;
 
@@ -20,10 +31,11 @@ use crate::wear_model::WearModel;
 /// Predicted effect of a plan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlanAssessment {
-    /// Model erase counts per OSD before the plan.
+    /// Projected model erase counts per OSD one window ahead, without the
+    /// plan: `Ec(wc + resident write rate, u)`.
     pub erases_before: Vec<f64>,
-    /// Predicted model erase counts after the plan (write-page and byte
-    /// footprints shifted to the destinations).
+    /// The same projection with the plan applied (each move's write rate
+    /// and byte footprint shifted to its destination).
     pub erases_after: Vec<f64>,
     /// Relative standard deviation before / after.
     pub rsd_before: f64,
@@ -72,6 +84,30 @@ pub fn assess_plan_obs(
     assessment
 }
 
+/// Drops trailing moves until the plan's predicted RSD no longer grows
+/// (§III.B.2: EDM migrates only towards balance).
+///
+/// The policies approximate Algorithm 1's continuous deltas with whole
+/// objects, and the last object selected against a demand can overshoot
+/// it — on a mildly imbalanced cluster a single write-hot object can
+/// flip the imbalance's sign with a larger magnitude, making the planned
+/// state *worse* than doing nothing. Trimming from the tail removes the
+/// most marginal selections first; the empty plan trivially qualifies.
+pub fn trim_to_improvement(
+    view: &ClusterView,
+    mut plan: Vec<MoveAction>,
+    tracker: &AccessTracker,
+    model: &WearModel,
+) -> Vec<MoveAction> {
+    while !plan.is_empty() {
+        if assess_plan(view, &plan, tracker, model).is_improvement() {
+            break;
+        }
+        plan.pop();
+    }
+    plan
+}
+
 /// Assesses `plan` against `view`, using `tracker` for per-object write
 /// footprints (the same estimates the policies plan with).
 pub fn assess_plan(
@@ -81,46 +117,50 @@ pub fn assess_plan(
     model: &WearModel,
 ) -> PlanAssessment {
     let n = view.osds.len();
-    let mut wc: Vec<f64> = view.osds.iter().map(|o| o.wc_pages as f64).collect();
+    let wc: Vec<f64> = view.osds.iter().map(|o| o.wc_pages as f64).collect();
+    let capacity: Vec<f64> = view.osds.iter().map(|o| o.capacity_bytes as f64).collect();
     let mut live_bytes: Vec<f64> = view
         .osds
         .iter()
         .map(|o| o.utilization * o.capacity_bytes as f64)
         .collect();
-    let capacity: Vec<f64> = view.osds.iter().map(|o| o.capacity_bytes as f64).collect();
 
-    let erases_before: Vec<f64> = (0..n)
-        .map(|i| model.erase_count(wc[i], (live_bytes[i] / capacity[i]).clamp(0.0, 1.0)))
-        .collect();
+    // Per-device write rate for the next window, and each object's
+    // (size, window write pages) footprint for applying the moves.
+    let mut rate = vec![0.0f64; n];
+    let mut footprint: HashMap<ObjectId, (u64, u64)> = HashMap::new();
+    for o in &view.objects {
+        let pages = tracker.heat(o.object, view.now_us).window_write_pages;
+        rate[o.osd.0 as usize] += pages as f64;
+        footprint.insert(o.object, (o.size_bytes, pages));
+    }
 
-    let sizes: HashMap<ObjectId, u64> = view
-        .objects
-        .iter()
-        .map(|o| (o.object, o.size_bytes))
-        .collect();
+    let project = |rate: &[f64], live: &[f64]| -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                model.erase_count(
+                    wc[i] + rate[i].max(0.0),
+                    (live[i] / capacity[i]).clamp(0.0, 1.0),
+                )
+            })
+            .collect()
+    };
+    let erases_before = project(&rate, &live_bytes);
 
     let mut moved_bytes = 0u64;
     let mut moved_write_pages = 0u64;
     for m in plan {
-        let size = sizes.get(&m.object).copied().unwrap_or(0);
-        let pages = tracker.heat(m.object, view.now_us).window_write_pages;
+        let (size, pages) = footprint.get(&m.object).copied().unwrap_or((0, 0));
         moved_bytes += size;
         moved_write_pages += pages;
         let (s, d) = (m.source.0 as usize, m.dest.0 as usize);
-        wc[s] -= pages as f64;
-        wc[d] += pages as f64;
+        rate[s] -= pages as f64;
+        rate[d] += pages as f64;
         live_bytes[s] -= size as f64;
         live_bytes[d] += size as f64;
     }
 
-    let erases_after: Vec<f64> = (0..n)
-        .map(|i| {
-            model.erase_count(
-                wc[i].max(0.0),
-                (live_bytes[i] / capacity[i]).clamp(0.0, 1.0),
-            )
-        })
-        .collect();
+    let erases_after = project(&rate, &live_bytes);
 
     PlanAssessment {
         rsd_before: trigger::evaluate(&erases_before, 0.0).rsd,
@@ -244,6 +284,52 @@ mod tests {
         let bad = assess_plan(&v2, &plan_bad, &t, &WearModel::paper(32));
         assert!(good.rsd_after <= good.rsd_before);
         assert!(bad.rsd_after >= bad.rsd_before);
+    }
+
+    #[test]
+    fn trim_drops_overshooting_tail_moves() {
+        // A mildly imbalanced cluster where moving object 1's write rate
+        // off the busiest device helps slightly, but the trailing move of
+        // a huge cold object drives the destination's utilization towards
+        // full — the projection's GC amplification makes it the new
+        // outlier and the pair assesses worse than doing nothing.
+        let mut v = view();
+        for (osd, wc) in v.osds.iter_mut().zip([30_000u64, 28_000, 22_000, 28_000]) {
+            osd.wc_pages = wc;
+        }
+        v.objects[1].size_bytes = 380 << 20; // cold, ~37% of the device
+        let model = WearModel::paper(32);
+        let mut t = AccessTracker::new(60_000_000);
+        for _ in 0..40 {
+            t.record(AccessEvent {
+                now_us: 500,
+                object: ObjectId(1),
+                kind: AccessKind::Write,
+                pages: 100,
+            });
+        }
+        let good = MoveAction {
+            object: ObjectId(1),
+            source: OsdId(0),
+            dest: OsdId(2),
+        };
+        let overshoot = MoveAction {
+            object: ObjectId(2),
+            source: OsdId(0),
+            dest: OsdId(2),
+        };
+        let pair = assess_plan(&v, &[good, overshoot], &t, &model);
+        assert!(
+            !pair.is_improvement(),
+            "test premise: pair overshoots {pair:?}"
+        );
+        let trimmed = trim_to_improvement(&v, vec![good, overshoot], &t, &model);
+        assert_eq!(trimmed, vec![good]);
+        // An already-improving plan passes through untouched...
+        let trimmed = trim_to_improvement(&v, vec![good], &t, &model);
+        assert_eq!(trimmed, vec![good]);
+        // ...and the empty plan is a fixed point.
+        assert!(trim_to_improvement(&v, Vec::new(), &t, &model).is_empty());
     }
 
     /// The EDM policies' plans must always assess as improvements on the

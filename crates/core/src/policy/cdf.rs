@@ -13,7 +13,7 @@ use edm_snap::{SnapReader, SnapWriter, Snapshot};
 
 use crate::alg1::calculate_cdf;
 use crate::config::EdmConfig;
-use crate::evaluate::assess_plan_obs;
+use crate::evaluate::{assess_plan_obs, trim_to_improvement};
 use crate::plan::{dest_budget_bytes, distribute, Destination, Selected};
 use crate::policy::{emit_plan_chosen, emit_wear_inputs, members_by_group};
 use crate::temperature::AccessTracker;
@@ -178,6 +178,9 @@ impl Migrator for EdmCdf {
                 plan.extend(distribute(&selected, &mut dests));
             }
         }
+        // Whole-object selection can overshoot Algorithm 1's demand; never
+        // publish a plan the model predicts makes the imbalance worse.
+        let plan = trim_to_improvement(view, plan, &self.tracker, &model);
         emit_plan_chosen("EDM-CDF", view, &plan, obs);
         if obs.events_on() {
             assess_plan_obs(view, &plan, &self.tracker, &model, obs);

@@ -11,7 +11,7 @@ use edm_snap::{SnapReader, SnapWriter, Snapshot};
 
 use crate::alg1::calculate_hdf;
 use crate::config::EdmConfig;
-use crate::evaluate::assess_plan_obs;
+use crate::evaluate::{assess_plan_obs, trim_to_improvement};
 use crate::plan::{dest_budget_bytes, distribute, Destination, Selected};
 use crate::policy::{emit_plan_chosen, emit_wear_inputs, members_by_group};
 use crate::temperature::AccessTracker;
@@ -174,6 +174,9 @@ impl Migrator for EdmHdf {
                 plan.extend(distribute(&selected, &mut dests));
             }
         }
+        // Whole-object selection can overshoot Algorithm 1's demand; never
+        // publish a plan the model predicts makes the imbalance worse.
+        let plan = trim_to_improvement(view, plan, &self.tracker, &model);
         emit_plan_chosen("EDM-HDF", view, &plan, obs);
         if obs.events_on() {
             assess_plan_obs(view, &plan, &self.tracker, &model, obs);
@@ -284,12 +287,39 @@ mod tests {
     #[test]
     fn selection_stops_once_demand_met() {
         let mut p = EdmHdf::default();
-        // Object 0 alone carries far more pages than the imbalance.
-        heat_object(&mut p, 0, 1000, 1000);
+        // Object 0 alone covers the needed shift (without overshooting it
+        // so far that the improvement guard would drop the move).
+        heat_object(&mut p, 0, 60, 1000);
         heat_object(&mut p, 1, 1, 1);
         let plan = p.plan(&hot_cold_view());
         assert_eq!(plan.len(), 1, "one object suffices: {plan:?}");
         assert_eq!(plan[0].object, ObjectId(0));
+    }
+
+    #[test]
+    fn plans_that_overfill_the_destination_are_trimmed_to_empty() {
+        let mut p = EdmHdf::default();
+        // The only movable object is a 350 MB near-cold blob on the most
+        // worn device. It fits the destination's free-space budget, but
+        // the projection prices the destination at ~94% utilization —
+        // GC amplification there outweighs the small rate shift, so the
+        // improvement guard drops the move and publishes nothing.
+        heat_object(&mut p, 0, 20, 100);
+        let v = view(
+            2,
+            &[
+                (30_000, 0.6, 0.0),
+                (28_000, 0.6, 0.0),
+                (26_000, 0.6, 0.0),
+                (28_000, 0.6, 0.0),
+            ],
+            &[(0, 350 << 20)],
+        );
+        let plan = p.plan(&v);
+        assert!(
+            plan.is_empty(),
+            "overfilling move must not be published: {plan:?}"
+        );
     }
 
     #[test]

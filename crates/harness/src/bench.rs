@@ -1,0 +1,167 @@
+//! Tracked-benchmark cells: the `BENCH_edm.json` schema and a
+//! merge-preserving writer.
+//!
+//! More than one tool owns cells in the file (`edm-perf` owns the
+//! simulator cells, `edm-fuzz` owns `fuzz_throughput`), so a writer must
+//! not clobber cells it does not produce: it replaces its own cells in
+//! place, keeps everything else in the file's original order, and appends
+//! genuinely new cells at the end.
+
+use edm_obs::json::{parse, JsonValue};
+
+/// One benchmark cell. `ops_per_sec` is the cell's own unit (pages/s,
+/// ops/s, bytes/s, files/s, scenarios/s — documented per cell).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCell {
+    pub name: String,
+    pub wall_ms: f64,
+    pub ops_per_sec: f64,
+    pub erases: u64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Reconstructs the cells already in `text` (ignores anything that does
+/// not parse — a corrupt file is simply rewritten from scratch).
+fn existing_cells(text: &str) -> Vec<BenchCell> {
+    let Ok(JsonValue::Arr(items)) = parse(text) else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|it| {
+            Some(BenchCell {
+                name: it.get("name")?.as_str()?.to_string(),
+                wall_ms: it.get("wall_ms").and_then(JsonValue::as_f64).unwrap_or(0.0),
+                ops_per_sec: it
+                    .get("ops_per_sec")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0),
+                erases: it.get("erases").and_then(JsonValue::as_u64).unwrap_or(0),
+            })
+        })
+        .collect()
+}
+
+/// Writes `owned` cells into `path`, preserving cells owned by other
+/// writers: existing cells keep their file order (owned ones updated in
+/// place), and owned cells not yet present are appended.
+pub fn write_cells(path: &str, owned: &[BenchCell]) -> std::io::Result<()> {
+    let mut merged: Vec<BenchCell> = Vec::new();
+    let mut placed = vec![false; owned.len()];
+    if let Ok(old) = std::fs::read_to_string(path) {
+        for cell in existing_cells(&old) {
+            match owned.iter().position(|c| c.name == cell.name) {
+                Some(i) => {
+                    if let (Some(p), Some(c)) = (placed.get_mut(i), owned.get(i)) {
+                        if !*p {
+                            *p = true;
+                            merged.push(c.clone());
+                        }
+                    }
+                }
+                None => merged.push(cell),
+            }
+        }
+    }
+    for (i, c) in owned.iter().enumerate() {
+        if !placed.get(i).copied().unwrap_or(true) {
+            merged.push(c.clone());
+        }
+    }
+
+    let mut s = String::from("[\n");
+    for (i, r) in merged.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"ops_per_sec\": {:.1}, \"erases\": {}}}{}\n",
+            json_escape(&r.name),
+            r.wall_ms,
+            r.ops_per_sec,
+            r.erases,
+            if i + 1 < merged.len() { "," } else { "" }
+        ));
+    }
+    s.push(']');
+    s.push('\n');
+    std::fs::write(path, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(name: &str, wall: f64) -> BenchCell {
+        BenchCell {
+            name: name.into(),
+            wall_ms: wall,
+            ops_per_sec: 10.0,
+            erases: 3,
+        }
+    }
+
+    fn tmp(tag: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("edm-bench-{tag}-{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn fresh_file_holds_exactly_the_owned_cells() {
+        let path = tmp("fresh");
+        let _ = std::fs::remove_file(&path);
+        write_cells(&path, &[cell("a", 1.0), cell("b", 2.0)]).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        let cells = existing_cells(&text);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].name, "a");
+        assert_eq!(cells[1].name, "b");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_cells_survive_and_keep_their_order() {
+        let path = tmp("merge");
+        let _ = std::fs::remove_file(&path);
+        write_cells(&path, &[cell("perf_a", 1.0), cell("perf_b", 2.0)]).expect("write");
+        // Another tool writes its own cell: the perf cells must survive.
+        write_cells(&path, &[cell("fuzz_throughput", 9.0)]).expect("write");
+        // The first tool rewrites with new numbers: the fuzz cell survives
+        // and cell order is stable.
+        write_cells(&path, &[cell("perf_a", 5.0), cell("perf_b", 6.0)]).expect("write");
+        let cells = existing_cells(&std::fs::read_to_string(&path).expect("read"));
+        let names: Vec<&str> = cells.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["perf_a", "perf_b", "fuzz_throughput"]);
+        assert_eq!(cells[0].wall_ms, 5.0);
+        assert_eq!(cells[2].wall_ms, 9.0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_file_is_rewritten() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "not json").expect("write");
+        write_cells(&path, &[cell("a", 1.0)]).expect("write");
+        let cells = existing_cells(&std::fs::read_to_string(&path).expect("read"));
+        assert_eq!(cells.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn escaped_names_round_trip() {
+        let path = tmp("escape");
+        let _ = std::fs::remove_file(&path);
+        write_cells(&path, &[cell("we\"ird\\name", 1.0)]).expect("write");
+        let cells = existing_cells(&std::fs::read_to_string(&path).expect("read"));
+        assert_eq!(cells[0].name, "we\"ird\\name");
+        let _ = std::fs::remove_file(&path);
+    }
+}

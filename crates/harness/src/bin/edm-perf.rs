@@ -25,18 +25,12 @@
 use std::time::Instant;
 
 use edm_cluster::{MigrationSchedule, SnapManifest};
+use edm_harness::bench::{write_cells, BenchCell};
 use edm_harness::runner::{run_cell, Cell, RunConfig};
 use edm_harness::Scenario;
 use edm_obs::NoopRecorder;
 use edm_snap::SnapshotFile;
 use edm_ssd::{Geometry, LatencyModel, Ssd, WearStats};
-
-struct BenchResult {
-    name: String,
-    wall_ms: f64,
-    ops_per_sec: f64,
-    erases: u64,
-}
 
 /// The microbenchmark's fixed geometry: 128 blocks × 32 pages, 8 % OP —
 /// small enough that the mapping tables stay cache-resident, so the
@@ -122,7 +116,7 @@ fn run_micro(
     span_pages: u64,
     reps: u32,
     obs_floor: f64,
-    results: &mut Vec<BenchResult>,
+    results: &mut Vec<BenchCell>,
 ) {
     // Best-of-N wall time: the workload is deterministic, so the fastest
     // repetition is the least-perturbed measurement of the same work. The
@@ -162,19 +156,19 @@ fn run_micro(
         "no-op recorder overhead too high: {obs_ops:.0} pages/s with obs vs \
          {span_ops:.0} without (floor {obs_floor})"
     );
-    results.push(BenchResult {
+    results.push(BenchCell {
         name: "ftl_micro_per_page".into(),
         wall_ms: page_wall * 1e3,
         ops_per_sec: page_ops,
         erases: page_stats.block_erases,
     });
-    results.push(BenchResult {
+    results.push(BenchCell {
         name: "ftl_micro_span".into(),
         wall_ms: span_wall * 1e3,
         ops_per_sec: span_ops,
         erases: span_stats.block_erases,
     });
-    results.push(BenchResult {
+    results.push(BenchCell {
         name: "obs_overhead_noop".into(),
         wall_ms: obs_wall * 1e3,
         ops_per_sec: obs_ops,
@@ -195,7 +189,7 @@ fn run_micro(
     );
 }
 
-fn run_fig5_cells(scale: f64, results: &mut Vec<BenchResult>) {
+fn run_fig5_cells(scale: f64, results: &mut Vec<BenchCell>) {
     let cfg = RunConfig {
         scale,
         schedule: MigrationSchedule::Midpoint,
@@ -220,7 +214,7 @@ fn run_fig5_cells(scale: f64, results: &mut Vec<BenchResult>) {
             ops,
             report.aggregate_erases()
         );
-        results.push(BenchResult {
+        results.push(BenchCell {
             name: format!("fig5_{trace}_{policy}"),
             wall_ms: wall * 1e3,
             ops_per_sec: ops,
@@ -234,7 +228,7 @@ fn run_fig5_cells(scale: f64, results: &mut Vec<BenchResult>) {
 /// — the encoder is canonical), `snapshot_restore` parses and
 /// CRC-verifies it back into sections. Best-of-N on a deterministic
 /// input, throughput in snapshot bytes/s.
-fn run_snapshot_cells(scale: f64, reps: u32, results: &mut Vec<BenchResult>) {
+fn run_snapshot_cells(scale: f64, reps: u32, results: &mut Vec<BenchCell>) {
     let dir = std::env::temp_dir().join(format!("edm-perf-snap-{}", std::process::id()));
     let scenario = Scenario::parse(&format!(
         "trace deasna\nscale {scale}\nosds 8\npolicy EDM-HDF\nschedule every-tick\n"
@@ -290,7 +284,7 @@ fn run_snapshot_cells(scale: f64, reps: u32, results: &mut Vec<BenchResult>) {
             bytes.len(),
             bps / 1e6
         );
-        results.push(BenchResult {
+        results.push(BenchCell {
             name: name.into(),
             wall_ms: wall * 1e3,
             ops_per_sec: bps,
@@ -303,7 +297,7 @@ fn run_snapshot_cells(scale: f64, reps: u32, results: &mut Vec<BenchResult>) {
 /// on every `cargo test` and in `scripts/check.sh`, so its wall time is
 /// part of the edit-compile-check loop and worth tracking like any
 /// other hot path. `ops_per_sec` is files scanned per second.
-fn run_audit_cell(reps: u32, results: &mut Vec<BenchResult>) {
+fn run_audit_cell(reps: u32, results: &mut Vec<BenchCell>) {
     let cwd = std::env::current_dir().expect("cwd");
     let root = edm_audit::find_workspace_root(&cwd).expect("workspace root above cwd");
     let mut wall = f64::INFINITY;
@@ -325,39 +319,12 @@ fn run_audit_cell(reps: u32, results: &mut Vec<BenchResult>) {
         "audit_workspace: {:.3} ms for {scanned} files ({fps:.0} files/s)",
         wall * 1e3
     );
-    results.push(BenchResult {
+    results.push(BenchCell {
         name: "audit_workspace".into(),
         wall_ms: wall * 1e3,
         ops_per_sec: fps,
         erases: 0,
     });
-}
-
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => "\\\"".chars().collect::<Vec<_>>(),
-            '\\' => "\\\\".chars().collect(),
-            c => vec![c],
-        })
-        .collect()
-}
-
-fn write_json(path: &str, results: &[BenchResult]) -> std::io::Result<()> {
-    let mut s = String::from("[\n");
-    for (i, r) in results.iter().enumerate() {
-        s.push_str(&format!(
-            "  {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"ops_per_sec\": {:.1}, \"erases\": {}}}{}\n",
-            json_escape(&r.name),
-            r.wall_ms,
-            r.ops_per_sec,
-            r.erases,
-            if i + 1 < results.len() { "," } else { "" }
-        ));
-    }
-    s.push(']');
-    s.push('\n');
-    std::fs::write(path, s)
 }
 
 fn main() {
@@ -382,6 +349,8 @@ fn main() {
         run_snapshot_cells(0.005, 7, &mut results);
         run_audit_cell(7, &mut results);
     }
-    write_json("BENCH_edm.json", &results).expect("writing BENCH_edm.json failed");
+    // Merge-preserving: cells owned by other tools (edm-fuzz's
+    // fuzz_throughput) survive a perf rewrite.
+    write_cells("BENCH_edm.json", &results).expect("writing BENCH_edm.json failed");
     println!("wrote BENCH_edm.json ({} entries)", results.len());
 }

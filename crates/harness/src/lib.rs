@@ -9,6 +9,7 @@
 //! cargo run --release -p edm-harness --bin edm-exp -- fig5 --scale 0.05
 //! ```
 
+pub mod bench;
 pub mod experiments;
 pub mod report;
 pub mod runner;

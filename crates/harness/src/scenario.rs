@@ -23,7 +23,7 @@ use std::path::{Path, PathBuf};
 
 use edm_cluster::NoMigration;
 use edm_cluster::{
-    resume_trace_obs, run_trace_obs, CheckpointConfig, Cluster, ClusterConfig, FailureSpec,
+    resume_trace_obs, run_trace_obs_keep, CheckpointConfig, Cluster, ClusterConfig, FailureSpec,
     MigrationSchedule, Migrator, OsdId, RunReport, SimOptions, SnapManifest,
 };
 use edm_core::{Cmt, CmtConfig, EdmCdf, EdmConfig, EdmHdf};
@@ -256,6 +256,16 @@ impl Scenario {
         self.run_with_obs_checkpointed(obs, None)
     }
 
+    /// [`run_with_obs`](Self::run_with_obs), additionally handing back
+    /// the final [`Cluster`] so callers — the fuzzer's differential
+    /// oracles — can inspect end-of-run device and catalog state.
+    pub fn run_with_obs_keep(
+        &self,
+        obs: &mut dyn edm_obs::Recorder,
+    ) -> Result<(RunReport, Cluster), String> {
+        self.run_with_obs_checkpointed_keep(obs, None)
+    }
+
     /// [`run_with_obs`](Self::run_with_obs), optionally cutting periodic
     /// checkpoints (`every_us` of virtual time, written under `dir`).
     /// Each checkpoint embeds the scenario text and the trace fingerprint
@@ -265,6 +275,17 @@ impl Scenario {
         obs: &mut dyn edm_obs::Recorder,
         checkpoint: Option<(u64, PathBuf)>,
     ) -> Result<RunReport, String> {
+        self.run_with_obs_checkpointed_keep(obs, checkpoint)
+            .map(|(report, _)| report)
+    }
+
+    /// [`run_with_obs_checkpointed`](Self::run_with_obs_checkpointed),
+    /// additionally handing back the final [`Cluster`].
+    pub fn run_with_obs_checkpointed_keep(
+        &self,
+        obs: &mut dyn edm_obs::Recorder,
+        checkpoint: Option<(u64, PathBuf)>,
+    ) -> Result<(RunReport, Cluster), String> {
         let trace = self.synth_trace();
         let cluster = self.build_cluster(&trace)?;
         let mut policy = self.build_policy()?;
@@ -277,7 +298,7 @@ impl Scenario {
             }
             .encode(),
         });
-        Ok(run_trace_obs(
+        Ok(run_trace_obs_keep(
             cluster,
             &trace,
             policy.as_mut(),

@@ -1,34 +1,88 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints, release build, tests, and a perf-harness
-# smoke run. Run from anywhere; operates on the workspace root.
+# Repo gate, composable: `check.sh <step>` runs one stage, `check.sh all`
+# (or no argument) runs the full gate. CI invokes the same steps one by
+# one, so the gate and the workflow cannot diverge — edm-audit's
+# ci.workflow_gate rule checks the STEPS list below against
+# .github/workflows/ci.yml.
+#
+#   check.sh fmt     rustfmt --check
+#   check.sh lint    clippy, warnings denied
+#   check.sh audit   edm-audit static analysis
+#   check.sh build   release build
+#   check.sh test    cargo test
+#   check.sh smoke   perf + obs + checkpoint/resume smokes
+#   check.sh fuzz    edm-fuzz smoke batch (+ fuzz_throughput bench cell)
+#
+# EDM_CHECK_QUICK=1 shrinks the expensive steps (test -> workspace lib
+# tests only, smoke/fuzz -> skipped) for local edit loops.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+STEPS="fmt lint audit build test smoke fuzz"
+QUICK="${EDM_CHECK_QUICK:-0}"
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+# Temp dirs live in an array cleaned by a single EXIT trap, so any number
+# of steps can allocate scratch space without a later `trap ... EXIT`
+# silently replacing (and leaking) an earlier step's cleanup.
+CLEANUP_DIRS=()
+cleanup() {
+    for d in "${CLEANUP_DIRS[@]-}"; do
+        [ -n "$d" ] && rm -rf "$d"
+    done
+}
+trap cleanup EXIT
+scratch_dir() {
+    local d
+    d="$(mktemp -d)"
+    CLEANUP_DIRS+=("$d")
+    echo "$d"
+}
 
-echo "==> edm-audit"
-# Determinism & panic-hygiene static analysis: exits nonzero on any
-# unsuppressed finding. Runs before the release build so rule
-# violations surface in seconds, not after a full compile.
-cargo run -q -p edm-audit --bin edm-audit
+step_fmt() {
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+}
 
-echo "==> cargo build --release"
-cargo build --release
+step_lint() {
+    echo "==> cargo clippy (deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "==> cargo test"
-cargo test -q
+step_audit() {
+    echo "==> edm-audit"
+    # Determinism & panic-hygiene static analysis: exits nonzero on any
+    # unsuppressed finding. Runs before the release build so rule
+    # violations surface in seconds, not after a full compile.
+    cargo run -q -p edm-audit --bin edm-audit
+}
 
-echo "==> edm-perf --smoke"
-./target/release/edm-perf --smoke
+step_build() {
+    echo "==> cargo build --release"
+    cargo build --release
+}
 
-echo "==> obs smoke (edm-sim --obs-level events + edm-probe --journal)"
-obs_dir="$(mktemp -d)"
-trap 'rm -rf "$obs_dir"' EXIT
-cat > "$obs_dir/smoke.scn" <<'EOF'
+step_test() {
+    if [ "$QUICK" = "1" ]; then
+        echo "==> cargo test (quick: lib tests only)"
+        cargo test -q --workspace --lib
+    else
+        echo "==> cargo test"
+        cargo test -q
+    fi
+}
+
+step_smoke() {
+    if [ "$QUICK" = "1" ]; then
+        echo "==> smoke skipped (EDM_CHECK_QUICK=1)"
+        return 0
+    fi
+    echo "==> edm-perf --smoke"
+    ./target/release/edm-perf --smoke
+
+    echo "==> obs smoke (edm-sim --obs-level events + edm-probe --journal)"
+    local obs_dir
+    obs_dir="$(scratch_dir)"
+    cat > "$obs_dir/smoke.scn" <<'EOF'
 trace home02
 scale 0.004
 osds 8
@@ -37,26 +91,30 @@ policy EDM-HDF
 schedule midpoint
 force true
 EOF
-./target/release/edm-sim "$obs_dir/smoke.scn" \
-    --obs "$obs_dir/smoke.jsonl" --obs-level events > /dev/null
-# The probe exits nonzero if any journal line fails to parse.
-probe_out="$(./target/release/edm-probe --journal "$obs_dir/smoke.jsonl")"
-echo "$probe_out" | grep -q "trigger evaluations" \
-    || { echo "obs smoke: no trigger evaluations in journal"; exit 1; }
-echo "$probe_out" | grep -q "ftl.block_erases" \
-    || { echo "obs smoke: no erase counter in journal"; exit 1; }
-grep -q '"kind":"trigger_eval"' "$obs_dir/smoke.jsonl" \
-    || { echo "obs smoke: trigger_eval event missing"; exit 1; }
-grep -q '"rsd":' "$obs_dir/smoke.jsonl" \
-    || { echo "obs smoke: rsd field missing"; exit 1; }
-event_count="$(wc -l < "$obs_dir/smoke.jsonl")"
-[ "$event_count" -gt 0 ] || { echo "obs smoke: empty journal"; exit 1; }
-echo "obs smoke: $event_count journal lines OK"
+    ./target/release/edm-sim "$obs_dir/smoke.scn" \
+        --obs "$obs_dir/smoke.jsonl" --obs-level events > /dev/null
+    # The probe exits nonzero if any journal line fails to parse.
+    local probe_out
+    probe_out="$(./target/release/edm-probe --journal "$obs_dir/smoke.jsonl")"
+    echo "$probe_out" | grep -q "trigger evaluations" \
+        || { echo "obs smoke: no trigger evaluations in journal"; exit 1; }
+    echo "$probe_out" | grep -q "ftl.block_erases" \
+        || { echo "obs smoke: no erase counter in journal"; exit 1; }
+    grep -q '"kind":"trigger_eval"' "$obs_dir/smoke.jsonl" \
+        || { echo "obs smoke: trigger_eval event missing"; exit 1; }
+    grep -q '"rsd":' "$obs_dir/smoke.jsonl" \
+        || { echo "obs smoke: rsd field missing"; exit 1; }
+    local event_count
+    event_count="$(wc -l < "$obs_dir/smoke.jsonl")"
+    [ "$event_count" -gt 0 ] || { echo "obs smoke: empty journal"; exit 1; }
+    echo "obs smoke: $event_count journal lines OK"
 
-echo "==> checkpoint/resume smoke (edm-sim --checkpoint-* / --resume / edm-probe --snapshot)"
-# An uninterrupted run and a run resumed from a mid-run checkpoint must
-# print bit-identical reports and determinism digests.
-cat > "$obs_dir/ckpt.scn" <<'EOF'
+    echo "==> checkpoint/resume smoke (edm-sim --checkpoint-* / --resume / edm-probe --snapshot)"
+    # An uninterrupted run and a run resumed from a mid-run checkpoint
+    # must print bit-identical reports and determinism digests.
+    local ckpt_dir
+    ckpt_dir="$(scratch_dir)"
+    cat > "$ckpt_dir/ckpt.scn" <<'EOF'
 trace home02
 scale 0.002
 osds 8
@@ -64,24 +122,61 @@ policy EDM-CDF
 schedule every-tick
 fail 150000 1 rebuild
 EOF
-./target/release/edm-sim "$obs_dir/ckpt.scn" \
-    --checkpoint-every 0 --checkpoint-dir "$obs_dir/ckpts" \
-    > "$obs_dir/uninterrupted.txt" 2> /dev/null
-snap_count="$(ls "$obs_dir"/ckpts/*.snap | wc -l)"
-[ "$snap_count" -ge 2 ] \
-    || { echo "ckpt smoke: want >=2 checkpoints, got $snap_count"; exit 1; }
-mid_snap="$(ls "$obs_dir"/ckpts/*.snap | sed -n "$(( (snap_count + 1) / 2 ))p")"
-./target/release/edm-sim --resume "$mid_snap" \
-    > "$obs_dir/resumed.txt" 2> /dev/null
-diff "$obs_dir/uninterrupted.txt" "$obs_dir/resumed.txt" \
-    || { echo "ckpt smoke: resumed run diverged from uninterrupted run"; exit 1; }
-grep -q "determinism digest 0x" "$obs_dir/resumed.txt" \
-    || { echo "ckpt smoke: no determinism digest printed"; exit 1; }
-probe_snap="$(./target/release/edm-probe --snapshot "$mid_snap")"
-echo "$probe_snap" | grep -q "embedded scenario" \
-    || { echo "ckpt smoke: probe found no embedded scenario"; exit 1; }
-echo "$probe_snap" | grep -q "policy          EDM-CDF" \
-    || { echo "ckpt smoke: probe manifest missing policy"; exit 1; }
-echo "ckpt smoke: $snap_count checkpoints, resume digest matches OK"
+    ./target/release/edm-sim "$ckpt_dir/ckpt.scn" \
+        --checkpoint-every 0 --checkpoint-dir "$ckpt_dir/ckpts" \
+        > "$ckpt_dir/uninterrupted.txt" 2> /dev/null
+    local snap_count mid_snap
+    snap_count="$(ls "$ckpt_dir"/ckpts/*.snap | wc -l)"
+    [ "$snap_count" -ge 2 ] \
+        || { echo "ckpt smoke: want >=2 checkpoints, got $snap_count"; exit 1; }
+    mid_snap="$(ls "$ckpt_dir"/ckpts/*.snap | sed -n "$(( (snap_count + 1) / 2 ))p")"
+    ./target/release/edm-sim --resume "$mid_snap" \
+        > "$ckpt_dir/resumed.txt" 2> /dev/null
+    diff "$ckpt_dir/uninterrupted.txt" "$ckpt_dir/resumed.txt" \
+        || { echo "ckpt smoke: resumed run diverged from uninterrupted run"; exit 1; }
+    grep -q "determinism digest 0x" "$ckpt_dir/resumed.txt" \
+        || { echo "ckpt smoke: no determinism digest printed"; exit 1; }
+    local probe_snap
+    probe_snap="$(./target/release/edm-probe --snapshot "$mid_snap")"
+    echo "$probe_snap" | grep -q "embedded scenario" \
+        || { echo "ckpt smoke: probe found no embedded scenario"; exit 1; }
+    echo "$probe_snap" | grep -q "policy          EDM-CDF" \
+        || { echo "ckpt smoke: probe manifest missing policy"; exit 1; }
+    echo "ckpt smoke: $snap_count checkpoints, resume digest matches OK"
+}
 
-echo "All checks passed."
+step_fuzz() {
+    if [ "$QUICK" = "1" ]; then
+        echo "==> fuzz skipped (EDM_CHECK_QUICK=1)"
+        return 0
+    fi
+    echo "==> edm-fuzz --bench (oracle smoke + fuzz_throughput cell)"
+    # A fixed seed-1 batch through the full differential-oracle battery;
+    # merges the fuzz_throughput cell into BENCH_edm.json. Nightly CI
+    # runs the long-budget variant.
+    ./target/release/edm-fuzz --bench
+}
+
+run_step() {
+    case "$1" in
+        fmt)   step_fmt ;;
+        lint)  step_lint ;;
+        audit) step_audit ;;
+        build) step_build ;;
+        test)  step_test ;;
+        smoke) step_smoke ;;
+        fuzz)  step_fuzz ;;
+        all)
+            for s in $STEPS; do
+                run_step "$s"
+            done
+            ;;
+        *)
+            echo "check.sh: unknown step '$1' (steps: $STEPS all)" >&2
+            exit 2
+            ;;
+    esac
+}
+
+run_step "${1:-all}"
+echo "check.sh: '${1:-all}' passed."
