@@ -20,6 +20,10 @@ pub const RULES: &[(&str, &str)] = &[
         "iteration over HashMap/HashSet in simulation-state crates (unordered)",
     ),
     (
+        "det.thread_order",
+        "thread spawn / cross-thread aggregation primitive (mpsc, Mutex, RwLock) in simulation-state crates",
+    ),
+    (
         "det.wallclock",
         "Instant::now/SystemTime::now outside harness bins and bench",
     ),
@@ -186,6 +190,44 @@ pub fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
                         format!(
                             "`for` loop over hash container `{name}` iterates in unspecified order"
                         ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- det.thread_order --------------------------------------------
+    // Threads themselves are allowed (the sharded engine depends on
+    // them); what this rule polices is the *aggregation idiom*. Any
+    // spawn or cross-thread channel/lock in simulation-state library
+    // code must carry a pragma arguing that the observable result is
+    // independent of scheduler interleaving — e.g. workers mutate
+    // disjoint `&mut` slots read back in index order after the join.
+    // mpsc receive order, lock acquisition order, and atomic RMW
+    // interleavings are all scheduler-dependent; folding results in any
+    // of those orders silently breaks the replay digest.
+    if lib && SIM_STATE_CRATES.contains(&file.crate_name.as_str()) {
+        for i in 0..v.toks.len() {
+            if in_test(v.line(i)) {
+                continue;
+            }
+            if v.is_ident(i, "spawn")
+                && (v.is(i.wrapping_sub(1), ".") || v.is(i.wrapping_sub(1), ":"))
+            {
+                findings.push(f(
+                    "det.thread_order",
+                    v.line(i),
+                    "`spawn` creates a worker thread — results must be aggregated in a \
+                     scheduler-independent order"
+                        .to_string(),
+                ));
+            }
+            for prim in ["mpsc", "Mutex", "RwLock"] {
+                if v.is_ident(i, prim) {
+                    findings.push(f(
+                        "det.thread_order",
+                        v.line(i),
+                        format!("`{prim}` aggregates across threads in scheduler-dependent order"),
                     ));
                 }
             }

@@ -91,6 +91,48 @@ fn main() {
 }
 
 #[test]
+fn thread_order_fires_on_spawn_and_aggregation_primitives() {
+    let src = "\
+#![forbid(unsafe_code)]
+use std::sync::Mutex;
+pub fn f() {
+    let agg = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        s.spawn(|| agg.lock().unwrap().push(1u64));
+    });
+}
+";
+    let out = audit(&[("crates/cluster/src/par.rs", src)]);
+    let rules = rules_of(&out);
+    assert!(
+        rules.iter().filter(|r| **r == "det.thread_order").count() >= 2,
+        "Mutex and spawn must both fire: {out:?}"
+    );
+    // Same code outside the sim-state crates (harness lib) passes.
+    assert!(!rules_of(&audit(&[("crates/harness/src/par.rs", src)])).contains(&"det.thread_order"));
+}
+
+#[test]
+fn thread_order_pragma_documents_the_join_discipline() {
+    let src = "\
+#![forbid(unsafe_code)]
+pub fn f(slots: &mut [u64]) {
+    std::thread::scope(|s| {
+        for slot in slots.iter_mut() {
+            // edm-audit: allow(det.thread_order, \"disjoint &mut slots read back in index order\")
+            s.spawn(move || *slot += 1);
+        }
+    });
+}
+";
+    assert!(
+        audit(&[("crates/cluster/src/par.rs", src)]).is_clean(),
+        "{:?}",
+        audit(&[("crates/cluster/src/par.rs", src)])
+    );
+}
+
+#[test]
 fn env_read_fires_outside_the_harness() {
     let src = "\
 #![forbid(unsafe_code)]

@@ -29,6 +29,7 @@
 pub mod catalog;
 pub mod cluster;
 pub mod config;
+pub mod equeue;
 pub mod extent;
 pub mod ids;
 pub mod metrics;
@@ -37,6 +38,7 @@ pub mod osd;
 pub mod placement;
 pub mod raid;
 pub mod remap;
+pub mod shard;
 pub mod sim;
 
 pub use catalog::{Catalog, FileMeta};
@@ -50,7 +52,8 @@ pub use migrate::{
 pub use placement::Placement;
 pub use raid::{IoKind, ObjectIo, StripeLayout};
 pub use remap::RemappingTable;
+pub use shard::{shard_decision, ShardDecision};
 pub use sim::{
     resume_trace_obs, resume_trace_obs_keep, run_trace, run_trace_obs, run_trace_obs_keep,
-    CheckpointConfig, FailureSpec, MigrationSchedule, SimOptions, SnapManifest,
+    CheckpointConfig, ClientAffinity, FailureSpec, MigrationSchedule, SimOptions, SnapManifest,
 };

@@ -141,6 +141,18 @@ pub trait Migrator {
         true
     }
 
+    /// Whether this policy's decisions are invariant under group-sharded
+    /// parallel execution: it never plans a move across placement groups
+    /// in different components, and its per-access state updates commute
+    /// across components (so replaying buffered accesses in shard order at
+    /// each barrier reproduces the sequential state exactly). Policies
+    /// return `false` (the safe default) unless they can prove both; the
+    /// engine silently falls back to the sequential path when this is
+    /// `false` and `SimOptions::shards` asks for parallelism.
+    fn parallel_safe(&self) -> bool {
+        false
+    }
+
     /// Serializes the policy's mutable state into a checkpoint. Stateless
     /// policies keep the default no-op; stateful ones (the EDM access
     /// tracker) must write everything [`load_state`](Self::load_state)
@@ -179,6 +191,10 @@ impl Migrator for NoMigration {
 
     fn plan(&mut self, _view: &ClusterView) -> Vec<MoveAction> {
         Vec::new()
+    }
+
+    fn parallel_safe(&self) -> bool {
+        true // plans nothing and keeps no state
     }
 }
 

@@ -68,7 +68,9 @@ impl From<FtlError> for OsdError {
     }
 }
 
-/// One storage node.
+/// One storage node. `Clone` exists for the group-sharded runner, which
+/// hands each shard a full copy of the cluster.
+#[derive(Clone)]
 pub struct Osd {
     pub id: OsdId,
     ssd: Ssd,

@@ -1,0 +1,1033 @@
+//! Group-sharded parallel execution.
+//!
+//! The replay engine's state decomposes along *placement components*:
+//! the connected components of the "shares fate" relation over SSD
+//! groups. Two groups are tied together when some file stripes objects
+//! across both (degraded reads and RAID-5 rebuilds reach a file's
+//! sibling objects in other groups) or when one trace user touches
+//! files in both (a user's records run in one client's closed loop).
+//! Everything else — OSD queues, FTL state, in-flight ops, moves,
+//! rebuilds — is component-local, because parallel-safe policies
+//! ([`Migrator::parallel_safe`]) never plan a move across groups, let
+//! alone components.
+//!
+//! The sharded runner exploits that: each component gets its own
+//! [`Engine`] (over a full clone of the cluster, mutating only the OSD
+//! slots its component owns) and runs on a worker thread until the next
+//! wear-monitor tick. At every tick all engines pause and a
+//! single-threaded coordinator runs the global tick body — replaying
+//! buffered policy accesses, sampling queue depths, firing migration
+//! against a merged view, and scheduling the next tick — in fixed
+//! component order. Because the engines only interact through that
+//! barrier and every end-of-run merge below is order-independent
+//! (integer-valued f64 sums far below 2^53, histogram buckets, per-OSD
+//! state taken from its unique owner, disjoint remap fragments), the
+//! merged [`RunReport`] is bit-identical to the sequential run's under
+//! the same [`ClientAffinity::Component`] assignment.
+
+use std::collections::{HashMap, HashSet};
+
+use edm_obs::{AsDynRecorder, Event as ObsEvent, JournalEntry, MemoryRecorder, Recorder};
+use edm_workload::{FileId, Trace};
+
+use crate::cluster::Cluster;
+use crate::ids::{ObjectId, OsdId};
+use crate::metrics::{summarize_osds, LatencyHistogram, ResponseSeries, RunReport};
+use crate::migrate::{
+    validate_plan, AccessEvent, ClusterView, Migrator, MoveAction, ObjectView, OsdView,
+};
+use crate::placement::Placement;
+use crate::sim::{new_engine, ClientAffinity, Engine, MigrationSchedule, Pause, SimOptions};
+
+/// Union-find over group indices, used to build the component map.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn unite(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        // Root at the smaller index so numbering is canonical.
+        let (lo, hi) = if ra <= rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi] = lo;
+    }
+}
+
+/// Computes the component id of every SSD group: files unite the groups
+/// they stripe across, users unite the groups of every file they touch.
+/// Components are numbered in ascending order of their first group.
+fn component_map(cluster: &Cluster, trace: &Trace) -> (Vec<usize>, usize) {
+    let placement = *cluster.catalog.placement();
+    let m = placement.groups as usize;
+    let mut uf = UnionFind::new(m);
+    let group_of_file = |file: FileId| placement.group_of(placement.home_osd(file, 0)).0 as usize;
+    // A file's objects span up to k home groups; degraded reads and
+    // rebuilds reach the sibling objects, so all of them must cohabit —
+    // for every cataloged file, accessed or not (a failure rebuilds
+    // everything on the dead device).
+    for meta in cluster.catalog.files() {
+        let first = group_of_file(meta.file);
+        for i in 1..meta.objects.len() {
+            let osd = placement.home_osd(meta.file, i as u32);
+            uf.unite(first, placement.group_of(osd).0 as usize);
+        }
+    }
+    // All groups one user touches must cohabit (the user's records run
+    // in one client's closed loop). Each file's groups are already
+    // united, so its first group stands for all of them.
+    let mut user_group: HashMap<u32, usize> = HashMap::new();
+    for r in &trace.records {
+        let g = group_of_file(r.file);
+        match user_group.entry(r.user) {
+            std::collections::hash_map::Entry::Occupied(e) => uf.unite(*e.get(), g),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(g);
+            }
+        }
+    }
+    let mut comp_of_group = vec![0usize; m];
+    let mut root_comp: HashMap<usize, usize> = HashMap::new();
+    let mut ncomponents = 0usize;
+    for (g, slot) in comp_of_group.iter_mut().enumerate() {
+        let root = uf.find(g);
+        *slot = *root_comp.entry(root).or_insert_with(|| {
+            let c = ncomponents;
+            ncomponents += 1;
+            c
+        });
+    }
+    (comp_of_group, ncomponents)
+}
+
+/// Builds the client scripts for [`ClientAffinity::Component`]: client
+/// slots are carved per component (proportional to record counts, at
+/// least one per non-empty component), then users round-robin onto their
+/// component's slots in order of first appearance. Per-user record order
+/// is trace order, exactly as in the default assignment. Both the
+/// sequential and sharded paths call this, so the replay they produce is
+/// identical.
+pub(crate) fn component_scripts(cluster: &Cluster, trace: &Trace, clients: u32) -> Vec<Vec<usize>> {
+    assert!(clients > 0, "need at least one client");
+    let placement = *cluster.catalog.placement();
+    let (comp_of_group, ncomponents) = component_map(cluster, trace);
+    let comp_of_file =
+        |file: FileId| comp_of_group[placement.group_of(placement.home_osd(file, 0)).0 as usize];
+
+    let mut comp_records = vec![0u64; ncomponents];
+    for r in &trace.records {
+        comp_records[comp_of_file(r.file)] += 1;
+    }
+    let nonempty: Vec<usize> = (0..ncomponents).filter(|&c| comp_records[c] > 0).collect();
+    let total_clients = (clients as usize).max(nonempty.len());
+    if nonempty.is_empty() {
+        return vec![Vec::new(); total_clients];
+    }
+
+    // Slot allocation: floor of the proportional share, floored at one,
+    // then corrected to the exact total — overshoot trimmed from the
+    // largest allocations, leftovers handed out by descending record
+    // count. Every rule breaks ties on component id, so the split is a
+    // pure function of (placement, trace, clients).
+    let total_records: u64 = comp_records.iter().sum();
+    let mut slots = vec![0usize; ncomponents];
+    for &c in &nonempty {
+        slots[c] = ((total_clients as u64 * comp_records[c] / total_records) as usize).max(1);
+    }
+    let mut assigned: usize = slots.iter().sum();
+    while assigned > total_clients {
+        let c = nonempty
+            .iter()
+            .copied()
+            .filter(|&c| slots[c] > 1)
+            .max_by_key(|&c| (slots[c], c))
+            // edm-audit: allow(panic.expect, "assigned > total_clients >= nonempty count, so some component holds more than one slot")
+            .expect("overshoot implies a multi-slot component");
+        slots[c] -= 1;
+        assigned -= 1;
+    }
+    let mut by_weight = nonempty.clone();
+    by_weight.sort_by_key(|&c| (std::cmp::Reverse(comp_records[c]), c));
+    let mut i = 0;
+    while assigned < total_clients {
+        slots[by_weight[i % by_weight.len()]] += 1;
+        assigned += 1;
+        i += 1;
+    }
+
+    // Contiguous slot ranges in component order.
+    let mut start = vec![0usize; ncomponents];
+    let mut acc = 0usize;
+    for (c, s) in start.iter_mut().enumerate() {
+        *s = acc;
+        acc += slots[c];
+    }
+    debug_assert_eq!(acc, total_clients);
+
+    let mut scripts: Vec<Vec<usize>> = vec![Vec::new(); total_clients];
+    let mut user_slot: HashMap<u32, usize> = HashMap::new();
+    let mut next_in_comp = vec![0usize; ncomponents];
+    for (i, r) in trace.records.iter().enumerate() {
+        let slot = *user_slot.entry(r.user).or_insert_with(|| {
+            let c = comp_of_file(r.file);
+            let s = start[c] + next_in_comp[c];
+            next_in_comp[c] = (next_in_comp[c] + 1) % slots[c];
+            s
+        });
+        scripts[slot].push(i);
+    }
+    scripts
+}
+
+/// Why a run will or will not shard. [`crate::sim::run_trace`] applies
+/// this silently; `edm-sim` prints it so scripts can grep the outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardDecision {
+    /// Number of placement components of (cluster, trace).
+    pub components: usize,
+    /// Worker threads a sharded run would use (0 when inactive).
+    pub threads: usize,
+    pub active: bool,
+    /// `"ok"` when active, otherwise the first failed requirement.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for ShardDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard-plan: components={} threads={} active={} reason={:?}",
+            self.components, self.threads, self.active, self.reason
+        )
+    }
+}
+
+/// Evaluates every sharding requirement against a prospective run.
+pub fn shard_decision(
+    cluster: &Cluster,
+    trace: &Trace,
+    policy: &dyn Migrator,
+    options: &SimOptions,
+) -> ShardDecision {
+    let (_, components) = component_map(cluster, trace);
+    let inactive = |reason: &'static str| ShardDecision {
+        components,
+        threads: 0,
+        active: false,
+        reason,
+    };
+    if options.shards == 0 {
+        return inactive("sharding disabled (shards = 0)");
+    }
+    if options.affinity != ClientAffinity::Component {
+        return inactive("requires component client affinity");
+    }
+    if options.schedule == MigrationSchedule::Midpoint {
+        return inactive("midpoint schedule counts completions globally");
+    }
+    if options.checkpoint.is_some() {
+        return inactive("checkpointing requires the sequential loop");
+    }
+    if !policy.parallel_safe() {
+        return inactive("policy is not parallel-safe");
+    }
+    if !cluster.catalog.remap().is_empty() {
+        return inactive("cluster starts with remapped objects");
+    }
+    if components < 2 {
+        return inactive("placement has a single component");
+    }
+    ShardDecision {
+        components,
+        threads: (options.shards as usize).min(components),
+        active: true,
+        reason: "ok",
+    }
+}
+
+/// The data [`run_sharded`] needs, produced by [`plan_sharding`].
+pub(crate) struct ShardPlan {
+    comp_of_group: Vec<usize>,
+    ncomponents: usize,
+    threads: usize,
+}
+
+/// Decides whether this run shards; `None` falls back to the sequential
+/// loop.
+pub(crate) fn plan_sharding(
+    cluster: &Cluster,
+    trace: &Trace,
+    policy: &dyn Migrator,
+    options: &SimOptions,
+) -> Option<ShardPlan> {
+    let decision = shard_decision(cluster, trace, policy, options);
+    if !decision.active {
+        return None;
+    }
+    let (comp_of_group, ncomponents) = component_map(cluster, trace);
+    Some(ShardPlan {
+        comp_of_group,
+        ncomponents,
+        threads: decision.threads,
+    })
+}
+
+/// Stand-in policy installed in each shard engine: buffers `on_access`
+/// callbacks for barrier-time replay into the real policy, and never
+/// plans anything itself (migration fires globally at the barrier).
+struct AccessBuffer {
+    events: Vec<AccessEvent>,
+    /// Mirrors the real policy so the engine parks requests identically.
+    blocking: bool,
+}
+
+impl Migrator for AccessBuffer {
+    fn name(&self) -> &str {
+        "shard-access-buffer"
+    }
+
+    fn on_access(&mut self, event: AccessEvent) {
+        self.events.push(event);
+    }
+
+    fn plan(&mut self, _view: &ClusterView) -> Vec<MoveAction> {
+        Vec::new()
+    }
+
+    fn blocking_moves(&self) -> bool {
+        self.blocking
+    }
+}
+
+type ShardEngine<'a> = Engine<'a, AccessBuffer, MemoryRecorder>;
+
+/// Runs every engine to its next pause, distributing them over `threads`
+/// scoped worker threads (engine *i* on thread *i* mod `threads`). With
+/// one thread this degrades to a plain loop — same results either way,
+/// which is what the shard-digest fuzz oracle leans on.
+fn run_all(engines: &mut [ShardEngine<'_>], threads: usize) {
+    if threads <= 1 || engines.len() <= 1 {
+        for engine in engines.iter_mut() {
+            engine.run_until_pause();
+        }
+        return;
+    }
+    let mut bins: Vec<Vec<&mut ShardEngine<'_>>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, engine) in engines.iter_mut().enumerate() {
+        bins[i % threads].push(engine);
+    }
+    std::thread::scope(|s| {
+        for bin in bins {
+            // edm-audit: allow(det.thread_order, "workers mutate disjoint `&mut` engine slots; results are read back from the engines slice in component index order after the scope joins, so no scheduler-ordered aggregation exists")
+            s.spawn(move || {
+                for engine in bin {
+                    engine.run_until_pause();
+                }
+            });
+        }
+    });
+}
+
+/// Builds the policy-facing view from the shards — field-for-field the
+/// construction of [`Cluster::view`], reading every OSD slot and every
+/// object's location from the engine that owns its component.
+fn merged_view(
+    engines: &[ShardEngine<'_>],
+    now_us: u64,
+    plan: &ShardPlan,
+    placement: &Placement,
+) -> ClusterView {
+    let comp_of_osd = |osd: OsdId| plan.comp_of_group[placement.group_of(osd).0 as usize];
+    // edm-audit: allow(panic.slice_index, "run_sharded only runs with >= 2 components, so engines is never empty")
+    let first = &engines[0].cluster;
+    // edm-audit: allow(panic.slice_index, "ClusterConfig validation guarantees at least one OSD")
+    let page_size = first.osds[0].ssd().geometry().page_size;
+    // edm-audit: allow(panic.slice_index, "ClusterConfig validation guarantees at least one OSD")
+    let pages_per_block = first.osds[0].ssd().geometry().pages_per_block;
+    let osds = (0..first.config.osds)
+        .map(|i| {
+            let o = &engines[comp_of_osd(OsdId(i))].cluster.osds[i as usize];
+            OsdView {
+                osd: o.id,
+                group: placement.group_of(o.id),
+                wc_pages: o.wc_window_pages(),
+                utilization: o.utilization(),
+                measured_erases: o.ssd().wear().block_erases,
+                ewma_latency_us: o.ewma_latency_us(),
+                free_bytes: o.free_bytes(),
+                capacity_bytes: o.capacity_bytes(),
+            }
+        })
+        .collect();
+    let mut objects = Vec::with_capacity(first.catalog.total_objects() as usize);
+    for meta in first.catalog.files() {
+        for &obj in &meta.objects {
+            // Moves stay inside a component, so the owner of the object's
+            // *home* OSD holds its authoritative location forever.
+            let owner = &engines[comp_of_osd(first.catalog.home_of(obj))]
+                .cluster
+                .catalog;
+            objects.push(ObjectView {
+                object: obj,
+                osd: owner.locate(obj),
+                size_bytes: meta.object_size,
+                remapped: owner.remap().contains(obj),
+            });
+        }
+    }
+    ClusterView {
+        now_us,
+        page_size,
+        pages_per_block,
+        osds,
+        objects,
+    }
+}
+
+/// The barrier-time mirror of the engine's `fire_migration`: plans
+/// against the merged view, applies the sequential acceptance rules over
+/// global projected free space, routes each accepted move to the
+/// source's owner engine, and kicks the per-source mover streams in
+/// ascending OSD order.
+fn fire_migration_global<P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized>(
+    engines: &mut [ShardEngine<'_>],
+    policy: &mut P,
+    obs: &mut R,
+    plan: &ShardPlan,
+    placement: &Placement,
+    migrations_triggered: &mut u64,
+) {
+    let comp_of_osd = |osd: OsdId| plan.comp_of_group[placement.group_of(osd).0 as usize];
+    // edm-audit: allow(panic.slice_index, "run_sharded only runs with >= 2 components, so engines is never empty")
+    let now = engines[0].now;
+    let view = merged_view(engines, now, plan, placement);
+    obs.counter("sim.migration_evaluations", 1);
+    let actions = policy.plan_obs(&view, obs.as_dyn_mut());
+    if actions.is_empty() {
+        return;
+    }
+    validate_plan(&actions, &view, false, |o| placement.group_of(o))
+        // edm-audit: allow(panic.panic, "plans are validated before acceptance; an invalid plan is a policy bug worth aborting on")
+        .unwrap_or_else(|e| panic!("policy {} produced invalid plan: {e}", policy.name()));
+
+    // edm-audit: allow(panic.slice_index, "run_sharded only runs with >= 2 components, so engines is never empty")
+    let osd_count = engines[0].cluster.config.osds;
+    let mut projected_free: Vec<i64> = (0..osd_count)
+        .map(|o| engines[comp_of_osd(OsdId(o))].cluster.osds[o as usize].free_bytes() as i64)
+        .collect();
+    // edm-audit: allow(panic.slice_index, "ClusterConfig validation guarantees at least one OSD")
+    let reserve = (engines[comp_of_osd(OsdId(0))].cluster.osds[0].capacity_bytes() as f64
+        * engines[0].cluster.config.dest_free_reserve) as i64; // edm-audit: allow(panic.slice_index, "run_sharded only runs with >= 2 components, so engines is never empty")
+    let pending: HashSet<ObjectId> = engines
+        .iter()
+        .flat_map(|e| {
+            e.move_routes
+                .keys()
+                .copied()
+                .chain(e.move_queues.iter().flatten().map(|a| a.object))
+        })
+        .collect();
+    let mut accepted = 0u64;
+    for action in actions {
+        let owner = comp_of_osd(action.source);
+        assert_eq!(
+            owner,
+            comp_of_osd(action.dest),
+            "parallel-safe policy {} planned a cross-component move {} -> {}",
+            policy.name(),
+            action.source,
+            action.dest
+        );
+        if pending.contains(&action.object) {
+            engines[owner].failed_moves += 1;
+            continue;
+        }
+        if engines[owner].failed[action.source.0 as usize]
+            || engines[owner].failed[action.dest.0 as usize]
+        {
+            engines[owner].failed_moves += 1;
+            continue;
+        }
+        let size = engines[owner]
+            .cluster
+            .object_size(action.object)
+            // edm-audit: allow(panic.expect, "plan validation already resolved every object against the catalog")
+            .expect("plan references unknown object") as i64;
+        let dest_free = &mut projected_free[action.dest.0 as usize];
+        if *dest_free - size < reserve {
+            engines[owner].failed_moves += 1;
+            continue;
+        }
+        *dest_free -= size;
+        projected_free[action.source.0 as usize] += size;
+        engines[owner].move_queues[action.source.0 as usize].push_back(action);
+        accepted += 1;
+    }
+    if accepted > 0 {
+        *migrations_triggered += 1;
+    }
+    for source in 0..osd_count {
+        let owner = &mut engines[comp_of_osd(OsdId(source))];
+        if owner
+            .move_routes
+            .values()
+            .all(|a| a.source != OsdId(source))
+        {
+            owner.start_next_move(OsdId(source));
+        }
+    }
+}
+
+/// Runs `trace` with one engine per placement component, synchronized at
+/// wear-monitor ticks, and merges the shards back into one report and
+/// cluster — bit-identical to the sequential run under the same options.
+pub(crate) fn run_sharded<P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized>(
+    cluster: Cluster,
+    trace: &Trace,
+    policy: &mut P,
+    options: SimOptions,
+    obs: &mut R,
+    plan: ShardPlan,
+) -> (RunReport, Cluster) {
+    let placement = *cluster.catalog.placement();
+    let comp_of_osd = |osd: OsdId| plan.comp_of_group[placement.group_of(osd).0 as usize];
+    let comp_of_file = |file: FileId| {
+        plan.comp_of_group[placement.group_of(placement.home_osd(file, 0)).0 as usize]
+    };
+    let n = plan.ncomponents;
+    let osd_count = cluster.config.osds as usize;
+    let wear_tick_us = cluster.config.wear_tick_us;
+    let window_us = cluster.config.response_window_us;
+    let total_records = trace.records.len() as u64;
+
+    let mut bufs: Vec<AccessBuffer> = (0..n)
+        .map(|_| AccessBuffer {
+            events: Vec::new(),
+            blocking: policy.blocking_moves(),
+        })
+        .collect();
+    let mut recs: Vec<MemoryRecorder> = (0..n).map(|_| MemoryRecorder::new(obs.level())).collect();
+    let worlds = vec![cluster; n];
+    let mut engines: Vec<ShardEngine<'_>> = worlds
+        .into_iter()
+        .zip(bufs.iter_mut().zip(recs.iter_mut()))
+        .map(|(world, (buf, rec))| new_engine(world, trace, buf, options.clone(), rec))
+        .collect();
+
+    // Each engine keeps only the scripts of its own component (the slot
+    // layout is identical across engines — `new_engine` built them all
+    // from the same trace) and owns only its component's injected
+    // failures.
+    for (c, engine) in engines.iter_mut().enumerate() {
+        for script in engine.scripts.iter_mut() {
+            let mine = script
+                .first()
+                .is_some_and(|&i| comp_of_file(trace.records[i].file) == c);
+            if !mine {
+                script.clear();
+            }
+        }
+        engine.seed_clients();
+        if total_records > 0 {
+            engine.seed_tick(wear_tick_us);
+        }
+        engine.seed_failures(|osd| comp_of_osd(osd) == c);
+    }
+
+    // Tick-synchronized rounds. Every engine holds exactly one pending
+    // tick marker per round (seeded above, re-seeded at each barrier
+    // while the replay is unfinished), so `run_all` leaves them all
+    // paused at the same tick — or all done, once the markers stop.
+    let mut migrations_triggered = 0u64;
+    loop {
+        run_all(&mut engines, plan.threads);
+        if engines.iter().all(|e| e.paused == Pause::Done) {
+            break;
+        }
+        assert!(
+            engines.iter().all(|e| e.paused == Pause::Tick),
+            "shard engines desynchronized at a barrier"
+        );
+        // edm-audit: allow(panic.slice_index, "run_sharded only runs with >= 2 components, so engines is never empty")
+        let now = engines[0].now;
+        assert!(
+            engines.iter().all(|e| e.now == now),
+            "shard engines paused at different ticks"
+        );
+
+        // The tick body, in the sequential engine's order. Buffered
+        // accesses replay shard-ascending first: they all precede the
+        // tick in virtual time, and a parallel-safe policy's per-access
+        // updates commute across components, so its state now equals the
+        // sequential interleaving's.
+        obs.set_now(now);
+        for engine in engines.iter_mut() {
+            for event in engine.policy.events.drain(..) {
+                policy.on_access(event);
+            }
+        }
+        obs.counter("sim.ticks", 1);
+        if obs.events_on() {
+            for o in 0..osd_count {
+                let owner = &engines[comp_of_osd(OsdId(o as u32))];
+                obs.event(ObsEvent::QueueDepth {
+                    osd: o as u32,
+                    depth: owner.queues[o].len() as u64 + owner.current[o].is_some() as u64,
+                });
+            }
+        }
+        policy.on_tick(now);
+        if options.schedule == MigrationSchedule::EveryTick {
+            fire_migration_global(
+                &mut engines,
+                policy,
+                obs,
+                &plan,
+                &placement,
+                &mut migrations_triggered,
+            );
+            for engine in engines.iter_mut() {
+                // Foreign slots are reset too; they are stale clones that
+                // nothing ever reads.
+                for osd in &mut engine.cluster.osds {
+                    osd.reset_wc_window();
+                }
+            }
+            policy.on_window_reset();
+        }
+        let completed: u64 = engines.iter().map(|e| e.completed_ops).sum();
+        if completed < total_records {
+            for engine in engines.iter_mut() {
+                engine.seed_tick(now + wear_tick_us);
+            }
+        }
+    }
+    // Accesses buffered after the last tick (the final drain to Done)
+    // never see another plan, but the policy's end state should match
+    // the sequential run's for anyone who inspects it afterwards.
+    for engine in engines.iter_mut() {
+        for event in engine.policy.events.drain(..) {
+            policy.on_access(event);
+        }
+    }
+
+    // The invariants the sequential `finalize` would check, globally.
+    let completed: u64 = engines.iter().map(|e| e.completed_ops).sum();
+    assert_eq!(
+        completed, total_records,
+        "replay finished with unserved records"
+    );
+    assert!(
+        engines.iter().all(|e| e.moving.is_empty()),
+        "moves left in flight"
+    );
+
+    // Fold the shard recorders into the parent. Counters, gauges, and
+    // histograms are additive/idempotent merges in deterministic name
+    // order; journal entries are re-emitted in (virtual time, shard)
+    // order, so per-shard order is preserved and entries from different
+    // shards interleave by time. (The parent's own barrier-time entries
+    // were journaled live, so a sharded journal groups entries rather
+    // than reproducing the sequential interleaving — the journal is
+    // diagnostic output, not digest-relevant state.)
+    for engine in engines.iter() {
+        for (name, value) in engine.obs.counters() {
+            obs.counter(name, *value);
+        }
+        for (name, value) in engine.obs.gauges() {
+            obs.gauge(name, *value);
+        }
+        for (name, hist) in engine.obs.histograms() {
+            obs.merge_histogram(name, hist);
+        }
+    }
+    if obs.events_on() {
+        let mut merged: Vec<(u64, usize, &JournalEntry)> = Vec::new();
+        for (c, engine) in engines.iter().enumerate() {
+            for entry in engine.obs.journal() {
+                merged.push((entry.t_us, c, entry));
+            }
+        }
+        merged.sort_by_key(|&(t, c, _)| (t, c));
+        for (_, _, entry) in merged {
+            obs.set_now(entry.t_us);
+            obs.set_device(entry.device);
+            obs.event(entry.event.clone());
+        }
+        obs.set_device(None);
+    }
+
+    // Merge the shards: order-independent sums for the scalar tallies
+    // (integer-valued f64s stay far below 2^53, so addition is exact),
+    // per-OSD state from each slot's unique owner.
+    let mut duration_us = 0u64;
+    let mut response_sum = 0.0f64;
+    let mut degraded_ops = 0u64;
+    let mut lost_ops = 0u64;
+    let mut rebuilt_objects = 0u64;
+    let mut moved_objects = 0u64;
+    let mut responses = ResponseSeries::new(window_us);
+    let mut response_hist = LatencyHistogram::new();
+    let mut busy_us = vec![0u64; osd_count];
+    let mut peak_queue_depth = vec![0u64; osd_count];
+    let mut failed = vec![false; osd_count];
+    let mut worlds: Vec<Cluster> = Vec::with_capacity(n);
+    for (c, engine) in engines.into_iter().enumerate() {
+        duration_us = duration_us.max(engine.last_completion_us);
+        response_sum += engine.response_sum;
+        degraded_ops += engine.degraded_ops;
+        lost_ops += engine.lost_ops;
+        rebuilt_objects += engine.rebuilt_objects;
+        moved_objects += engine.moved_objects;
+        responses.merge_from(&engine.responses);
+        response_hist.merge_from(&engine.response_hist);
+        for o in 0..osd_count {
+            if comp_of_osd(OsdId(o as u32)) == c {
+                busy_us[o] = engine.busy_us[o];
+                peak_queue_depth[o] = engine.peak_queue_depth[o];
+                failed[o] = engine.failed[o];
+            }
+        }
+        worlds.push(engine.cluster);
+    }
+    let mut cluster = worlds.remove(0);
+    for (idx, other) in worlds.into_iter().enumerate() {
+        let c = idx + 1;
+        for (o, osd) in other.osds.into_iter().enumerate() {
+            if comp_of_osd(OsdId(o as u32)) == c {
+                cluster.osds[o] = osd;
+            }
+        }
+        cluster
+            .catalog
+            .remap_mut()
+            .merge_from(other.catalog.remap());
+    }
+
+    let mut per_osd = summarize_osds(cluster.osds.iter().map(|o| {
+        (
+            o.id.0,
+            o.ssd().wear(),
+            o.utilization(),
+            busy_us[o.id.0 as usize],
+        )
+    }));
+    for (summary, &peak) in per_osd.iter_mut().zip(&peak_queue_depth) {
+        summary.peak_queue_depth = peak;
+    }
+    let report = RunReport {
+        trace: trace.name.clone(),
+        policy: policy.name().to_string(),
+        osds: cluster.config.osds,
+        completed_ops: completed,
+        duration_us,
+        mean_response_us: if completed > 0 {
+            response_sum / completed as f64
+        } else {
+            0.0
+        },
+        response_percentiles_us: (
+            response_hist.quantile(0.50),
+            response_hist.quantile(0.95),
+            response_hist.quantile(0.99),
+        ),
+        response_windows: responses.windows(),
+        per_osd,
+        moved_objects,
+        remap_entries: cluster.catalog.remap().len() as u64,
+        total_objects: cluster.catalog.total_objects(),
+        migrations_triggered,
+        failed_osds: (0..cluster.config.osds)
+            .filter(|&i| failed[i as usize])
+            .collect(),
+        degraded_ops,
+        lost_ops,
+        rebuilt_objects,
+    };
+    (report, cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::migrate::NoMigration;
+    use crate::sim::{run_trace_obs_keep, FailureSpec};
+    use edm_obs::NoopRecorder;
+    use edm_snap::{SnapWriter, Snapshot};
+    use edm_workload::{FileOp, TraceRecord};
+
+    /// Canonical byte encoding of a cluster — the strongest equality the
+    /// repo has (every device's FTL state is serialized exactly).
+    fn cluster_bytes(c: &Cluster) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        c.save(&mut w);
+        w.into_bytes()
+    }
+
+    /// 8 OSDs in 4 groups, two objects per file: file *f*'s objects land
+    /// on OSDs `f % 8` and `(f+1) % 8`, i.e. groups `f % 4` and
+    /// `(f+1) % 4`. Using only file ids ≡ 0 and ≡ 2 (mod 4) ties groups
+    /// {0, 1} and {2, 3} into two disjoint components. The short wear
+    /// tick forces many barriers inside a short replay.
+    fn two_component_config() -> ClusterConfig {
+        ClusterConfig {
+            osds: 8,
+            groups: 4,
+            objects_per_file: 2,
+            skip_warm_up: true,
+            clients: Some(4),
+            wear_tick_us: 1_000,
+            ..ClusterConfig::paper(8)
+        }
+    }
+
+    /// Users 0/2 touch component {0,1} files, users 1/3 component {2,3}
+    /// files → two components.
+    fn two_component_trace() -> Trace {
+        let mut t = Trace::new("two-comp");
+        for f in (0u64..32).step_by(2) {
+            t.file_sizes.insert(FileId(f), 1 << 20);
+        }
+        let mut now = 0u64;
+        for i in 0u64..240 {
+            let user = (i % 4) as u32;
+            let file = FileId(2 * (user as u64 % 2) + 4 * ((i / 4) % 8));
+            let op = if i % 3 == 0 {
+                FileOp::Read {
+                    offset: (i % 7) * 4096,
+                    len: 8192,
+                }
+            } else {
+                FileOp::Write {
+                    offset: (i % 11) * 4096,
+                    len: 16384,
+                }
+            };
+            t.records.push(TraceRecord {
+                time_us: now,
+                user,
+                file,
+                op,
+            });
+            now += 100;
+        }
+        t
+    }
+
+    /// Deterministic test mover: each tick, moves the first object of
+    /// the most-written OSD to its least-written same-group peer.
+    /// Intra-group, hence intra-component, hence parallel-safe.
+    struct GroupMover;
+
+    impl Migrator for GroupMover {
+        fn name(&self) -> &str {
+            "GroupMover"
+        }
+        fn plan(&mut self, view: &ClusterView) -> Vec<MoveAction> {
+            let mut osds = view.osds.clone();
+            osds.sort_by_key(|o| (std::cmp::Reverse(o.wc_pages), o.osd));
+            let source = osds[0].clone();
+            let Some(dest) = osds
+                .iter()
+                .rev()
+                .find(|o| o.group == source.group && o.osd != source.osd)
+            else {
+                return Vec::new();
+            };
+            let Some(obj) = view.objects_on(source.osd).next() else {
+                return Vec::new();
+            };
+            vec![MoveAction {
+                object: obj.object,
+                source: source.osd,
+                dest: dest.osd,
+            }]
+        }
+        fn parallel_safe(&self) -> bool {
+            true // stateless; plans only intra-group moves
+        }
+    }
+
+    fn options(shards: u32) -> SimOptions {
+        SimOptions {
+            schedule: MigrationSchedule::EveryTick,
+            shards,
+            affinity: ClientAffinity::Component,
+            ..SimOptions::default()
+        }
+    }
+
+    fn run(
+        shards: u32,
+        policy: &mut dyn Migrator,
+        failures: Vec<FailureSpec>,
+    ) -> (RunReport, Cluster) {
+        let trace = two_component_trace();
+        let cluster = Cluster::build(two_component_config(), &trace).unwrap();
+        let mut opts = options(shards);
+        opts.failures = failures;
+        run_trace_obs_keep(cluster, &trace, policy, opts, &mut NoopRecorder)
+    }
+
+    #[test]
+    fn component_map_splits_disjoint_groups() {
+        let trace = two_component_trace();
+        let cluster = Cluster::build(two_component_config(), &trace).unwrap();
+        let (comp_of_group, n) = component_map(&cluster, &trace);
+        assert_eq!(n, 2);
+        assert_eq!(comp_of_group, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn component_scripts_cover_every_record_once() {
+        let trace = two_component_trace();
+        let cluster = Cluster::build(two_component_config(), &trace).unwrap();
+        let scripts = component_scripts(&cluster, &trace, 4);
+        assert_eq!(scripts.len(), 4);
+        let mut seen = vec![false; trace.records.len()];
+        for s in &scripts {
+            for w in s.windows(2) {
+                assert!(w[0] < w[1], "per-client order must be trace order");
+            }
+            for &i in s {
+                assert!(!seen[i], "record {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "record left unassigned");
+        // Each script stays inside one component.
+        let placement = *cluster.catalog.placement();
+        let (comp_of_group, _) = component_map(&cluster, &trace);
+        for s in scripts.iter().filter(|s| !s.is_empty()) {
+            let comp = |i: usize| {
+                comp_of_group[placement
+                    .group_of(placement.home_osd(trace.records[i].file, 0))
+                    .0 as usize]
+            };
+            let first = comp(s[0]);
+            assert!(s.iter().all(|&i| comp(i) == first));
+        }
+    }
+
+    #[test]
+    fn component_scripts_raise_client_count_when_needed() {
+        let trace = two_component_trace();
+        let cluster = Cluster::build(two_component_config(), &trace).unwrap();
+        // Fewer requested clients than components: one slot each.
+        let scripts = component_scripts(&cluster, &trace, 1);
+        assert_eq!(scripts.len(), 2);
+        assert!(scripts.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn shard_decision_explains_fallbacks() {
+        let trace = two_component_trace();
+        let cluster = Cluster::build(two_component_config(), &trace).unwrap();
+        let active = shard_decision(&cluster, &trace, &NoMigration, &options(2));
+        assert!(active.active);
+        assert_eq!(active.components, 2);
+        assert_eq!(active.threads, 2);
+
+        let off = shard_decision(&cluster, &trace, &NoMigration, &options(0));
+        assert!(!off.active);
+        assert!(off.reason.contains("disabled"));
+
+        let mut user = options(2);
+        user.affinity = ClientAffinity::User;
+        assert!(!shard_decision(&cluster, &trace, &NoMigration, &user).active);
+
+        let mut midpoint = options(2);
+        midpoint.schedule = MigrationSchedule::Midpoint;
+        assert!(!shard_decision(&cluster, &trace, &NoMigration, &midpoint).active);
+
+        // CMT-style policies are not parallel-safe.
+        struct Unsafe;
+        impl Migrator for Unsafe {
+            fn name(&self) -> &str {
+                "Unsafe"
+            }
+            fn plan(&mut self, _view: &ClusterView) -> Vec<MoveAction> {
+                Vec::new()
+            }
+        }
+        let not_safe = shard_decision(&cluster, &trace, &Unsafe, &options(2));
+        assert!(!not_safe.active);
+        assert!(not_safe.reason.contains("parallel-safe"));
+
+        // One-component worlds (the paper's k = m = 4 layout) never shard.
+        let one = ClusterConfig::test_small();
+        let t1 = {
+            let mut t = Trace::new("one");
+            t.file_sizes.insert(FileId(0), 1 << 20);
+            t.records.push(TraceRecord {
+                time_us: 0,
+                user: 0,
+                file: FileId(0),
+                op: FileOp::Read {
+                    offset: 0,
+                    len: 4096,
+                },
+            });
+            t
+        };
+        let c1 = Cluster::build(one, &t1).unwrap();
+        let d1 = shard_decision(&c1, &t1, &NoMigration, &options(2));
+        assert!(!d1.active);
+        assert_eq!(d1.components, 1);
+    }
+
+    #[test]
+    fn sharded_baseline_matches_sequential_bit_for_bit() {
+        let (seq_report, seq_cluster) = run(0, &mut NoMigration, Vec::new());
+        let (par_report, par_cluster) = run(2, &mut NoMigration, Vec::new());
+        assert_eq!(format!("{seq_report:?}"), format!("{par_report:?}"));
+        assert_eq!(cluster_bytes(&seq_cluster), cluster_bytes(&par_cluster));
+    }
+
+    #[test]
+    fn sharded_migration_matches_sequential_bit_for_bit() {
+        let (seq_report, seq_cluster) = run(0, &mut GroupMover, Vec::new());
+        let (par_report, par_cluster) = run(2, &mut GroupMover, Vec::new());
+        assert!(seq_report.moved_objects > 0, "mover must actually move");
+        assert_eq!(format!("{seq_report:?}"), format!("{par_report:?}"));
+        assert_eq!(cluster_bytes(&seq_cluster), cluster_bytes(&par_cluster));
+        let seq_remap: Vec<_> = seq_cluster.catalog.remap().iter().collect();
+        let par_remap: Vec<_> = par_cluster.catalog.remap().iter().collect();
+        assert_eq!(seq_remap, par_remap);
+    }
+
+    #[test]
+    fn sharded_failure_matches_sequential() {
+        let failures = vec![FailureSpec {
+            at_us: 3_000,
+            osd: OsdId(2),
+            rebuild: true,
+        }];
+        let (seq_report, seq_cluster) = run(0, &mut NoMigration, failures.clone());
+        let (par_report, par_cluster) = run(2, &mut NoMigration, failures);
+        assert_eq!(seq_report.failed_osds, vec![2]);
+        assert_eq!(format!("{seq_report:?}"), format!("{par_report:?}"));
+        assert_eq!(cluster_bytes(&seq_cluster), cluster_bytes(&par_cluster));
+    }
+
+    #[test]
+    fn single_thread_sharding_matches_multi_thread() {
+        let (one_report, _) = run(1, &mut GroupMover, Vec::new());
+        let (two_report, _) = run(2, &mut GroupMover, Vec::new());
+        assert_eq!(format!("{one_report:?}"), format!("{two_report:?}"));
+    }
+}

@@ -11,15 +11,15 @@
 //! §V.D) — so migration traffic competes with foreground I/O exactly as
 //! in the paper.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::path::PathBuf;
 
-use edm_obs::{Event as ObsEvent, NoopRecorder, Recorder};
-use edm_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotFile};
+use edm_obs::{AsDynRecorder, Event as ObsEvent, NoopRecorder, Recorder};
+use edm_snap::{FlatMap, SnapError, SnapReader, SnapWriter, Snapshot, SnapshotFile, TokenMap};
 use edm_workload::{FileOp, Trace};
 
 use crate::cluster::Cluster;
+use crate::equeue::{CalendarQueue, EventQueue};
 use crate::ids::{ClientId, ObjectId, OsdId};
 use crate::metrics::{summarize_osds, LatencyHistogram, ResponseSeries, RunReport};
 use crate::migrate::{validate_plan, AccessEvent, AccessKind, Migrator, MoveAction};
@@ -67,6 +67,22 @@ pub struct CheckpointConfig {
     pub meta: Vec<u8>,
 }
 
+/// How trace users are assigned to replay clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClientAffinity {
+    /// Users round-robin onto clients in order of first appearance (the
+    /// paper's even assignment, §V.A).
+    #[default]
+    User,
+    /// Users are grouped by placement component first (see
+    /// [`crate::shard`]), so each client's records stay inside one
+    /// component — the layout that lets group-sharded execution replay
+    /// clients in parallel. Changes the assignment (and therefore the
+    /// replay) relative to [`ClientAffinity::User`], identically for the
+    /// sequential and sharded paths.
+    Component,
+}
+
 /// Everything the engine needs besides the cluster itself.
 #[derive(Debug, Clone, Default)]
 pub struct SimOptions {
@@ -75,6 +91,15 @@ pub struct SimOptions {
     pub failures: Vec<FailureSpec>,
     /// Periodic full-state checkpoints; `None` disables them.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Worker threads for group-sharded parallel execution; 0 (default)
+    /// runs the classic sequential loop. Sharding additionally requires
+    /// [`ClientAffinity::Component`], a policy whose
+    /// [`Migrator::parallel_safe`] holds, no checkpointing, a
+    /// non-midpoint schedule, and ≥ 2 placement components — otherwise
+    /// the run silently falls back to the sequential path. Reports are
+    /// bit-identical either way.
+    pub shards: u32,
+    pub affinity: ClientAffinity,
 }
 
 /// The snapshot header: everything a tool needs to describe a checkpoint
@@ -175,7 +200,7 @@ enum Event {
 }
 
 #[derive(Debug, Clone, Copy)]
-enum Payload {
+pub(crate) enum Payload {
     /// Part of file operation `token`.
     FileIo {
         token: u64,
@@ -211,7 +236,7 @@ enum Payload {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct SubReq {
+pub(crate) struct SubReq {
     enqueued_us: u64,
     payload: Payload,
 }
@@ -398,75 +423,96 @@ impl Snapshot for RebuildState {
     }
 }
 
-struct Engine<'a> {
-    cluster: Cluster,
+/// Where [`Engine::run_until_pause`] handed control back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pause {
+    /// A wear-monitor tick was popped (time already advanced to it); the
+    /// caller runs the tick body before resuming.
+    Tick,
+    /// The event queue is empty.
+    Done,
+}
+
+/// The replay engine, generic over its policy and observability sinks so
+/// the group-sharded runner can instantiate it with owned, `Send` types
+/// (an access buffer + a memory recorder) while the public entry points
+/// keep using trait objects. Behaviour is identical for both.
+pub(crate) struct Engine<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> {
+    pub(crate) cluster: Cluster,
     trace: &'a Trace,
-    policy: &'a mut dyn Migrator,
-    options: SimOptions,
+    pub(crate) policy: &'a mut P,
+    pub(crate) options: SimOptions,
     /// Observability sink. The engine owns the journal clock (`set_now`
     /// on every dispatched event) and the device scope around device ops;
     /// recording is read-only so behaviour is identical at every level.
-    obs: &'a mut dyn Recorder,
+    pub(crate) obs: &'a mut R,
 
-    heap: BinaryHeap<Reverse<(u64, u64, Event)>>,
+    queue: CalendarQueue<Event>,
     seq: u64,
-    now: u64,
+    pub(crate) now: u64,
 
-    scripts: Vec<Vec<usize>>,
+    pub(crate) scripts: Vec<Vec<usize>>,
     cursors: Vec<usize>,
     /// File ops currently in flight per client (bounded by the configured
     /// concurrency — the multi-threaded replayer of §IV).
     outstanding: Vec<u32>,
 
-    inflight: BTreeMap<u64, Inflight>,
+    inflight: TokenMap<Inflight>,
     next_token: u64,
 
-    queues: Vec<VecDeque<SubReq>>,
-    current: Vec<Option<SubReq>>,
+    pub(crate) queues: Vec<VecDeque<SubReq>>,
+    pub(crate) current: Vec<Option<SubReq>>,
     /// Accumulated service time per OSD (overhead + device, incl. GC).
-    busy_us: Vec<u64>,
+    pub(crate) busy_us: Vec<u64>,
     /// Deepest queue ever observed per OSD.
-    peak_queue_depth: Vec<u64>,
+    pub(crate) peak_queue_depth: Vec<u64>,
 
     /// Whether in-flight moves block requests (policy property).
     blocking_moves: bool,
     /// Objects whose move is in flight → parked sub-requests (always
     /// empty lists when moves are non-blocking).
-    moving: BTreeMap<ObjectId, Vec<SubReq>>,
+    pub(crate) moving: FlatMap<ObjectId, Vec<SubReq>>,
     /// Source OSD and destination of each in-flight move.
-    move_routes: BTreeMap<ObjectId, MoveAction>,
+    pub(crate) move_routes: FlatMap<ObjectId, MoveAction>,
     /// Pending moves per source OSD (one stream per source).
-    move_queues: Vec<VecDeque<MoveAction>>,
+    pub(crate) move_queues: Vec<VecDeque<MoveAction>>,
 
     /// OSDs that have failed so far.
-    failed: Vec<bool>,
+    pub(crate) failed: Vec<bool>,
     /// In-flight rebuilds of lost objects.
-    rebuilds: BTreeMap<ObjectId, RebuildState>,
-    degraded_ops: u64,
-    lost_ops: u64,
-    rebuilt_objects: u64,
+    rebuilds: FlatMap<ObjectId, RebuildState>,
+    pub(crate) degraded_ops: u64,
+    pub(crate) lost_ops: u64,
+    pub(crate) rebuilt_objects: u64,
 
-    responses: ResponseSeries,
-    response_hist: LatencyHistogram,
-    response_sum: f64,
-    completed_ops: u64,
+    pub(crate) responses: ResponseSeries,
+    pub(crate) response_hist: LatencyHistogram,
+    pub(crate) response_sum: f64,
+    pub(crate) completed_ops: u64,
     total_records: u64,
     migration_fired: bool,
-    migrations_triggered: u64,
-    moved_objects: u64,
-    failed_moves: u64,
+    pub(crate) migrations_triggered: u64,
+    pub(crate) moved_objects: u64,
+    pub(crate) failed_moves: u64,
     /// Time of the last request or move completion — the replay duration.
     /// Deliberately not advanced by Tick events: a trailing wear-monitor
     /// tick must not inflate the measured duration.
-    last_completion_us: u64,
+    pub(crate) last_completion_us: u64,
     /// Virtual time of the last checkpoint cut (0 = none yet).
     last_ckpt_us: u64,
+    /// Page size of the (uniform) devices, latched at construction so
+    /// request fan-out never depends on any particular OSD slot.
+    page_size: u64,
+    /// Where the last `run_until_pause` stopped — written by the engine
+    /// itself so the sharded runner needs no cross-thread channel to
+    /// collect it.
+    pub(crate) paused: Pause,
 }
 
-impl<'a> Engine<'a> {
+impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, P, R> {
     fn push(&mut self, at: u64, ev: Event) {
         self.seq += 1;
-        self.heap.push(Reverse((at, self.seq, ev)));
+        self.queue.push(at, self.seq, ev);
     }
 
     /// Issues records for `client` until its concurrency window is full
@@ -527,8 +573,7 @@ impl<'a> Engine<'a> {
                         remaining: ios.len() as u32,
                     },
                 );
-                // edm-audit: allow(panic.slice_index, "ClusterConfig validation guarantees at least one OSD")
-                let page_size = self.cluster.osds[0].ssd().geometry().page_size;
+                let page_size = self.page_size;
                 for io in ios {
                     let object = placement.object_id(record.file, io.object_index);
                     self.policy.on_access(AccessEvent {
@@ -638,7 +683,7 @@ impl<'a> Engine<'a> {
         // Reconstruction: read the extent on every surviving sibling; a
         // write turns the last of them into the redundancy update.
         self.inflight
-            .get_mut(&token)
+            .get_mut(token)
             // edm-audit: allow(panic.expect, "engine invariant: sub-ops outlive their parent op until the last completion")
             .expect("degraded sub-op has an op")
             .remaining += alive.len() as u32 - 1;
@@ -711,7 +756,7 @@ impl<'a> Engine<'a> {
         }
         // Scope FTL events from the device op to this OSD.
         self.obs.set_device(Some(osd.0));
-        let obs = &mut *self.obs;
+        let obs = self.obs.as_dyn_mut();
         let dev = &mut self.cluster.osds[o];
         let device = match sub.payload {
             Payload::FileIo {
@@ -846,7 +891,7 @@ impl<'a> Engine<'a> {
         let done = {
             let inflight = self
                 .inflight
-                .get_mut(&token)
+                .get_mut(token)
                 // edm-audit: allow(panic.expect, "engine invariant: sub-op tokens are removed only at the final completion")
                 .expect("sub-op for unknown file op");
             inflight.remaining -= 1;
@@ -854,7 +899,7 @@ impl<'a> Engine<'a> {
         };
         if done {
             // edm-audit: allow(panic.expect, "same map was read two lines above; token is present")
-            let inflight = self.inflight.remove(&token).expect("just seen");
+            let inflight = self.inflight.remove(token).expect("just seen");
             let response = self.now - inflight.issued_us;
             self.responses.record(self.now, response);
             self.response_hist.record(response);
@@ -987,7 +1032,7 @@ impl<'a> Engine<'a> {
 
     /// Starts the next queued move of one source OSD, if any: allocates
     /// the destination copy and issues the first transfer chunk.
-    fn start_next_move(&mut self, source: OsdId) {
+    pub(crate) fn start_next_move(&mut self, source: OsdId) {
         let Some(action) = self.move_queues[source.0 as usize].pop_front() else {
             return;
         };
@@ -1042,7 +1087,7 @@ impl<'a> Engine<'a> {
         self.failed[o] = true;
 
         // Abort every in-flight move that touches the dead device. The
-        // routes live in a BTreeMap so this iterates in ascending object
+        // routes live in a sorted map so this iterates in ascending object
         // order — the order partial copies are dropped and requests
         // unparked is part of replayed state.
         let touched: Vec<ObjectId> = self
@@ -1052,7 +1097,11 @@ impl<'a> Engine<'a> {
             .map(|(&obj, _)| obj)
             .collect();
         for obj in touched {
-            let action = self.move_routes[&obj];
+            let action = *self
+                .move_routes
+                .get(&obj)
+                // edm-audit: allow(panic.expect, "key collected from the same map two lines above")
+                .expect("aborted move is tracked");
             // Drop the half-written destination copy (unless the dest
             // itself is the dead device, whose state no longer matters).
             if action.dest != osd && self.cluster.osds[action.dest.0 as usize].has_object(obj) {
@@ -1199,7 +1248,7 @@ impl<'a> Engine<'a> {
     fn fire_migration(&mut self) {
         let view = self.cluster.view(self.now);
         self.obs.counter("sim.migration_evaluations", 1);
-        let plan = self.policy.plan_obs(&view, &mut *self.obs);
+        let plan = self.policy.plan_obs(&view, self.obs.as_dyn_mut());
         if plan.is_empty() {
             return;
         }
@@ -1279,27 +1328,26 @@ impl<'a> Engine<'a> {
         self.options.schedule.save(w);
         self.options.failures.save(w);
         w.put_bool(self.blocking_moves);
-        // The event heap has unspecified internal order; canonicalize as
-        // the ascending (at, seq, event) list.
-        let mut events: Vec<(u64, u64, Event)> = self.heap.iter().map(|Reverse(t)| *t).collect();
-        events.sort_unstable();
-        events.save(w);
+        // The calendar queue has unspecified internal order; canonicalize
+        // as the ascending (at, seq, event) list — the exact bytes the old
+        // binary-heap encoding produced.
+        self.queue.to_sorted_vec().save(w);
         w.put_u64(self.seq);
         w.put_u64(self.now);
         w.put_u64(self.last_ckpt_us);
         self.cursors.save(w);
         self.outstanding.save(w);
-        save_sorted_map(w, &self.inflight);
+        self.inflight.save(w);
         w.put_u64(self.next_token);
         self.queues.save(w);
         self.current.save(w);
         self.busy_us.save(w);
         self.peak_queue_depth.save(w);
-        save_sorted_map(w, &self.moving);
-        save_sorted_map(w, &self.move_routes);
+        self.moving.save(w);
+        self.move_routes.save(w);
         self.move_queues.save(w);
         self.failed.save(w);
-        save_sorted_map(w, &self.rebuilds);
+        self.rebuilds.save(w);
         w.put_u64(self.degraded_ops);
         w.put_u64(self.lost_ops);
         w.put_u64(self.rebuilt_objects);
@@ -1325,25 +1373,25 @@ impl<'a> Engine<'a> {
         if !r.failed() && blocking != self.blocking_moves {
             r.corrupt("policy blocking-moves mode differs from checkpoint");
         }
-        for t in Vec::<(u64, u64, Event)>::load(r) {
-            self.heap.push(Reverse(t));
+        for (at, seq, ev) in Vec::<(u64, u64, Event)>::load(r) {
+            self.queue.push(at, seq, ev);
         }
         self.seq = r.take_u64();
         self.now = r.take_u64();
         self.last_ckpt_us = r.take_u64();
         self.cursors = Vec::load(r);
         self.outstanding = Vec::load(r);
-        self.inflight = load_map(r, "inflight");
+        self.inflight = TokenMap::load(r);
         self.next_token = r.take_u64();
         self.queues = Vec::load(r);
         self.current = Vec::load(r);
         self.busy_us = Vec::load(r);
         self.peak_queue_depth = Vec::load(r);
-        self.moving = load_map(r, "moving");
-        self.move_routes = load_map(r, "move_routes");
+        self.moving = FlatMap::load(r);
+        self.move_routes = FlatMap::load(r);
         self.move_queues = Vec::load(r);
         self.failed = Vec::load(r);
-        self.rebuilds = load_map(r, "rebuilds");
+        self.rebuilds = FlatMap::load(r);
         self.degraded_ops = r.take_u64();
         self.lost_ops = r.take_u64();
         self.rebuilt_objects = r.take_u64();
@@ -1442,18 +1490,27 @@ impl<'a> Engine<'a> {
             .unwrap_or_else(|e| panic!("checkpoint write to {} failed: {e}", path.display()));
     }
 
-    /// Seeds the initial events of a fresh (non-resumed) run: the client
-    /// concurrency windows, the first wear tick, and the injected
-    /// failures.
-    fn seed_events(&mut self) {
+    /// Fills every client's concurrency window — the first third of
+    /// seeding. Clients whose script is empty (foreign components in a
+    /// sharded run) are no-ops.
+    pub(crate) fn seed_clients(&mut self) {
         let clients = self.scripts.len() as u32;
         for c in 0..clients {
             self.fill_client(ClientId(c));
         }
-        if self.total_records > 0 {
-            let tick = self.cluster.config.wear_tick_us;
-            self.push(tick, Event::Tick);
-        }
+    }
+
+    /// Schedules a wear-monitor tick marker at `at`. In sequential runs
+    /// the engine handles the tick itself; in sharded runs it pauses there
+    /// for the coordinator's barrier.
+    pub(crate) fn seed_tick(&mut self, at: u64) {
+        self.push(at, Event::Tick);
+    }
+
+    /// Schedules the injected failures this engine owns, in the global
+    /// option order (so a sharded run's per-component sequence is exactly
+    /// the sequential sequence restricted to that component).
+    pub(crate) fn seed_failures<F: Fn(OsdId) -> bool>(&mut self, owns: F) {
         for i in 0..self.options.failures.len() {
             let f = self.options.failures[i];
             assert!(
@@ -1461,15 +1518,29 @@ impl<'a> Engine<'a> {
                 "failure injected for unknown {}",
                 f.osd
             );
-            self.push(f.at_us, Event::Fail(f.osd.0));
+            if owns(f.osd) {
+                self.push(f.at_us, Event::Fail(f.osd.0));
+            }
         }
     }
 
-    /// Drains the event queue to completion and builds the report. Both
-    /// fresh and resumed runs end up here, which is what makes resume
-    /// bit-identical: the loop has no idea the process was ever restarted.
-    fn drain(mut self) -> (RunReport, Cluster) {
-        while let Some(Reverse((at, _, ev))) = self.heap.pop() {
+    /// Seeds the initial events of a fresh (non-resumed) run: the client
+    /// concurrency windows, the first wear tick, and the injected
+    /// failures.
+    fn seed_events(&mut self) {
+        self.seed_clients();
+        if self.total_records > 0 {
+            let tick = self.cluster.config.wear_tick_us;
+            self.seed_tick(tick);
+        }
+        self.seed_failures(|_| true);
+    }
+
+    /// Pops and dispatches events until a wear-monitor tick is due (time
+    /// already advanced to it, body not yet run) or the queue is empty;
+    /// records where it stopped in `self.paused`.
+    pub(crate) fn run_until_pause(&mut self) {
+        while let Some((at, _, ev)) = self.queue.pop() {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.obs.set_now(at);
@@ -1478,40 +1549,68 @@ impl<'a> Engine<'a> {
                 Event::MdsDone(token) => self.finish_subop(token),
                 Event::Fail(o) => self.on_failure(OsdId(o)),
                 Event::Tick => {
-                    self.obs.counter("sim.ticks", 1);
-                    if self.obs.events_on() {
-                        // Periodic queue-depth samples: waiting requests
-                        // plus the one in service, per OSD.
-                        for o in 0..self.queues.len() {
-                            self.obs.event(ObsEvent::QueueDepth {
-                                osd: o as u32,
-                                depth: self.queues[o].len() as u64
-                                    + self.current[o].is_some() as u64,
-                            });
-                        }
-                    }
-                    self.policy.on_tick(self.now);
-                    if self.options.schedule == MigrationSchedule::EveryTick {
-                        self.fire_migration();
-                        // Continuous mode measures per-period rates: close
-                        // the window on both sides (§III.B.2 recomputes
-                        // Eq. 4 every minute over that minute's writes).
-                        for osd in &mut self.cluster.osds {
-                            osd.reset_wc_window();
-                        }
-                        self.policy.on_window_reset();
-                    }
-                    // Keep ticking while the replay is still in progress.
-                    if self.completed_ops < self.total_records {
-                        let next = self.now + self.cluster.config.wear_tick_us;
-                        self.push(next, Event::Tick);
-                    }
-                    // Checkpoint *after* the next tick is scheduled so the
-                    // snapshot's event queue is exactly the resumed run's.
-                    self.maybe_checkpoint();
+                    self.paused = Pause::Tick;
+                    return;
                 }
             }
         }
+        self.paused = Pause::Done;
+    }
+
+    /// The wear-monitor tick body: sample queue depths, notify the policy,
+    /// fire continuous-mode migration, schedule the next tick, and cut a
+    /// checkpoint if one is due. Sequential runs call this between
+    /// [`run_until_pause`](Self::run_until_pause) legs; sharded runs
+    /// replace it with the coordinator's barrier.
+    fn handle_tick(&mut self) {
+        self.obs.counter("sim.ticks", 1);
+        if self.obs.events_on() {
+            // Periodic queue-depth samples: waiting requests
+            // plus the one in service, per OSD.
+            for o in 0..self.queues.len() {
+                self.obs.event(ObsEvent::QueueDepth {
+                    osd: o as u32,
+                    depth: self.queues[o].len() as u64 + self.current[o].is_some() as u64,
+                });
+            }
+        }
+        self.policy.on_tick(self.now);
+        if self.options.schedule == MigrationSchedule::EveryTick {
+            self.fire_migration();
+            // Continuous mode measures per-period rates: close
+            // the window on both sides (§III.B.2 recomputes
+            // Eq. 4 every minute over that minute's writes).
+            for osd in &mut self.cluster.osds {
+                osd.reset_wc_window();
+            }
+            self.policy.on_window_reset();
+        }
+        // Keep ticking while the replay is still in progress.
+        if self.completed_ops < self.total_records {
+            let next = self.now + self.cluster.config.wear_tick_us;
+            self.push(next, Event::Tick);
+        }
+        // Checkpoint *after* the next tick is scheduled so the
+        // snapshot's event queue is exactly the resumed run's.
+        self.maybe_checkpoint();
+    }
+
+    /// Drains the event queue to completion and builds the report. Both
+    /// fresh and resumed runs end up here, which is what makes resume
+    /// bit-identical: the loop has no idea the process was ever restarted.
+    fn drain(mut self) -> (RunReport, Cluster) {
+        loop {
+            self.run_until_pause();
+            match self.paused {
+                Pause::Tick => self.handle_tick(),
+                Pause::Done => break,
+            }
+        }
+        self.finalize()
+    }
+
+    /// End-of-run invariant checks and report construction.
+    fn finalize(self) -> (RunReport, Cluster) {
         assert_eq!(
             self.completed_ops, self.total_records,
             "replay finished with unserved records"
@@ -1562,37 +1661,6 @@ impl<'a> Engine<'a> {
     }
 }
 
-/// Serializes an ordered map as its sorted-by-key pair list — the same
-/// canonical bytes the old hash-map path produced after sorting.
-fn save_sorted_map<K, V>(w: &mut SnapWriter, map: &BTreeMap<K, V>)
-where
-    K: Snapshot + Ord + Copy,
-    V: Snapshot,
-{
-    w.put_u64(map.len() as u64);
-    for (k, v) in map {
-        k.save(w);
-        v.save(w);
-    }
-}
-
-/// Reads a sorted pair list back into an ordered map, latching `Corrupt`
-/// on duplicate keys.
-fn load_map<K, V>(r: &mut SnapReader, what: &str) -> BTreeMap<K, V>
-where
-    K: Snapshot + Ord + Copy + std::fmt::Debug,
-    V: Snapshot,
-{
-    let pairs = Vec::<(K, V)>::load(r);
-    let mut map = BTreeMap::new();
-    for (k, v) in pairs {
-        if map.insert(k, v).is_some() {
-            r.corrupt(format!("duplicate {what} key {k:?}"));
-        }
-    }
-    map
-}
-
 /// Replays `trace` against a freshly built cluster under `policy`.
 ///
 /// This is the top-level entry point used by every experiment: build,
@@ -1629,6 +1697,9 @@ pub fn run_trace_obs_keep(
     options: SimOptions,
     obs: &mut dyn Recorder,
 ) -> (RunReport, Cluster) {
+    if let Some(plan) = crate::shard::plan_sharding(&cluster, trace, policy, &options) {
+        return crate::shard::run_sharded(cluster, trace, policy, options, obs, plan);
+    }
     let mut engine = new_engine(cluster, trace, policy, options, obs);
     engine.seed_events();
     engine.drain()
@@ -1639,17 +1710,21 @@ pub fn run_trace_obs_keep(
 /// The caller rebuilds the same world the checkpoint was cut in — the
 /// same trace (verify with [`Trace::fingerprint`](edm_workload::Trace)
 /// against the manifest's caller metadata) and a policy whose `name()`
-/// matches the manifest — and may pass a fresh [`CheckpointConfig`] to
-/// keep checkpointing. The resumed run's report is bit-identical to the
-/// uninterrupted run's.
+/// matches the manifest — and passes the run's [`SimOptions`] so derived
+/// state (notably the [`ClientAffinity`] scripts) is rebuilt identically;
+/// `schedule` and `failures` are overwritten from the checkpoint, and a
+/// fresh `checkpoint` config keeps checkpointing. Resumed runs always
+/// drain sequentially (`shards` is ignored: a checkpoint cut mid-interval
+/// has no barrier-aligned split point). The resumed run's report is
+/// bit-identical to the uninterrupted run's.
 pub fn resume_trace_obs(
     snap: &SnapshotFile,
     trace: &Trace,
     policy: &mut dyn Migrator,
-    checkpoint: Option<CheckpointConfig>,
+    options: SimOptions,
     obs: &mut dyn Recorder,
 ) -> Result<RunReport, SnapError> {
-    resume_trace_obs_keep(snap, trace, policy, checkpoint, obs).map(|(report, _)| report)
+    resume_trace_obs_keep(snap, trace, policy, options, obs).map(|(report, _)| report)
 }
 
 /// [`resume_trace_obs`], additionally handing back the final [`Cluster`].
@@ -1657,7 +1732,7 @@ pub fn resume_trace_obs_keep(
     snap: &SnapshotFile,
     trace: &Trace,
     policy: &mut dyn Migrator,
-    checkpoint: Option<CheckpointConfig>,
+    options: SimOptions,
     obs: &mut dyn Recorder,
 ) -> Result<(RunReport, Cluster), SnapError> {
     let manifest = SnapManifest::from_snapshot(snap)?;
@@ -1677,10 +1752,6 @@ pub fn resume_trace_obs_keep(
         policy.load_state(&mut r);
         r.finish("policy")?;
     }
-    let options = SimOptions {
-        checkpoint,
-        ..SimOptions::default()
-    };
     let mut engine = new_engine(cluster, trace, policy, options, obs);
     let mut r = snap.reader("engine")?;
     engine.load_engine(&mut r);
@@ -1688,47 +1759,57 @@ pub fn resume_trace_obs_keep(
     Ok(engine.drain())
 }
 
+/// Builds the client scripts for `trace` under the requested affinity.
+fn build_scripts(cluster: &Cluster, trace: &Trace, affinity: ClientAffinity) -> Vec<Vec<usize>> {
+    let clients = cluster.config.client_count();
+    match affinity {
+        ClientAffinity::User => edm_workload::replay::assign_clients(trace, clients)
+            .into_iter()
+            .map(|s| s.record_indices)
+            .collect(),
+        ClientAffinity::Component => crate::shard::component_scripts(cluster, trace, clients),
+    }
+}
+
 /// Builds a pristine engine around `cluster` — the shared front half of
 /// the fresh-run and resume paths.
-fn new_engine<'a>(
+pub(crate) fn new_engine<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized>(
     cluster: Cluster,
     trace: &'a Trace,
-    policy: &'a mut dyn Migrator,
+    policy: &'a mut P,
     options: SimOptions,
-    obs: &'a mut dyn Recorder,
-) -> Engine<'a> {
-    let clients = cluster.config.client_count();
-    let scripts = edm_workload::replay::assign_clients(trace, clients)
-        .into_iter()
-        .map(|s| s.record_indices)
-        .collect::<Vec<_>>();
+    obs: &'a mut R,
+) -> Engine<'a, P, R> {
+    let scripts = build_scripts(&cluster, trace, options.affinity);
     let osds = cluster.config.osds as usize;
     let window = cluster.config.response_window_us;
     let blocking_moves = policy.blocking_moves();
+    // edm-audit: allow(panic.slice_index, "ClusterConfig validation guarantees at least one OSD")
+    let page_size = cluster.osds[0].ssd().geometry().page_size;
     Engine {
         cluster,
         trace,
         policy,
         options,
         obs,
-        heap: BinaryHeap::new(),
+        queue: CalendarQueue::new(),
         seq: 0,
         now: 0,
         cursors: vec![0; scripts.len()],
         outstanding: vec![0; scripts.len()],
         scripts,
-        inflight: BTreeMap::new(),
+        inflight: TokenMap::new(),
         next_token: 0,
         queues: (0..osds).map(|_| VecDeque::new()).collect(),
         current: vec![None; osds],
         busy_us: vec![0; osds],
         peak_queue_depth: vec![0; osds],
         blocking_moves,
-        moving: BTreeMap::new(),
-        move_routes: BTreeMap::new(),
+        moving: FlatMap::new(),
+        move_routes: FlatMap::new(),
         move_queues: (0..osds).map(|_| VecDeque::new()).collect(),
         failed: vec![false; osds],
-        rebuilds: BTreeMap::new(),
+        rebuilds: FlatMap::new(),
         degraded_ops: 0,
         lost_ops: 0,
         rebuilt_objects: 0,
@@ -1743,6 +1824,8 @@ fn new_engine<'a>(
         failed_moves: 0,
         last_completion_us: 0,
         last_ckpt_us: 0,
+        page_size,
+        paused: Pause::Done,
     }
 }
 
@@ -1766,8 +1849,7 @@ mod tests {
             &mut NoMigration,
             SimOptions {
                 schedule,
-                failures: Vec::new(),
-                checkpoint: None,
+                ..SimOptions::default()
             },
         )
     }
@@ -1850,8 +1932,7 @@ mod tests {
             &mut MoveOne,
             SimOptions {
                 schedule: MigrationSchedule::Midpoint,
-                failures: Vec::new(),
-                checkpoint: None,
+                ..SimOptions::default()
             },
         );
         assert_eq!(report.completed_ops, trace.records.len() as u64);
@@ -1872,8 +1953,7 @@ mod tests {
                 &mut MoveOne,
                 SimOptions {
                     schedule: MigrationSchedule::Midpoint,
-                    failures: Vec::new(),
-                    checkpoint: None,
+                    ..SimOptions::default()
                 },
             )
         };
@@ -1886,8 +1966,7 @@ mod tests {
                 &mut MoveOne,
                 SimOptions {
                     schedule: MigrationSchedule::Midpoint,
-                    failures: Vec::new(),
-                    checkpoint: None,
+                    ..SimOptions::default()
                 },
                 &mut rec,
             );
@@ -2105,7 +2184,7 @@ mod checkpoint_tests {
                 osd: OsdId(1),
                 rebuild: true,
             }],
-            checkpoint: None,
+            ..SimOptions::default()
         };
         (trace, config, options)
     }
@@ -2162,7 +2241,7 @@ mod checkpoint_tests {
             &snap,
             &trace,
             &mut Spreader { planned: false },
-            None,
+            SimOptions::default(),
             &mut NoopRecorder,
         )
         .unwrap();
@@ -2182,7 +2261,7 @@ mod checkpoint_tests {
             &early,
             &trace,
             &mut Spreader { planned: false },
-            None,
+            SimOptions::default(),
             &mut NoopRecorder,
         )
         .unwrap();
@@ -2198,12 +2277,12 @@ mod checkpoint_tests {
         let cluster = Cluster::build(ClusterConfig::test_small(), &trace).unwrap();
         let opts = SimOptions {
             schedule: MigrationSchedule::Never,
-            failures: Vec::new(),
             checkpoint: Some(CheckpointConfig {
                 every_us: 0,
                 dir: dir.clone(),
                 meta: Vec::new(),
             }),
+            ..SimOptions::default()
         };
         let _ = run_trace(cluster, &trace, &mut NoMigration, opts);
         let mut snaps: Vec<PathBuf> = std::fs::read_dir(&dir)
@@ -2216,7 +2295,7 @@ mod checkpoint_tests {
             &snap,
             &trace,
             &mut Spreader { planned: false },
-            None,
+            SimOptions::default(),
             &mut NoopRecorder,
         )
         .unwrap_err();

@@ -126,8 +126,7 @@ proptest! {
         let mut policy = RandomMigrator { seed };
         let report = run_trace(cluster, &trace, &mut policy, SimOptions {
             schedule: MigrationSchedule::Midpoint,
-            failures: Vec::new(),
-            checkpoint: None,
+            ..SimOptions::default()
         });
         prop_assert_eq!(report.completed_ops, trace.records.len() as u64);
         // Objects conserved: every file still has its 4 objects, spread

@@ -17,10 +17,8 @@
 //! tally of the current measurement window that HDF's object selection
 //! needs to satisfy ΔWc.
 
-use std::collections::BTreeMap;
-
 use edm_cluster::{AccessEvent, AccessKind, ObjectId};
-use edm_snap::{SnapReader, SnapWriter, Snapshot};
+use edm_snap::{FlatMap, SnapReader, SnapWriter, Snapshot};
 
 /// One object's decayed counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -69,8 +67,10 @@ impl ObjectHeat {
 pub struct AccessTracker {
     interval_us: u64,
     /// Ordered by object id: iteration order reaches pruning, the hot
-    /// cache, and the snapshot encoding, so it must be deterministic.
-    heats: BTreeMap<ObjectId, ObjectHeat>,
+    /// cache, and the snapshot encoding, so it must be deterministic. A
+    /// sorted vec, not a `BTreeMap`: `record` sits on the simulator's
+    /// per-I/O hot path and the flat layout keeps lookups cache-friendly.
+    heats: FlatMap<ObjectId, ObjectHeat>,
     capacity: Option<usize>,
 }
 
@@ -83,7 +83,7 @@ impl AccessTracker {
         assert!(interval_us > 0, "interval must be positive");
         AccessTracker {
             interval_us,
-            heats: BTreeMap::new(),
+            heats: FlatMap::new(),
             capacity: None,
         }
     }
@@ -136,7 +136,7 @@ impl AccessTracker {
     /// object-level I/O).
     pub fn record(&mut self, event: AccessEvent) {
         let interval = self.interval_of(event.now_us);
-        let heat = self.heats.entry(event.object).or_default();
+        let heat = self.heats.get_mut_or_default(event.object);
         heat.decay_to(interval);
         heat.total_temp += 1.0;
         heat.window_access_pages += event.pages;
@@ -216,7 +216,7 @@ impl Snapshot for AccessTracker {
         self.capacity.save(w);
         // Canonical order for free: the heat map iterates by object id.
         w.put_u64(self.heats.len() as u64);
-        for (o, heat) in &self.heats {
+        for (o, heat) in self.heats.iter() {
             o.save(w);
             heat.save(w);
         }
@@ -225,7 +225,7 @@ impl Snapshot for AccessTracker {
         let interval_us = r.take_u64();
         let capacity: Option<usize> = Option::load(r);
         let pairs = Vec::<(ObjectId, ObjectHeat)>::load(r);
-        let mut heats = BTreeMap::new();
+        let mut heats = FlatMap::new();
         for (o, h) in pairs {
             if heats.insert(o, h).is_some() {
                 r.corrupt(format!("duplicate tracked object {o}"));

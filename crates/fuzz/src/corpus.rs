@@ -56,6 +56,15 @@ pub fn minimal_text(s: &Scenario) -> String {
     if let Some(cc) = s.client_concurrency {
         out.push_str(&format!("client_concurrency {cc}\n"));
     }
+    if s.shards != d.shards {
+        out.push_str(&format!("shards {}\n", s.shards));
+    }
+    if s.affinity != d.affinity {
+        out.push_str("affinity component\n");
+    }
+    if s.stride != d.stride {
+        out.push_str(&format!("stride {}\n", s.stride));
+    }
     for f in &s.failures {
         out.push_str(&format!("fail {} {}", f.at_us, f.osd.0));
         if f.rebuild {
@@ -114,6 +123,7 @@ mod tests {
             "trace lair62\nosds 8\npolicy CMT\nschedule every-tick\nlambda 0.2\n\
              force false\nclient_concurrency 16\nfail 100000 3 rebuild\nfail 200000 1\n",
             "groups 2\nobjects_per_file 2\n",
+            "groups 4\nobjects_per_file 2\nstride 2\nshards 2\naffinity component\n",
         ];
         for t in texts {
             let s = Scenario::parse(t).expect("parse");

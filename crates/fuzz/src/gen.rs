@@ -7,7 +7,7 @@
 //! scenario's full oracle battery (four end-to-end runs plus a resume)
 //! lands in well under a second.
 
-use edm_cluster::{FailureSpec, MigrationSchedule, OsdId};
+use edm_cluster::{ClientAffinity, FailureSpec, MigrationSchedule, OsdId};
 use edm_core::POLICY_NAMES;
 use edm_harness::Scenario;
 use edm_workload::harvard::TRACE_NAMES;
@@ -64,6 +64,24 @@ pub fn generate(rng: &mut Rng) -> Scenario {
     } else {
         None
     };
+
+    // Inode stride / sharded replay: a share of draws opts into the
+    // datacenter shape — a stride dividing the group count with
+    // objects_per_file ≤ stride splits placement into ≥ 2 independent
+    // components, which two worker shards then own under component
+    // affinity. The rest keep the sequential default, so the
+    // `shard_digest` oracle covers both the parallel path and the
+    // fallback gates.
+    let strides: Vec<u64> = (2..u64::from(s.groups))
+        .filter(|&t| u64::from(s.groups).is_multiple_of(t) && u64::from(s.objects_per_file) <= t)
+        .collect();
+    if !strides.is_empty() && rng.below(3) == 0 {
+        if let Some(&t) = rng.pick(&strides) {
+            s.stride = t;
+            s.affinity = ClientAffinity::Component;
+            s.shards = 2;
+        }
+    }
 
     // 0–2 failures on distinct OSDs, mid-run (after warm traffic exists,
     // before the tail), each with or without RAID-5 rebuild.
@@ -135,5 +153,10 @@ mod tests {
             .iter()
             .any(|s| s.schedule == MigrationSchedule::EveryTick));
         assert!(scenarios.iter().any(|s| s.trace == "random"));
+        // The datacenter shape must come up: stride > 1 with component
+        // affinity and worker shards, so the parallel engine is fuzzed.
+        assert!(scenarios
+            .iter()
+            .any(|s| s.stride > 1 && s.shards > 0 && s.affinity == ClientAffinity::Component));
     }
 }

@@ -11,6 +11,7 @@
 //! | `policy_invariants`  | trigger/plan/journal/cluster invariants (§III.B–D)      |
 //! | `resume_digest`      | checkpoint at a wear tick + resume reproduces the digest |
 //! | `snapshot_roundtrip` | snapshot decode→encode is byte-identical                |
+//! | `shard_digest`       | group-sharded replay digest identical to sequential     |
 //!
 //! All checks are pure functions of the scenario (the only randomness —
 //! which checkpoint to resume from — is seeded from the scenario text),
@@ -18,6 +19,7 @@
 
 use std::path::{Path, PathBuf};
 
+use edm_cluster::ClientAffinity;
 use edm_harness::{report_digest, resume_snapshot, Scenario};
 use edm_obs::{Event, MemoryRecorder, NoopRecorder, ObsLevel};
 use edm_snap::SnapshotFile;
@@ -119,7 +121,42 @@ fn check_scenario_impl(s: &Scenario, work_dir: &Path) -> Result<OracleStats, Ora
 
     check_ftl_equivalence(s)?;
 
+    check_shard_digest(s)?;
+
     Ok(stats)
+}
+
+/// Oracle `shard_digest`: the group-sharded engine's contract is a
+/// bit-identical report. The scenario is re-run under component client
+/// affinity twice — once sequentially, once sharded across two workers —
+/// and the determinism digests must match. The sharding gates may
+/// legitimately fall back to the sequential path (CMT, midpoint
+/// schedule, a single placement component); the check then holds
+/// trivially, and the generator draws inode strides so a share of
+/// scenarios genuinely exercise the parallel path.
+fn check_shard_digest(s: &Scenario) -> Result<(), OracleFailure> {
+    let mut seq = s.clone();
+    seq.shards = 0;
+    seq.affinity = ClientAffinity::Component;
+    let mut par = seq.clone();
+    par.shards = 2;
+    let a = seq
+        .run()
+        .map_err(|e| fail("shard_digest", format!("sequential run failed: {e}")))?;
+    let b = par
+        .run()
+        .map_err(|e| fail("shard_digest", format!("sharded run failed: {e}")))?;
+    let (da, db) = (report_digest(&a), report_digest(&b));
+    if da != db {
+        return Err(fail(
+            "shard_digest",
+            format!(
+                "digest {da:#018x} sequential vs {db:#018x} sharded — \
+                 the group-sharded engine diverged from its replay contract"
+            ),
+        ));
+    }
+    Ok(())
 }
 
 /// Oracle `policy_invariants`: every journaled trigger evaluation is
@@ -432,6 +469,21 @@ mod tests {
         let dir = tmp_dir("failure");
         let stats = check_scenario(&s, &dir).expect("oracles must hold under failure injection");
         assert_eq!(stats.failed_osds, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharding_scenario_passes_all_oracles() {
+        // The datacenter smoke shape: stride 2 over 4 groups splits the
+        // cluster into 2 components, so the battery's shard oracle runs
+        // the parallel engine for real rather than falling back.
+        let s = Scenario::parse(
+            "scale 0.002\nosds 16\ngroups 4\nobjects_per_file 2\nschedule every-tick\n\
+             stride 2\nshards 2\naffinity component\n",
+        )
+        .expect("parse");
+        let dir = tmp_dir("sharding");
+        check_scenario(&s, &dir).expect("oracles must hold on a sharded scenario");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -56,7 +56,7 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
     }
     // Reset each field to its default, one at a time, so the repro text
     // (which omits default-valued keys) keeps only what matters.
-    let resets: [fn(&mut Scenario, &Scenario); 8] = [
+    let resets: [fn(&mut Scenario, &Scenario); 11] = [
         |c, d| c.trace = d.trace.clone(),
         |c, d| c.policy = d.policy.clone(),
         |c, d| c.schedule = d.schedule,
@@ -65,6 +65,9 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         |c, d| c.client_concurrency = d.client_concurrency,
         |c, d| c.groups = d.groups,
         |c, d| c.objects_per_file = d.objects_per_file,
+        |c, d| c.shards = d.shards,
+        |c, d| c.affinity = d.affinity,
+        |c, d| c.stride = d.stride,
     ];
     for f in resets {
         let mut c = s.clone();

@@ -14,7 +14,8 @@
 
 use edm_cluster::MigrationSchedule;
 use edm_harness::experiments::{
-    ablate, failure, fig1, fig3, fig56, fig7, fig8, reliability, table1, wearout, EXPERIMENT_IDS,
+    ablate, failure, fig1, fig3, fig56, fig7, fig8, reliability, scale, table1, wearout,
+    EXPERIMENT_IDS,
 };
 use edm_harness::runner::RunConfig;
 
@@ -114,6 +115,22 @@ fn run_one(id: &str, cfg: &RunConfig, osds: &[u32]) {
                 "{}",
                 wearout::render(&wearout::run(&cfg, osds[0].min(8), "home02"))
             );
+        }
+        "scale" => {
+            // Datacenter shape when the caller asks for >= 1024 OSDs,
+            // otherwise the seconds-scale smoke shape. Shard count
+            // follows --jobs, falling back to the available cores.
+            let shards = cfg
+                .jobs
+                .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+                .unwrap_or(2)
+                .max(2) as u32;
+            let sc = if osds.iter().any(|&n| n >= 1024) {
+                scale::ScaleConfig::datacenter(cfg.scale, shards)
+            } else {
+                scale::ScaleConfig::smoke(cfg.scale, shards)
+            };
+            println!("{}", scale::render(&scale::run(&sc)));
         }
         "reliability" => {
             // An OSD count not divisible by the group count gives uneven

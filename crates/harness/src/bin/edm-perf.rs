@@ -254,7 +254,6 @@ fn run_snapshot_cells(scale: f64, reps: u32, results: &mut Vec<BenchCell>) {
 
     let rewrite = dir.join("rewrite.snap");
     let mut save_wall = f64::INFINITY;
-    let mut restore_wall = f64::INFINITY;
     for _ in 0..reps {
         let snap = SnapshotFile::from_bytes(&bytes).expect("checkpoint does not parse");
         #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
@@ -266,12 +265,22 @@ fn run_snapshot_cells(scale: f64, reps: u32, results: &mut Vec<BenchCell>) {
             bytes,
             "snapshot round trip is not byte-identical"
         );
-        #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
-        let started = Instant::now();
-        let reparsed = SnapshotFile::from_bytes(&bytes).expect("checkpoint does not parse");
-        restore_wall = restore_wall.min(started.elapsed().as_secs_f64());
-        drop(reparsed);
     }
+    // Restore is far below the OS timer's useful resolution for small
+    // checkpoints, and a single timed call once reported a nonsense
+    // tens-of-GB/s rate. Each repetition therefore loops the parse until
+    // a wall-clock floor is reached and divides by the iteration count;
+    // best-of-N over those honest per-call means.
+    let restore_wall = best_of_floored(reps, 0.02, || {
+        // Parsing alone only splits the byte stream; opening a reader per
+        // section is what runs the CRC over every body, which is the work
+        // a real restore pays before trusting the data.
+        let reparsed = SnapshotFile::from_bytes(&bytes).expect("checkpoint does not parse");
+        let names: Vec<String> = reparsed.section_names().map(String::from).collect();
+        for name in &names {
+            reparsed.reader(name).expect("section CRC mismatch");
+        }
+    });
     let _ = std::fs::remove_dir_all(&dir);
     for (name, wall) in [
         ("snapshot_save", save_wall),
@@ -289,6 +298,137 @@ fn run_snapshot_cells(scale: f64, reps: u32, results: &mut Vec<BenchCell>) {
             wall_ms: wall * 1e3,
             ops_per_sec: bps,
             erases,
+        });
+    }
+}
+
+/// Best-of-`reps` mean wall time per call of `op`, where each repetition
+/// loops `op` until `floor_s` seconds have elapsed. The floor keeps
+/// sub-microsecond operations honest: a single call sits below the
+/// timer's useful resolution and reports garbage rates.
+fn best_of_floored(reps: u32, floor_s: f64, mut op: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut iters = 0u64;
+        #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
+        let started = Instant::now();
+        loop {
+            op();
+            iters += 1;
+            let elapsed = started.elapsed().as_secs_f64();
+            if elapsed >= floor_s {
+                best = best.min(elapsed / iters as f64);
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// Calendar-vs-heap event queue microbenchmark, shaped like the
+/// simulator's hot loop: a steady population of pending events where each
+/// pop schedules a successor a short, skewed distance into the future
+/// (request/completion chains), so the calendar's rolling window stays
+/// loaded the way a replay loads it. Both queues process the identical
+/// sequence; the fold of popped entries is asserted equal, re-verifying
+/// order equivalence while timing. `ops_per_sec` is pop+push pairs/s.
+fn run_equeue_cells(events: u64, reps: u32, results: &mut Vec<BenchCell>) {
+    use edm_cluster::equeue::{CalendarQueue, EventQueue, HeapQueue};
+
+    fn drive<Q: EventQueue<u64>>(q: &mut Q, events: u64) -> u64 {
+        let mut seq = 0u64;
+        for i in 0..4096u64 {
+            q.push(i % 97, seq, i);
+            seq += 1;
+        }
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        let mut acc = 0u64;
+        for _ in 0..events {
+            let (at, _, v) = q.pop().expect("population is steady");
+            acc = acc.wrapping_add(v.wrapping_mul(31).wrapping_add(at));
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // 90 % short hops (completion chains), 10 % long (wear ticks).
+            let delta = if (x >> 33) % 10 < 9 {
+                (x >> 40) % 64 + 1
+            } else {
+                (x >> 40) % 4096 + 1
+            };
+            q.push(at + delta, seq, v);
+            seq += 1;
+        }
+        acc
+    }
+
+    let mut heap_wall = f64::INFINITY;
+    let mut cal_wall = f64::INFINITY;
+    let mut heap_acc = 0u64;
+    let mut cal_acc = 0u64;
+    for _ in 0..reps {
+        let mut q = HeapQueue::new();
+        #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
+        let started = Instant::now();
+        heap_acc = drive(&mut q, events);
+        heap_wall = heap_wall.min(started.elapsed().as_secs_f64());
+
+        let mut q = CalendarQueue::new();
+        #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
+        let started = Instant::now();
+        cal_acc = drive(&mut q, events);
+        cal_wall = cal_wall.min(started.elapsed().as_secs_f64());
+    }
+    assert_eq!(
+        heap_acc, cal_acc,
+        "calendar and heap queues popped different sequences"
+    );
+    for (name, wall) in [
+        ("event_queue_heap", heap_wall),
+        ("event_queue_calendar", cal_wall),
+    ] {
+        println!(
+            "{name}: {} events in {:.1} ms ({:.0} events/s)",
+            events,
+            wall * 1e3,
+            events as f64 / wall
+        );
+        results.push(BenchCell {
+            name: name.into(),
+            wall_ms: wall * 1e3,
+            ops_per_sec: events as f64 / wall,
+            erases: 0,
+        });
+    }
+    println!(
+        "event_queue: calendar is {:.2}x of heap",
+        heap_wall / cal_wall
+    );
+}
+
+/// The datacenter-scale cells: one large cluster replayed sequentially
+/// and group-sharded, digest-asserted identical (see the `scale`
+/// experiment). `ops_per_sec` is replayed trace ops/s. Smoke runs use
+/// the 16-OSD smoke shape under the same cell names; the tracked
+/// numbers come from full runs of the 1024-OSD shape.
+fn run_scale_cells(smoke: bool, results: &mut Vec<BenchCell>) {
+    use edm_harness::experiments::scale;
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .max(2) as u32;
+    let cfg = if smoke {
+        scale::ScaleConfig::smoke(0.002, shards)
+    } else {
+        scale::ScaleConfig::datacenter(0.02, shards)
+    };
+    let result = scale::run(&cfg);
+    println!("{}", scale::render(&result));
+    for (suffix, run) in ["", "_sharded"].iter().zip(&result.runs) {
+        results.push(BenchCell {
+            name: format!("scale_1024osd{suffix}"),
+            wall_ms: run.wall_s * 1e3,
+            ops_per_sec: run.report.completed_ops as f64 / run.wall_s,
+            erases: run.report.aggregate_erases(),
         });
     }
 }
@@ -336,6 +476,8 @@ fn main() {
         // ~2 ms) and the loose overhead floor.
         run_micro(100_000, 32, 5, 0.85, &mut results);
         run_fig5_cells(0.001, &mut results);
+        run_equeue_cells(200_000, 3, &mut results);
+        run_scale_cells(true, &mut results);
         run_snapshot_cells(0.001, 3, &mut results);
         run_audit_cell(3, &mut results);
     } else {
@@ -346,6 +488,8 @@ fn main() {
         // interleaved best-of-7).
         run_micro(1_500_000, 32, 7, 0.95, &mut results);
         run_fig5_cells(0.005, &mut results);
+        run_equeue_cells(2_000_000, 5, &mut results);
+        run_scale_cells(false, &mut results);
         run_snapshot_cells(0.005, 7, &mut results);
         run_audit_cell(7, &mut results);
     }

@@ -79,6 +79,7 @@ pub fn lambda_sweep(cfg: &RunConfig, osds: u32, lambdas: &[f64]) -> Vec<(f64, Ru
                     schedule: MigrationSchedule::Midpoint,
                     failures: Vec::new(),
                     checkpoint: None,
+                    ..SimOptions::default()
                 },
             );
             (lambda, report)
@@ -125,6 +126,7 @@ pub fn group_sweep(cfg: &RunConfig, osds: u32, groups: &[u32]) -> Vec<(u32, RunR
                     schedule: MigrationSchedule::Midpoint,
                     failures: Vec::new(),
                     checkpoint: None,
+                    ..SimOptions::default()
                 },
             );
             (m, report)
@@ -190,6 +192,7 @@ pub fn continuous_sweep(cfg: &RunConfig, osds: u32) -> Vec<(&'static str, RunRep
                 schedule,
                 failures: Vec::new(),
                 checkpoint: None,
+                ..SimOptions::default()
             },
         );
         (label, report)
@@ -231,6 +234,7 @@ pub fn gc_policy_sweep(cfg: &RunConfig, osds: u32) -> Vec<(&'static str, RunRepo
                 schedule: MigrationSchedule::Never,
                 failures: Vec::new(),
                 checkpoint: None,
+                ..SimOptions::default()
             },
         );
         (label, report)
@@ -295,6 +299,7 @@ pub fn decay_sweep(cfg: &RunConfig, osds: u32) -> Vec<(&'static str, RunReport)>
                 schedule: MigrationSchedule::EveryTick,
                 failures: Vec::new(),
                 checkpoint: None,
+                ..SimOptions::default()
             },
         );
         (label, report)

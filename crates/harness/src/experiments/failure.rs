@@ -31,6 +31,7 @@ fn run_one(cfg: &RunConfig, osds: u32, trace_name: &str, failures: Vec<FailureSp
             schedule: MigrationSchedule::Never,
             failures,
             checkpoint: None,
+            ..SimOptions::default()
         },
     )
 }

@@ -11,11 +11,12 @@ pub mod fig56;
 pub mod fig7;
 pub mod fig8;
 pub mod reliability;
+pub mod scale;
 pub mod table1;
 pub mod wearout;
 
 /// The canonical experiment ids accepted by `edm-exp`.
-pub const EXPERIMENT_IDS: [&str; 16] = [
+pub const EXPERIMENT_IDS: [&str; 17] = [
     "table1",
     "fig1",
     "fig3",
@@ -24,6 +25,7 @@ pub const EXPERIMENT_IDS: [&str; 16] = [
     "fig7",
     "fig8",
     "reliability",
+    "scale",
     "failure",
     "wearout",
     "ablate-sigma",

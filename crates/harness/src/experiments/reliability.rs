@@ -97,6 +97,7 @@ pub fn run(cfg: &RunConfig, osds: u32, trace_name: &str) -> Reliability {
             schedule: cfg.schedule,
             failures: Vec::new(),
             checkpoint: None,
+            ..SimOptions::default()
         },
     );
     // Lifetime projection on a nominal 3 000 P/E-cycle, 4 096-block

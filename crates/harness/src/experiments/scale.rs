@@ -1,0 +1,171 @@
+//! Datacenter-scale experiment (extension): sequential vs group-sharded
+//! execution of one large cluster.
+//!
+//! The paper's evaluation stops at 16–20 OSDs; Serifos-style cloud
+//! deployments run thousands of SSDs. This experiment replays one
+//! workload on a large cluster twice — once on the classic sequential
+//! engine, once group-sharded across worker threads — times both, and
+//! asserts the determinism digests are bit-identical (the sharded
+//! engine's contract; see DESIGN.md §11).
+//!
+//! The inode-stride transform is what makes sharding applicable: with
+//! `objects_per_file ≤ stride` and `groups % stride == 0`, every file's
+//! objects stay inside one aligned block of `stride` groups, so the
+//! cluster splits into `groups / stride` independent components.
+
+use std::time::Instant;
+
+use edm_cluster::{ClientAffinity, MigrationSchedule, RunReport, ShardDecision};
+
+use crate::report::{render_table, report_digest};
+use crate::scenario::Scenario;
+
+/// Parameters of one scale comparison.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    pub trace: String,
+    pub policy: String,
+    /// Trace scale factor in (0, 1].
+    pub scale: f64,
+    pub osds: u32,
+    pub groups: u32,
+    pub objects_per_file: u32,
+    /// Inode stride (see module docs); must satisfy
+    /// `objects_per_file ≤ stride` and `groups % stride == 0`.
+    pub stride: u64,
+    /// Worker threads for the sharded run.
+    pub shards: u32,
+}
+
+impl ScaleConfig {
+    /// The headline configuration: 1024 OSDs in 32 groups, RAID-5 over
+    /// 4 objects, stride 4 → 8 placement components. At `scale = 1.0`
+    /// the home02 trace replays ≥ 10⁷ operations.
+    pub fn datacenter(scale: f64, shards: u32) -> Self {
+        ScaleConfig {
+            trace: "home02".into(),
+            policy: "EDM-HDF".into(),
+            scale,
+            osds: 1024,
+            groups: 32,
+            objects_per_file: 4,
+            stride: 4,
+            shards,
+        }
+    }
+
+    /// A seconds-scale variant for CI smoke runs: 16 OSDs in 4 groups,
+    /// RAID-5 over 2 objects, stride 2 → 2 components.
+    pub fn smoke(scale: f64, shards: u32) -> Self {
+        ScaleConfig {
+            trace: "home02".into(),
+            policy: "EDM-HDF".into(),
+            scale,
+            osds: 16,
+            groups: 4,
+            objects_per_file: 2,
+            stride: 2,
+            shards,
+        }
+    }
+
+    /// The scenario this configuration runs, with the given shard count
+    /// (0 = sequential). Everything except `shards` is identical between
+    /// the two runs — component affinity in particular, so the replay
+    /// order being compared is genuinely the same.
+    pub fn scenario(&self, shards: u32) -> Scenario {
+        Scenario {
+            trace: self.trace.clone(),
+            scale: self.scale,
+            osds: self.osds,
+            groups: self.groups,
+            objects_per_file: self.objects_per_file,
+            policy: self.policy.clone(),
+            schedule: MigrationSchedule::EveryTick,
+            stride: self.stride,
+            shards,
+            affinity: ClientAffinity::Component,
+            ..Scenario::default()
+        }
+    }
+}
+
+/// One timed run of the comparison.
+#[derive(Debug)]
+pub struct ScaleRun {
+    pub label: String,
+    pub wall_s: f64,
+    pub digest: u64,
+    pub report: RunReport,
+}
+
+/// The full comparison: the engine's sharding decision, then the timed
+/// sequential and sharded runs.
+#[derive(Debug)]
+pub struct ScaleResult {
+    pub decision: ShardDecision,
+    pub runs: Vec<ScaleRun>,
+}
+
+fn timed_run(scenario: &Scenario, label: &str) -> ScaleRun {
+    #[allow(clippy::disallowed_methods)]
+    let started = Instant::now(); // edm-audit: allow(det.wallclock, "wall-clock timing IS this experiment's measurement; it never feeds back into the simulation")
+                                  // edm-audit: allow(panic.expect, "experiment setup with a pinned valid config; abort is the harness failure mode")
+    let report = scenario.run().expect("scale scenario failed");
+    let wall_s = started.elapsed().as_secs_f64();
+    ScaleRun {
+        label: label.into(),
+        wall_s,
+        digest: report_digest(&report),
+        report,
+    }
+}
+
+/// Runs the comparison. Panics if the sharded digest diverges from the
+/// sequential one — digest identity is the sharded engine's contract,
+/// and an experiment that silently reported different physics would be
+/// worse than a crash.
+pub fn run(cfg: &ScaleConfig) -> ScaleResult {
+    let decision = cfg
+        .scenario(cfg.shards)
+        .shard_decision()
+        .expect("scale scenario failed"); // edm-audit: allow(panic.expect, "experiment setup with a pinned valid config; abort is the harness failure mode")
+    let sequential = timed_run(&cfg.scenario(0), "sequential");
+    let sharded = timed_run(
+        &cfg.scenario(cfg.shards),
+        &format!("sharded({})", cfg.shards),
+    );
+    assert_eq!(
+        sequential.digest, sharded.digest,
+        "sharded digest diverged from sequential"
+    );
+    ScaleResult {
+        decision,
+        runs: vec![sequential, sharded],
+    }
+}
+
+pub fn render(result: &ScaleResult) -> String {
+    let base = result.runs.first().map(|r| r.wall_s).unwrap_or(0.0);
+    let rows: Vec<Vec<String>> = result
+        .runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.2}", r.wall_s),
+                format!("{:.0}", r.report.completed_ops as f64 / r.wall_s.max(1e-9)),
+                format!("{:.2}x", base / r.wall_s.max(1e-9)),
+                format!("{:#018x}", r.digest),
+            ]
+        })
+        .collect();
+    format!(
+        "{}\n{}",
+        result.decision,
+        render_table(
+            &["engine", "wall s", "replayed ops/s", "speedup", "digest"],
+            &rows,
+        )
+    )
+}

@@ -113,6 +113,7 @@ pub fn run_cell(cell: &Cell, cfg: &RunConfig) -> RunReport {
             schedule: cfg.schedule,
             failures: Vec::new(),
             checkpoint: None,
+            ..SimOptions::default()
         },
     )
 }

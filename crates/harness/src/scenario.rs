@@ -23,14 +23,14 @@ use std::path::{Path, PathBuf};
 
 use edm_cluster::NoMigration;
 use edm_cluster::{
-    resume_trace_obs, run_trace_obs_keep, CheckpointConfig, Cluster, ClusterConfig, FailureSpec,
-    MigrationSchedule, Migrator, OsdId, RunReport, SimOptions, SnapManifest,
+    resume_trace_obs, run_trace_obs_keep, CheckpointConfig, ClientAffinity, Cluster, ClusterConfig,
+    FailureSpec, MigrationSchedule, Migrator, OsdId, RunReport, SimOptions, SnapManifest,
 };
 use edm_core::{Cmt, CmtConfig, EdmCdf, EdmConfig, EdmHdf};
 use edm_snap::{SnapError, SnapReader, SnapWriter, SnapshotFile};
 use edm_workload::harvard;
 use edm_workload::synth::synthesize;
-use edm_workload::Trace;
+use edm_workload::{FileId, Trace};
 
 /// A parsed scenario, ready to run.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +46,19 @@ pub struct Scenario {
     pub force: bool,
     pub client_concurrency: Option<u32>,
     pub failures: Vec<FailureSpec>,
+    /// Worker threads for group-sharded execution (0 = sequential).
+    pub shards: u32,
+    /// How trace users map onto closed-loop clients.
+    pub affinity: ClientAffinity,
+    /// Inode stride: every file id in the synthesized trace is multiplied
+    /// by this factor, and every user is split into one virtual user per
+    /// placement component (tenant locality — no user's requests span
+    /// components). With `objects_per_file ≤ stride` and
+    /// `groups % stride == 0` the cluster's placement then splits into
+    /// `groups / stride` disjoint components, which is what makes
+    /// group-sharded execution applicable to the hash-placed workloads
+    /// (stride 1, the default, leaves the trace untouched).
+    pub stride: u64,
 }
 
 impl Default for Scenario {
@@ -62,6 +75,9 @@ impl Default for Scenario {
             force: true,
             client_concurrency: None,
             failures: Vec::new(),
+            shards: 0,
+            affinity: ClientAffinity::User,
+            stride: 1,
         }
     }
 }
@@ -140,6 +156,31 @@ impl Scenario {
                             .map_err(|e| format!("line {}: bad client_concurrency: {e}", no + 1))?,
                     )
                 }
+                "shards" => {
+                    s.shards = next("shards")?
+                        .parse()
+                        .map_err(|e| format!("line {}: bad shards: {e}", no + 1))?
+                }
+                "affinity" => {
+                    s.affinity = match next("affinity")? {
+                        "user" => ClientAffinity::User,
+                        "component" => ClientAffinity::Component,
+                        other => {
+                            return Err(format!(
+                                "line {}: unknown affinity {other:?} (user | component)",
+                                no + 1
+                            ))
+                        }
+                    }
+                }
+                "stride" => {
+                    s.stride = next("stride")?
+                        .parse()
+                        .map_err(|e| format!("line {}: bad stride: {e}", no + 1))?;
+                    if s.stride == 0 {
+                        return Err(format!("line {}: stride must be at least 1", no + 1));
+                    }
+                }
                 "fail" => {
                     let at_us = next("fail time")?
                         .parse()
@@ -211,6 +252,17 @@ impl Scenario {
         if let Some(cc) = self.client_concurrency {
             out.push_str(&format!("client_concurrency {cc}\n"));
         }
+        // New keys are emitted only when off-default, so scenario text
+        // embedded in old checkpoints keeps round-tripping unchanged.
+        if self.shards != 0 {
+            out.push_str(&format!("shards {}\n", self.shards));
+        }
+        if self.affinity != ClientAffinity::User {
+            out.push_str("affinity component\n");
+        }
+        if self.stride != 1 {
+            out.push_str(&format!("stride {}\n", self.stride));
+        }
         for f in &self.failures {
             out.push_str(&format!("fail {} {}", f.at_us, f.osd.0));
             if f.rebuild {
@@ -222,14 +274,38 @@ impl Scenario {
     }
 
     /// Synthesizes the scenario's trace (deterministic: spec carries the
-    /// seed, so every call yields a byte-identical trace).
+    /// seed, so every call yields a byte-identical trace), then applies
+    /// the inode-stride transform.
     pub fn synth_trace(&self) -> Trace {
         let spec = if self.trace == "random" {
             harvard::random_spec()
         } else {
             harvard::spec(&self.trace)
         };
-        synthesize(&spec.scaled(self.scale))
+        let mut trace = synthesize(&spec.scaled(self.scale));
+        if self.stride > 1 {
+            trace.file_sizes = trace
+                .file_sizes
+                .iter()
+                .map(|(&f, &size)| (FileId(f.0 * self.stride), size))
+                .collect();
+            // With groups divisible by the stride, original file f lands
+            // in component f mod (groups/stride); splitting each user per
+            // component keeps every (virtual) user inside one component.
+            let ncomp = if (self.groups as u64).is_multiple_of(self.stride) {
+                self.groups as u64 / self.stride
+            } else {
+                1
+            };
+            for r in &mut trace.records {
+                if ncomp > 1 {
+                    let comp = (r.file.0 % ncomp) as u32;
+                    r.user = r.user * ncomp as u32 + comp;
+                }
+                r.file = FileId(r.file.0 * self.stride);
+            }
+        }
+        trace
     }
 
     fn build_cluster(&self, trace: &Trace) -> Result<Cluster, String> {
@@ -243,6 +319,30 @@ impl Scenario {
             ((config.response_window_us as f64 * self.scale) as u64).max(50_000);
         config.wear_tick_us = ((config.wear_tick_us as f64 * self.scale) as u64).max(100_000);
         Cluster::build(config, trace)
+    }
+
+    /// Evaluates the group-sharding gates for this scenario without
+    /// running it: synthesizes the trace, builds the cluster, and asks
+    /// the engine what it would do. `edm-sim` prints the result as a
+    /// greppable `shard-plan:` line; checkpointing (a CLI-level flag,
+    /// not part of the scenario) additionally forces the sequential
+    /// path and is reported separately by the caller.
+    pub fn shard_decision(&self) -> Result<edm_cluster::ShardDecision, String> {
+        let trace = self.synth_trace();
+        let cluster = self.build_cluster(&trace)?;
+        let policy = self.build_policy()?;
+        Ok(edm_cluster::shard_decision(
+            &cluster,
+            &trace,
+            policy.as_ref(),
+            &SimOptions {
+                schedule: self.schedule,
+                failures: self.failures.clone(),
+                shards: self.shards,
+                affinity: self.affinity,
+                ..SimOptions::default()
+            },
+        ))
     }
 
     /// Runs the scenario end to end.
@@ -306,6 +406,8 @@ impl Scenario {
                 schedule: self.schedule,
                 failures: self.failures.clone(),
                 checkpoint,
+                shards: self.shards,
+                affinity: self.affinity,
             },
             obs,
         ))
@@ -369,7 +471,18 @@ pub fn resume_snapshot(
         ));
     }
     let mut policy = scenario.build_policy()?;
-    let report = resume_trace_obs(&snap, &trace, policy.as_mut(), None, obs)
+    // The original run's replay-shaping options must be reproduced for
+    // the rebuilt scripts to line up with the checkpointed cursors —
+    // affinity in particular changes the user→client assignment. Sharding
+    // is always off here: checkpointing already forces the sequential
+    // path, and a resumed run continues it.
+    let options = SimOptions {
+        schedule: scenario.schedule,
+        failures: scenario.failures.clone(),
+        affinity: scenario.affinity,
+        ..SimOptions::default()
+    };
+    let report = resume_trace_obs(&snap, &trace, policy.as_mut(), options, obs)
         .map_err(|e| format!("{}: resume failed: {e}", path.display()))?;
     Ok((scenario, report))
 }
@@ -476,5 +589,37 @@ mod tests {
     fn unknown_policy_is_reported() {
         let s = Scenario::parse("policy FancyPolicy\nscale 0.001\n").unwrap();
         assert!(s.run().unwrap_err().contains("unknown policy"));
+    }
+
+    #[test]
+    fn parse_sharding_keys() {
+        let s = Scenario::parse("shards 4\naffinity component\nstride 8\n").unwrap();
+        assert_eq!(s.shards, 4);
+        assert_eq!(s.affinity, ClientAffinity::Component);
+        assert_eq!(s.stride, 8);
+        let s = Scenario::parse("affinity user\n").unwrap();
+        assert_eq!(s.affinity, ClientAffinity::User);
+        assert!(Scenario::parse("stride 0").is_err());
+        assert!(Scenario::parse("affinity sideways").is_err());
+        assert!(Scenario::parse("shards many").is_err());
+    }
+
+    #[test]
+    fn sharding_keys_round_trip() {
+        let s = Scenario {
+            shards: 2,
+            affinity: ClientAffinity::Component,
+            stride: 4,
+            ..Scenario::default()
+        };
+        assert_eq!(Scenario::parse(&s.to_text()).unwrap(), s);
+        // Defaults stay off the wire, so text embedded in old
+        // checkpoints is reproduced byte-for-byte.
+        let d = Scenario::default();
+        let text = d.to_text();
+        assert!(!text.contains("shards"));
+        assert!(!text.contains("affinity"));
+        assert!(!text.contains("stride"));
+        assert_eq!(Scenario::parse(&text).unwrap(), d);
     }
 }

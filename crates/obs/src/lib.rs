@@ -30,4 +30,4 @@ pub mod recorder;
 
 pub use event::Event;
 pub use hist::Histogram;
-pub use recorder::{JournalEntry, MemoryRecorder, NoopRecorder, ObsLevel, Recorder};
+pub use recorder::{AsDynRecorder, JournalEntry, MemoryRecorder, NoopRecorder, ObsLevel, Recorder};

@@ -76,9 +76,36 @@ pub trait Recorder {
     /// Appends a structured event to the journal.
     fn event(&mut self, _event: Event) {}
 
+    /// Folds a whole histogram into the named latency histogram — the
+    /// bulk form of [`latency`](Self::latency), used when a sharded run
+    /// merges its per-shard recorders back into the parent. Recorders
+    /// that keep no histograms ignore it.
+    fn merge_histogram(&mut self, _name: &'static str, _hist: &Histogram) {}
+
     /// True when event construction is worth the allocation.
     fn events_on(&self) -> bool {
         self.level() >= ObsLevel::Events
+    }
+}
+
+/// Escape hatch for code generic over `R: Recorder + ?Sized` that must
+/// hand a `&mut dyn Recorder` to an object-safe callee: unsizing
+/// coercions don't apply to generic parameters, so the reborrow goes
+/// through this trait instead. Implemented for every sized recorder and
+/// for `dyn Recorder` itself.
+pub trait AsDynRecorder {
+    fn as_dyn_mut(&mut self) -> &mut dyn Recorder;
+}
+
+impl<R: Recorder> AsDynRecorder for R {
+    fn as_dyn_mut(&mut self) -> &mut dyn Recorder {
+        self
+    }
+}
+
+impl AsDynRecorder for dyn Recorder + '_ {
+    fn as_dyn_mut(&mut self) -> &mut dyn Recorder {
+        self
     }
 }
 
@@ -133,6 +160,13 @@ impl MemoryRecorder {
 
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.hists.get(name)
+    }
+
+    /// All histograms, in deterministic name order. The sharded runner
+    /// folds these into the parent recorder via
+    /// [`Recorder::merge_histogram`].
+    pub fn histograms(&self) -> &BTreeMap<&'static str, Histogram> {
+        &self.hists
     }
 
     pub fn journal(&self) -> &[JournalEntry] {
@@ -264,6 +298,12 @@ impl Recorder for MemoryRecorder {
                 device: self.device,
                 event,
             });
+        }
+    }
+
+    fn merge_histogram(&mut self, name: &'static str, hist: &Histogram) {
+        if self.level >= ObsLevel::Metrics {
+            self.hists.entry(name).or_default().merge(hist);
         }
     }
 }

@@ -35,12 +35,14 @@
 mod crc32;
 mod error;
 mod file;
+pub mod flat;
 mod reader;
 mod writer;
 
 pub use crc32::crc32;
 pub use error::SnapError;
 pub use file::{SnapshotFile, FORMAT_VERSION, MAGIC};
+pub use flat::{FlatMap, TokenMap};
 pub use reader::SnapReader;
 pub use writer::SnapWriter;
 
@@ -140,7 +142,7 @@ impl<T: Snapshot> Snapshot for Option<T> {
 /// latches `Truncated` and yields 0 when the claim cannot fit in the
 /// remaining bytes, so corrupt input can never drive an unbounded
 /// allocation.
-fn bounded_len(r: &mut SnapReader) -> usize {
+pub(crate) fn bounded_len(r: &mut SnapReader) -> usize {
     let len = r.take_u64();
     if len as usize > r.remaining() {
         r.corrupt("length prefix exceeds section size");

@@ -112,7 +112,10 @@ impl Default for FtlConfig {
     }
 }
 
-/// Page-level FTL over a set of erase blocks.
+/// Page-level FTL over a set of erase blocks. `Clone` exists for the
+/// cluster simulator's group-sharded runner, which duplicates whole
+/// devices per shard.
+#[derive(Clone)]
 pub struct PageLevelFtl {
     geometry: Geometry,
     config: FtlConfig,

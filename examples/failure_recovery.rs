@@ -52,6 +52,7 @@ fn main() {
                 schedule: MigrationSchedule::Never,
                 failures,
                 checkpoint: None,
+                ..SimOptions::default()
             },
         );
         println!("== {label} ==");

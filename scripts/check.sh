@@ -11,31 +11,34 @@
 #   check.sh build   release build
 #   check.sh test    cargo test
 #   check.sh smoke   perf + obs + checkpoint/resume smokes
+#   check.sh scale   sharded-vs-sequential digest identity smoke
 #   check.sh fuzz    edm-fuzz smoke batch (+ fuzz_throughput bench cell)
 #
 # EDM_CHECK_QUICK=1 shrinks the expensive steps (test -> workspace lib
-# tests only, smoke/fuzz -> skipped) for local edit loops.
+# tests only, smoke/scale/fuzz -> skipped) for local edit loops.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STEPS="fmt lint audit build test smoke fuzz"
+STEPS="fmt lint audit build test smoke scale fuzz"
 QUICK="${EDM_CHECK_QUICK:-0}"
 
 # Temp dirs live in an array cleaned by a single EXIT trap, so any number
 # of steps can allocate scratch space without a later `trap ... EXIT`
-# silently replacing (and leaking) an earlier step's cleanup.
+# silently replacing (and leaking) an earlier step's cleanup. scratch_dir
+# reports through the SCRATCH_DIR global rather than stdout: a command
+# substitution would fork the append into a subshell, leaking the dir.
 CLEANUP_DIRS=()
 cleanup() {
     for d in "${CLEANUP_DIRS[@]-}"; do
-        [ -n "$d" ] && rm -rf "$d"
+        if [ -n "$d" ]; then
+            rm -rf "$d"
+        fi
     done
 }
 trap cleanup EXIT
 scratch_dir() {
-    local d
-    d="$(mktemp -d)"
-    CLEANUP_DIRS+=("$d")
-    echo "$d"
+    SCRATCH_DIR="$(mktemp -d)"
+    CLEANUP_DIRS+=("$SCRATCH_DIR")
 }
 
 step_fmt() {
@@ -81,7 +84,7 @@ step_smoke() {
 
     echo "==> obs smoke (edm-sim --obs-level events + edm-probe --journal)"
     local obs_dir
-    obs_dir="$(scratch_dir)"
+    scratch_dir; obs_dir="$SCRATCH_DIR"
     cat > "$obs_dir/smoke.scn" <<'EOF'
 trace home02
 scale 0.004
@@ -113,7 +116,7 @@ EOF
     # An uninterrupted run and a run resumed from a mid-run checkpoint
     # must print bit-identical reports and determinism digests.
     local ckpt_dir
-    ckpt_dir="$(scratch_dir)"
+    scratch_dir; ckpt_dir="$SCRATCH_DIR"
     cat > "$ckpt_dir/ckpt.scn" <<'EOF'
 trace home02
 scale 0.002
@@ -145,6 +148,43 @@ EOF
     echo "ckpt smoke: $snap_count checkpoints, resume digest matches OK"
 }
 
+step_scale() {
+    if [ "$QUICK" = "1" ]; then
+        echo "==> scale skipped (EDM_CHECK_QUICK=1)"
+        return 0
+    fi
+    echo "==> scale smoke (edm-sim --shards vs sequential digest)"
+    # The group-sharded engine's contract: a sharded replay must print a
+    # bit-identical report and determinism digest. The stride splits the
+    # 4 groups into 2 placement components, so `--shards 2` genuinely
+    # runs the parallel path (asserted on the shard-plan line).
+    local scale_dir
+    scratch_dir; scale_dir="$SCRATCH_DIR"
+    cat > "$scale_dir/scale.scn" <<'EOF'
+trace home02
+scale 0.004
+osds 16
+groups 4
+objects_per_file 2
+policy EDM-HDF
+schedule every-tick
+stride 2
+affinity component
+EOF
+    ./target/release/edm-sim "$scale_dir/scale.scn" \
+        > "$scale_dir/sequential.txt" 2> /dev/null
+    ./target/release/edm-sim "$scale_dir/scale.scn" --shards 2 \
+        > "$scale_dir/sharded.txt" 2> "$scale_dir/sharded.log"
+    grep -q "shard-plan: components=2 threads=2 active=true" "$scale_dir/sharded.log" \
+        || { echo "scale smoke: sharded run fell back to the sequential path"; \
+             cat "$scale_dir/sharded.log"; exit 1; }
+    diff "$scale_dir/sequential.txt" "$scale_dir/sharded.txt" \
+        || { echo "scale smoke: sharded report diverged from sequential"; exit 1; }
+    grep -q "determinism digest 0x" "$scale_dir/sharded.txt" \
+        || { echo "scale smoke: no determinism digest printed"; exit 1; }
+    echo "scale smoke: sharded digest matches sequential OK"
+}
+
 step_fuzz() {
     if [ "$QUICK" = "1" ]; then
         echo "==> fuzz skipped (EDM_CHECK_QUICK=1)"
@@ -165,6 +205,7 @@ run_step() {
         build) step_build ;;
         test)  step_test ;;
         smoke) step_smoke ;;
+        scale) step_scale ;;
         fuzz)  step_fuzz ;;
         all)
             for s in $STEPS; do

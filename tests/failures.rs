@@ -25,6 +25,7 @@ fn run_with_failures(trace: &Trace, failures: Vec<FailureSpec>) -> RunReport {
             schedule: MigrationSchedule::Never,
             failures,
             checkpoint: None,
+            ..SimOptions::default()
         },
     )
 }
@@ -168,6 +169,7 @@ fn failure_during_migration_aborts_cleanly() {
                 })
                 .collect(),
             checkpoint: None,
+            ..SimOptions::default()
         },
     );
     assert_eq!(r.completed_ops, t.records.len() as u64);

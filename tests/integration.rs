@@ -124,6 +124,7 @@ fn forced_midpoint_vs_never_schedules() {
             schedule: MigrationSchedule::Never,
             failures: Vec::new(),
             checkpoint: None,
+            ..SimOptions::default()
         },
     );
     assert_eq!(never.moved_objects, 0, "Never schedule must not migrate");
@@ -251,6 +252,7 @@ fn every_tick_schedule_completes_and_migrates() {
             schedule: MigrationSchedule::EveryTick,
             failures: Vec::new(),
             checkpoint: None,
+            ..SimOptions::default()
         },
     );
     assert_eq!(r.completed_ops, trace.records.len() as u64);
