@@ -61,6 +61,9 @@ pub fn audit_sources(files: Vec<(String, String)>) -> AuditOutcome {
         rules::check_snapshot_coverage(f, &table, &mut raw);
         rules::check_forbid_unsafe(f, &mut raw);
     }
+    // Workspace-level: the edm-spec transition function must match every
+    // journal Event variant (needs both crates' sources at once).
+    rules::check_spec_event_coverage(&files, &mut raw);
 
     // Suppression: a pragma silences findings of its rule on its target
     // line. Pragma problems are findings themselves and cannot be

@@ -72,6 +72,10 @@ pub const RULES: &[(&str, &str)] = &[
         "ci.workflow_gate",
         "CI workflow does not invoke every scripts/check.sh step",
     ),
+    (
+        "spec.event_coverage",
+        "journal Event variant never matched in the edm-spec transition function",
+    ),
 ];
 
 pub fn rule_exists(id: &str) -> bool {
@@ -744,6 +748,118 @@ fn fn_body_idents<'s>(v: &View<'s>, start: usize, end: usize, name: &str) -> BTr
             return out;
         }
         j += 1;
+    }
+    out
+}
+
+/// `spec.event_coverage`: every variant of the journal `Event` enum
+/// (crates/obs/src/event.rs) must be matched somewhere in the edm-spec
+/// transition function (crates/spec/src) as `Event::<Name>`. A new
+/// event kind the conformance checker silently ignores is a hole in the
+/// spec: the journal would grow behaviour the state machine never
+/// certifies. Workspace-level — it needs both crates' sources at once.
+pub fn check_spec_event_coverage(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    const EVENT_DECL: &str = "crates/obs/src/event.rs";
+    const SPEC_SRC: &str = "crates/spec/src/";
+    let Some(decl) = files.iter().find(|f| f.rel_path == EVENT_DECL) else {
+        return;
+    };
+    let variants = event_enum_variants(decl);
+    if variants.is_empty() || !files.iter().any(|f| f.rel_path.starts_with(SPEC_SRC)) {
+        return;
+    }
+    let mut matched: BTreeSet<&str> = BTreeSet::new();
+    for f in files.iter().filter(|f| f.rel_path.starts_with(SPEC_SRC)) {
+        let v = View {
+            src: &f.src,
+            toks: &f.sig,
+        };
+        for i in 0..v.toks.len() {
+            if v.is_ident(i, "Event")
+                && v.is(i + 1, ":")
+                && v.is(i + 2, ":")
+                && v.kind(i + 3) == Some(TokKind::Ident)
+            {
+                matched.insert(v.text(i + 3));
+            }
+        }
+    }
+    for (name, line) in &variants {
+        if !matched.contains(name.as_str()) {
+            findings.push(Finding {
+                rule: "spec.event_coverage",
+                path: decl.rel_path.clone(),
+                line: *line,
+                message: format!(
+                    "`Event::{name}` is never matched in the edm-spec transition \
+                     function (crates/spec/src) — the spec cannot certify journals \
+                     that carry it"
+                ),
+            });
+        }
+    }
+}
+
+/// The variant names (and declaration lines) of `pub enum Event` in the
+/// given file.
+fn event_enum_variants(file: &SourceFile) -> Vec<(String, u32)> {
+    let v = View {
+        src: &file.src,
+        toks: &file.sig,
+    };
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < v.toks.len() {
+        if !(v.is_ident(i, "enum") && v.is_ident(i + 1, "Event") && v.is(i + 2, "{")) {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut expect_variant = false;
+        let mut j = i + 2;
+        while j < v.toks.len() {
+            match v.text(j) {
+                "{" => {
+                    depth += 1;
+                    if depth == 1 {
+                        expect_variant = true;
+                    }
+                }
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return out;
+                    }
+                }
+                "," if depth == 1 => expect_variant = true,
+                "#" if depth == 1 && v.is(j + 1, "[") => {
+                    // Skip a variant attribute `#[…]`.
+                    let mut br = 0i32;
+                    j += 1;
+                    while j < v.toks.len() {
+                        match v.text(j) {
+                            "[" => br += 1,
+                            "]" => {
+                                br -= 1;
+                                if br == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                _ => {
+                    if expect_variant && depth == 1 && v.kind(j) == Some(TokKind::Ident) {
+                        out.push((v.text(j).to_string(), v.line(j)));
+                        expect_variant = false;
+                    }
+                }
+            }
+            j += 1;
+        }
+        return out;
     }
     out
 }

@@ -313,3 +313,68 @@ pub fn f(o: Option<u64>) -> u64 { o.unwrap() }
     // Rendering twice is byte-identical (no ambient state).
     assert_eq!(json, out.render_json());
 }
+
+#[test]
+fn spec_event_coverage_fires_on_an_unmatched_variant() {
+    let event_decl = "\
+#![forbid(unsafe_code)]
+pub enum Event {
+    RunMeta { osds: u32 },
+    BlockErase { block: u64, erase_count: u64 },
+    QueueDepth { osd: u32, depth: u64 },
+}
+";
+    let spec_partial = "\
+#![forbid(unsafe_code)]
+pub fn step(ev: &Event) {
+    match ev {
+        Event::RunMeta { .. } => {}
+        Event::BlockErase { .. } => {}
+        _ => {}
+    }
+}
+";
+    let out = audit(&[
+        ("crates/obs/src/event.rs", event_decl),
+        ("crates/spec/src/lib.rs", spec_partial),
+    ]);
+    assert_eq!(rules_of(&out), vec!["spec.event_coverage"], "{out:?}");
+    assert_eq!(out.findings[0].path, "crates/obs/src/event.rs");
+    assert_eq!(
+        out.findings[0].line, 5,
+        "should point at the QueueDepth variant"
+    );
+    assert!(
+        out.findings[0].message.contains("Event::QueueDepth"),
+        "{}",
+        out.findings[0].message
+    );
+}
+
+#[test]
+fn spec_event_coverage_is_satisfied_by_full_matching() {
+    let event_decl = "\
+#![forbid(unsafe_code)]
+pub enum Event {
+    RunMeta { osds: u32 },
+    QueueDepth { osd: u32, depth: u64 },
+}
+";
+    let spec_full = "\
+#![forbid(unsafe_code)]
+pub fn step(ev: &Event) {
+    match ev {
+        Event::RunMeta { .. } => {}
+        Event::QueueDepth { .. } => {}
+    }
+}
+";
+    assert!(audit(&[
+        ("crates/obs/src/event.rs", event_decl),
+        ("crates/spec/src/lib.rs", spec_full),
+    ])
+    .is_clean());
+    // Without any spec sources the rule stays silent (synthetic
+    // workspaces in other tests must not all fail it).
+    assert!(audit(&[("crates/obs/src/event.rs", event_decl)]).is_clean());
+}

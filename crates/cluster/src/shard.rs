@@ -27,7 +27,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use edm_obs::{AsDynRecorder, Event as ObsEvent, JournalEntry, MemoryRecorder, Recorder};
+use edm_obs::{AsDynRecorder, Event as ObsEvent, MemoryRecorder, Recorder};
 use edm_workload::{FileId, Trace};
 
 use crate::cluster::Cluster;
@@ -70,7 +70,7 @@ impl UnionFind {
 /// Computes the component id of every SSD group: files unite the groups
 /// they stripe across, users unite the groups of every file they touch.
 /// Components are numbered in ascending order of their first group.
-fn component_map(cluster: &Cluster, trace: &Trace) -> (Vec<usize>, usize) {
+pub(crate) fn component_map(cluster: &Cluster, trace: &Trace) -> (Vec<usize>, usize) {
     let placement = *cluster.catalog.placement();
     let m = placement.groups as usize;
     let mut uf = UnionFind::new(m);
@@ -637,12 +637,15 @@ pub(crate) fn run_sharded<P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?S
 
     // Fold the shard recorders into the parent. Counters, gauges, and
     // histograms are additive/idempotent merges in deterministic name
-    // order; journal entries are re-emitted in (virtual time, shard)
-    // order, so per-shard order is preserved and entries from different
-    // shards interleave by time. (The parent's own barrier-time entries
-    // were journaled live, so a sharded journal groups entries rather
-    // than reproducing the sequential interleaving — the journal is
-    // diagnostic output, not digest-relevant state.)
+    // order. Journal entries are re-emitted shard by shard in component
+    // order, preserving each shard's insertion order and component tag
+    // (every shard engine tags its own entries — they are all its
+    // component's work). The parent's own barrier-time entries were
+    // journaled live and untagged, exactly as the sequential engine
+    // journals its tick bodies, so `write_jsonl`'s canonical
+    // (t_us, component) sort serializes the sharded journal
+    // byte-identically to the sequential one — the `journal_identity`
+    // fuzz oracle enforces this.
     for engine in engines.iter() {
         for (name, value) in engine.obs.counters() {
             obs.counter(name, *value);
@@ -655,19 +658,16 @@ pub(crate) fn run_sharded<P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?S
         }
     }
     if obs.events_on() {
-        let mut merged: Vec<(u64, usize, &JournalEntry)> = Vec::new();
-        for (c, engine) in engines.iter().enumerate() {
+        for engine in engines.iter() {
             for entry in engine.obs.journal() {
-                merged.push((entry.t_us, c, entry));
+                obs.set_now(entry.t_us);
+                obs.set_device(entry.device);
+                obs.set_component(entry.component);
+                obs.event(entry.event.clone());
             }
         }
-        merged.sort_by_key(|&(t, c, _)| (t, c));
-        for (_, _, entry) in merged {
-            obs.set_now(entry.t_us);
-            obs.set_device(entry.device);
-            obs.event(entry.event.clone());
-        }
         obs.set_device(None);
+        obs.set_component(None);
     }
 
     // Merge the shards: order-independent sums for the scalar tallies
@@ -1022,6 +1022,43 @@ mod tests {
         assert_eq!(seq_report.failed_osds, vec![2]);
         assert_eq!(format!("{seq_report:?}"), format!("{par_report:?}"));
         assert_eq!(cluster_bytes(&seq_cluster), cluster_bytes(&par_cluster));
+    }
+
+    /// The serialized journal of a sharded run must be byte-identical to
+    /// the sequential run's: shard engines tag entries with their
+    /// component, the coordinator journals untagged, and `write_jsonl`'s
+    /// canonical (t_us, component) sort reconstructs the interleaving.
+    fn journal_bytes(shards: u32, failures: Vec<FailureSpec>) -> String {
+        let trace = two_component_trace();
+        let cluster = Cluster::build(two_component_config(), &trace).unwrap();
+        let mut opts = options(shards);
+        opts.failures = failures;
+        let mut rec = edm_obs::MemoryRecorder::new(edm_obs::ObsLevel::Events);
+        run_trace_obs_keep(cluster, &trace, &mut GroupMover, opts, &mut rec);
+        let mut out = Vec::new();
+        rec.write_jsonl(&mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn sharded_journal_matches_sequential_byte_for_byte() {
+        let seq = journal_bytes(0, Vec::new());
+        let par = journal_bytes(2, Vec::new());
+        assert!(seq.contains("\"kind\":\"migration_start\""));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn sharded_failure_journal_matches_sequential_byte_for_byte() {
+        let failures = vec![FailureSpec {
+            at_us: 3_000,
+            osd: OsdId(2),
+            rebuild: true,
+        }];
+        let seq = journal_bytes(0, failures.clone());
+        let par = journal_bytes(2, failures);
+        assert!(seq.contains("\"kind\":\"device_failed\""));
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -423,6 +423,39 @@ impl Snapshot for RebuildState {
     }
 }
 
+/// Component ownership tables for shard-aware journaling: which
+/// placement component each OSD and each client slot belongs to. Built
+/// only for component-affine runs with event journaling on; `None`
+/// otherwise. Derived state — a pure function of (cluster, trace,
+/// options) — so it is never snapshotted and resume rebuilds it.
+struct CompTags {
+    of_osd: Vec<u32>,
+    of_client: Vec<u32>,
+}
+
+impl CompTags {
+    fn build(cluster: &Cluster, trace: &Trace, scripts: &[Vec<usize>]) -> CompTags {
+        let placement = *cluster.catalog.placement();
+        let (comp_of_group, _) = crate::shard::component_map(cluster, trace);
+        let comp_of_file = |file: edm_workload::FileId| {
+            comp_of_group[placement.group_of(placement.home_osd(file, 0)).0 as usize] as u32
+        };
+        let of_osd = (0..cluster.config.osds)
+            .map(|o| comp_of_group[placement.group_of(OsdId(o)).0 as usize] as u32)
+            .collect();
+        // A component-affine script stays inside one component, so its
+        // first record names it. Empty scripts never journal anything.
+        let of_client = scripts
+            .iter()
+            .map(|s| match s.first() {
+                Some(&i) => comp_of_file(trace.records[i].file),
+                None => 0,
+            })
+            .collect();
+        CompTags { of_osd, of_client }
+    }
+}
+
 /// Where [`Engine::run_until_pause`] handed control back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Pause {
@@ -507,12 +540,40 @@ pub(crate) struct Engine<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder +
     /// itself so the sharded runner needs no cross-thread channel to
     /// collect it.
     pub(crate) paused: Pause,
+    /// Component tags for shard-aware journaling (see [`CompTags`]).
+    comp_tags: Option<CompTags>,
 }
 
 impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, P, R> {
     fn push(&mut self, at: u64, ev: Event) {
         self.seq += 1;
         self.queue.push(at, self.seq, ev);
+    }
+
+    /// Tags subsequent journal entries with the component that owns
+    /// `osd`. No-op outside component-affine journaling runs.
+    fn scope_component_osd(&mut self, osd: OsdId) {
+        if let Some(tags) = &self.comp_tags {
+            self.obs.set_component(Some(tags.of_osd[osd.0 as usize]));
+        }
+    }
+
+    /// Tags subsequent journal entries with `client`'s component.
+    fn scope_component_client(&mut self, client: ClientId) {
+        if let Some(tags) = &self.comp_tags {
+            self.obs
+                .set_component(Some(tags.of_client[client.0 as usize]));
+        }
+    }
+
+    /// Clears the component tag: work the sharded coordinator would run
+    /// itself (the tick body, migration planning) journals untagged in
+    /// both engines, which is what makes the serialized journals
+    /// byte-identical.
+    fn scope_component_none(&mut self) {
+        if self.comp_tags.is_some() {
+            self.obs.set_component(None);
+        }
     }
 
     /// Issues records for `client` until its concurrency window is full
@@ -877,7 +938,13 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
         }
         self.rebuilds.remove(&lost);
         self.cluster.catalog.record_move(lost, dest);
+        self.obs.counter("sim.rebuilds_finished", 1);
         if self.obs.events_on() {
+            self.obs.event(ObsEvent::RebuildFinish {
+                object: lost.0,
+                dest: dest.0,
+                bytes: size,
+            });
             self.obs.event(ObsEvent::RemapUpdate {
                 object: lost.0,
                 dest: dest.0,
@@ -1033,6 +1100,9 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
     /// Starts the next queued move of one source OSD, if any: allocates
     /// the destination copy and issues the first transfer chunk.
     pub(crate) fn start_next_move(&mut self, source: OsdId) {
+        // Moves are component-local work even when the kick comes from
+        // the (untagged) migration-planning scope.
+        self.scope_component_osd(source);
         let Some(action) = self.move_queues[source.0 as usize].pop_front() else {
             return;
         };
@@ -1085,6 +1155,10 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
             return;
         }
         self.failed[o] = true;
+        self.obs.counter("sim.device_failures", 1);
+        if self.obs.events_on() {
+            self.obs.event(ObsEvent::DeviceFailed { osd: osd.0 });
+        }
 
         // Abort every in-flight move that touches the dead device. The
         // routes live in a sorted map so this iterates in ascending object
@@ -1109,6 +1183,20 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
                     .remove_object(obj)
                     // edm-audit: allow(panic.expect, "guarded by has_object on the line above")
                     .expect("partial move copy exists");
+            }
+            self.obs.counter("sim.aborted_moves", 1);
+            if self.obs.events_on() {
+                let bytes = self
+                    .cluster
+                    .object_size(obj)
+                    // edm-audit: allow(panic.expect, "move invariant: in-flight moves track cataloged objects")
+                    .expect("aborted move's object is cataloged");
+                self.obs.event(ObsEvent::MigrationAbort {
+                    object: obj.0,
+                    source: action.source.0,
+                    dest: action.dest.0,
+                    bytes,
+                });
             }
             self.failed_moves += 1;
             self.unblock(obj);
@@ -1231,6 +1319,14 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
                     size,
                 },
             );
+            self.obs.counter("sim.rebuilds_started", 1);
+            if self.obs.events_on() {
+                self.obs.event(ObsEvent::RebuildStart {
+                    object: object.0,
+                    dest: dest.0,
+                    bytes: size,
+                });
+            }
             for sibling in alive {
                 let at = self.cluster.catalog.locate(sibling);
                 let sub = SubReq {
@@ -1246,6 +1342,9 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
     }
 
     fn fire_migration(&mut self) {
+        // Planning is coordinator work in a sharded run: its journal
+        // entries (wear inputs, trigger, plan, assessment) stay untagged.
+        self.scope_component_none();
         let view = self.cluster.view(self.now);
         self.obs.counter("sim.migration_evaluations", 1);
         let plan = self.policy.plan_obs(&view, self.obs.as_dyn_mut());
@@ -1496,8 +1595,10 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
     pub(crate) fn seed_clients(&mut self) {
         let clients = self.scripts.len() as u32;
         for c in 0..clients {
+            self.scope_component_client(ClientId(c));
             self.fill_client(ClientId(c));
         }
+        self.scope_component_none();
     }
 
     /// Schedules a wear-monitor tick marker at `at`. In sequential runs
@@ -1545,9 +1646,21 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
             self.now = at;
             self.obs.set_now(at);
             match ev {
-                Event::OsdDone(o) => self.on_osd_done(OsdId(o)),
-                Event::MdsDone(token) => self.finish_subop(token),
-                Event::Fail(o) => self.on_failure(OsdId(o)),
+                Event::OsdDone(o) => {
+                    self.scope_component_osd(OsdId(o));
+                    self.on_osd_done(OsdId(o));
+                }
+                Event::MdsDone(token) => {
+                    let client = self.inflight.get(token).map(|i| i.client);
+                    if let Some(client) = client {
+                        self.scope_component_client(client);
+                    }
+                    self.finish_subop(token);
+                }
+                Event::Fail(o) => {
+                    self.scope_component_osd(OsdId(o));
+                    self.on_failure(OsdId(o));
+                }
                 Event::Tick => {
                     self.paused = Pause::Tick;
                     return;
@@ -1563,6 +1676,9 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
     /// [`run_until_pause`](Self::run_until_pause) legs; sharded runs
     /// replace it with the coordinator's barrier.
     fn handle_tick(&mut self) {
+        // The tick body is the sharded coordinator's job; its journal
+        // entries are untagged in both engines.
+        self.scope_component_none();
         self.obs.counter("sim.ticks", 1);
         if self.obs.events_on() {
             // Periodic queue-depth samples: waiting requests
@@ -1697,6 +1813,7 @@ pub fn run_trace_obs_keep(
     options: SimOptions,
     obs: &mut dyn Recorder,
 ) -> (RunReport, Cluster) {
+    emit_run_meta(&cluster, obs);
     if let Some(plan) = crate::shard::plan_sharding(&cluster, trace, policy, &options) {
         return crate::shard::run_sharded(cluster, trace, policy, options, obs, plan);
     }
@@ -1752,11 +1869,33 @@ pub fn resume_trace_obs_keep(
         policy.load_state(&mut r);
         r.finish("policy")?;
     }
+    emit_run_meta(&cluster, obs);
     let mut engine = new_engine(cluster, trace, policy, options, obs);
     let mut r = snap.reader("engine")?;
     engine.load_engine(&mut r);
     r.finish("engine")?;
     Ok(engine.drain())
+}
+
+/// Journals the run preamble ([`edm_obs::Event::RunMeta`]) the
+/// conformance checker keys on: cluster shape and device geometry.
+/// Emitted on the parent recorder *before* the shard branch so the
+/// sequential and sharded paths produce the same preamble.
+fn emit_run_meta(cluster: &Cluster, obs: &mut dyn Recorder) {
+    if !obs.events_on() {
+        return;
+    }
+    // edm-audit: allow(panic.slice_index, "ClusterConfig validation guarantees at least one OSD")
+    let geometry = cluster.osds[0].ssd().geometry();
+    obs.set_now(0);
+    obs.event(ObsEvent::RunMeta {
+        osds: cluster.config.osds,
+        groups: cluster.config.groups,
+        objects_per_file: cluster.config.objects_per_file,
+        // edm-audit: allow(panic.slice_index, "ClusterConfig validation guarantees at least one OSD")
+        capacity_bytes: cluster.osds[0].capacity_bytes(),
+        blocks_per_osd: geometry.blocks as u64,
+    });
 }
 
 /// Builds the client scripts for `trace` under the requested affinity.
@@ -1781,6 +1920,11 @@ pub(crate) fn new_engine<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder +
     obs: &'a mut R,
 ) -> Engine<'a, P, R> {
     let scripts = build_scripts(&cluster, trace, options.affinity);
+    let comp_tags = if options.affinity == ClientAffinity::Component && obs.events_on() {
+        Some(CompTags::build(&cluster, trace, &scripts))
+    } else {
+        None
+    };
     let osds = cluster.config.osds as usize;
     let window = cluster.config.response_window_us;
     let blocking_moves = policy.blocking_moves();
@@ -1826,6 +1970,7 @@ pub(crate) fn new_engine<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder +
         last_ckpt_us: 0,
         page_size,
         paused: Pause::Done,
+        comp_tags,
     }
 }
 

@@ -12,6 +12,8 @@
 //! | `resume_digest`      | checkpoint at a wear tick + resume reproduces the digest |
 //! | `snapshot_roundtrip` | snapshot decode→encode is byte-identical                |
 //! | `shard_digest`       | group-sharded replay digest identical to sequential     |
+//! | `journal_identity`   | group-sharded journal byte-identical to sequential      |
+//! | `spec_conformance`   | every journaled event is a legal edm-spec transition    |
 //!
 //! All checks are pure functions of the scenario (the only randomness —
 //! which checkpoint to resume from — is seeded from the scenario text),
@@ -117,6 +119,8 @@ fn check_scenario_impl(s: &Scenario, work_dir: &Path) -> Result<OracleStats, Ora
 
     check_policy_invariants(s, &rec, &obs_report, &cluster)?;
 
+    check_spec_conformance(&rec)?;
+
     check_resume_and_roundtrip(s, work_dir, base_digest, &mut stats)?;
 
     check_ftl_equivalence(s)?;
@@ -126,25 +130,54 @@ fn check_scenario_impl(s: &Scenario, work_dir: &Path) -> Result<OracleStats, Ora
     Ok(stats)
 }
 
-/// Oracle `shard_digest`: the group-sharded engine's contract is a
-/// bit-identical report. The scenario is re-run under component client
-/// affinity twice — once sequentially, once sharded across two workers —
-/// and the determinism digests must match. The sharding gates may
-/// legitimately fall back to the sequential path (CMT, midpoint
-/// schedule, a single placement component); the check then holds
-/// trivially, and the generator draws inode strides so a share of
-/// scenarios genuinely exercise the parallel path.
+/// Oracle `spec_conformance`: the event journal of the obs run must be
+/// accepted by the `edm-spec` abstract state machine — every event a
+/// legal EDM transition (placement, remap bijection, migration
+/// lifecycle, trigger semantics, plan consistency, GC/wear accounting).
+fn check_spec_conformance(rec: &MemoryRecorder) -> Result<(), OracleFailure> {
+    let text = journal_text(rec, "spec_conformance")?;
+    if let Some(v) = edm_spec::verify_journal(&text).violation {
+        return Err(fail(
+            "spec_conformance",
+            format!("journal line {}: {}", v.line, v.message),
+        ));
+    }
+    Ok(())
+}
+
+fn journal_text(rec: &MemoryRecorder, oracle: &'static str) -> Result<String, OracleFailure> {
+    let mut out = Vec::new();
+    rec.write_jsonl(&mut out)
+        .map_err(|e| fail(oracle, format!("journal render failed: {e}")))?;
+    String::from_utf8(out).map_err(|e| fail(oracle, format!("journal is not UTF-8: {e}")))
+}
+
+/// Oracles `shard_digest` and `journal_identity`: the group-sharded
+/// engine's contract is a bit-identical replay. The scenario is re-run
+/// under component client affinity twice — once sequentially, once
+/// sharded across two workers — and both the determinism digests and
+/// the rendered event journals must match exactly (per-shard buffers
+/// merge in fixed component order, so even the journal bytes may not
+/// depend on worker scheduling). The sharded journal must additionally
+/// satisfy the edm-spec state machine, exercising its component-tagged
+/// path. The sharding gates may legitimately fall back to the
+/// sequential path (CMT, midpoint schedule, a single placement
+/// component); the checks then hold trivially, and the generator draws
+/// inode strides so a share of scenarios genuinely exercise the
+/// parallel path.
 fn check_shard_digest(s: &Scenario) -> Result<(), OracleFailure> {
     let mut seq = s.clone();
     seq.shards = 0;
     seq.affinity = ClientAffinity::Component;
     let mut par = seq.clone();
     par.shards = 2;
+    let mut rec_a = MemoryRecorder::new(ObsLevel::Events);
     let a = seq
-        .run()
+        .run_with_obs(&mut rec_a)
         .map_err(|e| fail("shard_digest", format!("sequential run failed: {e}")))?;
+    let mut rec_b = MemoryRecorder::new(ObsLevel::Events);
     let b = par
-        .run()
+        .run_with_obs(&mut rec_b)
         .map_err(|e| fail("shard_digest", format!("sharded run failed: {e}")))?;
     let (da, db) = (report_digest(&a), report_digest(&b));
     if da != db {
@@ -154,6 +187,28 @@ fn check_shard_digest(s: &Scenario) -> Result<(), OracleFailure> {
                 "digest {da:#018x} sequential vs {db:#018x} sharded — \
                  the group-sharded engine diverged from its replay contract"
             ),
+        ));
+    }
+    let ja = journal_text(&rec_a, "journal_identity")?;
+    let jb = journal_text(&rec_b, "journal_identity")?;
+    if ja != jb {
+        let line = ja
+            .lines()
+            .zip(jb.lines())
+            .position(|(x, y)| x != y)
+            .map_or_else(|| ja.lines().count().min(jb.lines().count()) + 1, |i| i + 1);
+        return Err(fail(
+            "journal_identity",
+            format!(
+                "sequential and sharded journals diverge at line {line} — \
+                 shard-aware journaling is not scheduling-independent"
+            ),
+        ));
+    }
+    if let Some(v) = edm_spec::verify_journal(&ja).violation {
+        return Err(fail(
+            "spec_conformance",
+            format!("component-affinity journal line {}: {}", v.line, v.message),
         ));
     }
     Ok(())

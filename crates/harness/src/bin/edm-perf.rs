@@ -467,6 +467,49 @@ fn run_audit_cell(reps: u32, results: &mut Vec<BenchCell>) {
     });
 }
 
+/// Times the `edm-spec` conformance replay over the obs smoke journal
+/// (the same shape `check.sh spec` verifies). `ops_per_sec` is journal
+/// events verified per second — the per-event cost of the gate step.
+fn run_spec_cell(reps: u32, results: &mut Vec<BenchCell>) {
+    let s = Scenario::parse(
+        "trace home02\nscale 0.004\nosds 8\ngroups 4\npolicy EDM-HDF\n\
+         schedule midpoint\nforce true\n",
+    )
+    .expect("spec smoke scenario");
+    let mut rec = edm_obs::MemoryRecorder::new(edm_obs::ObsLevel::Events);
+    s.run_with_obs(&mut rec).expect("spec smoke run failed");
+    let mut journal = Vec::new();
+    rec.write_jsonl(&mut journal)
+        .expect("journal render failed");
+    let journal = String::from_utf8(journal).expect("journal is UTF-8");
+
+    let mut wall = f64::INFINITY;
+    let mut events = 0u64;
+    for _ in 0..reps {
+        #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
+        let started = Instant::now();
+        let report = edm_spec::verify_journal(&journal);
+        wall = wall.min(started.elapsed().as_secs_f64());
+        assert!(
+            report.ok(),
+            "smoke journal must conform: {:?}",
+            report.violation
+        );
+        events = report.events;
+    }
+    let eps = events as f64 / wall;
+    println!(
+        "spec_check: {:.3} ms for {events} events ({eps:.0} events/s)",
+        wall * 1e3
+    );
+    results.push(BenchCell {
+        name: "spec_check".into(),
+        wall_ms: wall * 1e3,
+        ops_per_sec: eps,
+        erases: 0,
+    });
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mut results = Vec::new();
@@ -480,6 +523,7 @@ fn main() {
         run_scale_cells(true, &mut results);
         run_snapshot_cells(0.001, 3, &mut results);
         run_audit_cell(3, &mut results);
+        run_spec_cell(3, &mut results);
     } else {
         // The 0.95 floor is a regression guard, not the measurement: the
         // recorded `obs_overhead_noop` cell is the actual overhead number
@@ -492,6 +536,7 @@ fn main() {
         run_scale_cells(false, &mut results);
         run_snapshot_cells(0.005, 7, &mut results);
         run_audit_cell(7, &mut results);
+        run_spec_cell(7, &mut results);
     }
     // Merge-preserving: cells owned by other tools (edm-fuzz's
     // fuzz_throughput) survive a perf rewrite.

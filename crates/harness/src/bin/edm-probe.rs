@@ -4,14 +4,23 @@
 //! ```text
 //! edm-probe <trace> <policy> [scale] [osds]
 //! edm-probe --journal <file.jsonl>
+//! edm-probe --verify <file.jsonl>
 //! edm-probe --snapshot <file.snap>
 //! ```
 //!
 //! The `--journal` mode summarizes an observability journal written by
 //! `edm-sim --obs <file> --obs-level events`: the per-OSD erase
 //! timeline, the migration-decision trace (trigger evaluations, chosen
-//! plans, predicted effects), and the latency histograms. Exits nonzero
-//! if any line fails to parse.
+//! plans, predicted effects), per-component sections for sharded runs,
+//! and the latency histograms. Exits nonzero if any line fails to
+//! parse.
+//!
+//! The `--verify` mode replays the journal through the `edm-spec`
+//! abstract state machine: every event must be a legal EDM transition
+//! (placement, remap bijection, migration lifecycle, trigger semantics,
+//! plan consistency, GC/wear accounting). Prints the events checked,
+//! the state-machine coverage, and — on the first illegal event — the
+//! violating journal line. Exits nonzero on any violation.
 //!
 //! The `--snapshot` mode prints an `edm-snap` checkpoint's manifest —
 //! sections and sizes, virtual clock, progress, policy, per-OSD erase
@@ -36,6 +45,13 @@ fn main() {
                 std::process::exit(2);
             });
             journal_mode(&path);
+        }
+        Some("--verify") => {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("usage: edm-probe --verify <file.jsonl>");
+                std::process::exit(2);
+            });
+            verify_mode(&path);
         }
         Some("--snapshot") => {
             let path = args.next().unwrap_or_else(|| {
@@ -96,6 +112,35 @@ fn snapshot_mode(path: &str) {
     }
 }
 
+fn verify_mode(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let report = edm_spec::verify_journal(&text);
+    println!(
+        "{path}: {} events checked, {} trailers, {} component tags",
+        report.events, report.trailers, report.components
+    );
+    println!(
+        "-- state-machine coverage ({} of {} kinds) --",
+        report.kinds_seen(),
+        edm_spec::SpecReport::kinds_known()
+    );
+    for kind in edm_spec::EVENT_KINDS {
+        let n = report.kind_counts.get(kind).copied().unwrap_or(0);
+        let mark = if n > 0 { ' ' } else { '-' };
+        println!("{mark} {kind:<18} {n}");
+    }
+    match &report.violation {
+        None => println!("conformant: every event is a legal EDM transition"),
+        Some(v) => {
+            eprintln!("{path}:{}: violation: {}", v.line, v.message);
+            std::process::exit(1);
+        }
+    }
+}
+
 fn get_u64(v: &JsonValue, key: &str) -> u64 {
     v.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
 }
@@ -126,7 +171,23 @@ fn journal_mode(path: &str) {
             }
         }
     }
-    println!("{path}: {} records", records.len());
+    let trailers = records
+        .iter()
+        .filter(|r| matches!(get_str(r, "kind"), "counter" | "gauge" | "hist"))
+        .count();
+    let events = records.len() - trailers;
+    let mut comps: Vec<u64> = records
+        .iter()
+        .filter(|r| r.get("comp").is_some())
+        .map(|r| get_u64(r, "comp"))
+        .collect();
+    comps.sort_unstable();
+    comps.dedup();
+    println!(
+        "{path}: {} records ({events} events, {trailers} trailers, {} components)",
+        records.len(),
+        comps.len()
+    );
 
     // Per-OSD erase timeline: block_erase events bucketed over the run.
     let erases: Vec<(u64, u64)> = records
@@ -154,6 +215,52 @@ fn journal_mode(path: &str) {
             }
             let cells: Vec<String> = row.iter().map(|c| format!("{c:>5}")).collect();
             println!("osd{o:<3} |{}| total {total}", cells.join(" "));
+        }
+    }
+
+    // Per-component sections for sharded runs: each worker's share of
+    // the event stream and its erase timeline. Triggers and plans stay
+    // in the global tables below — planning runs on the coordinator and
+    // its events carry no component tag.
+    if !comps.is_empty() {
+        const COLS: usize = 12;
+        let max_t = records
+            .iter()
+            .map(|r| get_u64(r, "t_us"))
+            .max()
+            .unwrap_or(0);
+        let width = max_t / COLS as u64 + 1;
+        println!(
+            "-- per-component erase timelines ({} workers, {COLS} x {:.2}s buckets) --",
+            comps.len(),
+            width as f64 / 1e6
+        );
+        for &c in &comps {
+            let mut row = [0u64; COLS];
+            let mut comp_events = 0u64;
+            let mut comp_erases = 0u64;
+            let mut osds: Vec<u64> = Vec::new();
+            for r in records
+                .iter()
+                .filter(|r| r.get("comp").is_some() && get_u64(r, "comp") == c)
+            {
+                comp_events += 1;
+                if get_str(r, "kind") == "block_erase" {
+                    comp_erases += 1;
+                    row[(get_u64(r, "t_us") / width) as usize] += 1;
+                }
+                if let Some(o) = r.get("osd").and_then(JsonValue::as_u64) {
+                    osds.push(o);
+                }
+            }
+            osds.sort_unstable();
+            osds.dedup();
+            let cells: Vec<String> = row.iter().map(|n| format!("{n:>5}")).collect();
+            println!(
+                "comp{c:<3} |{}| {comp_erases} erases / {comp_events} events on {} OSDs",
+                cells.join(" "),
+                osds.len()
+            );
         }
     }
 

@@ -12,14 +12,15 @@
 #   check.sh test    cargo test
 #   check.sh smoke   perf + obs + checkpoint/resume smokes
 #   check.sh scale   sharded-vs-sequential digest identity smoke
+#   check.sh spec    edm-spec conformance replay of smoke + corpus journals
 #   check.sh fuzz    edm-fuzz smoke batch (+ fuzz_throughput bench cell)
 #
 # EDM_CHECK_QUICK=1 shrinks the expensive steps (test -> workspace lib
-# tests only, smoke/scale/fuzz -> skipped) for local edit loops.
+# tests only, smoke/scale/spec/fuzz -> skipped) for local edit loops.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STEPS="fmt lint audit build test smoke scale fuzz"
+STEPS="fmt lint audit build test smoke scale spec fuzz"
 QUICK="${EDM_CHECK_QUICK:-0}"
 
 # Temp dirs live in an array cleaned by a single EXIT trap, so any number
@@ -185,6 +186,64 @@ EOF
     echo "scale smoke: sharded digest matches sequential OK"
 }
 
+step_spec() {
+    if [ "$QUICK" = "1" ]; then
+        echo "==> spec skipped (EDM_CHECK_QUICK=1)"
+        return 0
+    fi
+    echo "==> spec conformance (edm-sim --obs + edm-probe --verify)"
+    # The obs smoke shape plus every corpus scenario: each run's event
+    # journal must replay cleanly through the edm-spec state machine
+    # (edm-probe --verify exits nonzero on the first illegal transition).
+    local spec_dir
+    scratch_dir; spec_dir="$SCRATCH_DIR"
+    cat > "$spec_dir/smoke.scn" <<'EOF'
+trace home02
+scale 0.004
+osds 8
+groups 4
+policy EDM-HDF
+schedule midpoint
+force true
+EOF
+    local n=0 scn name
+    for scn in "$spec_dir/smoke.scn" fuzz/corpus/*.scn; do
+        name="$(basename "$scn" .scn)"
+        ./target/release/edm-sim "$scn" \
+            --obs "$spec_dir/$name.jsonl" --obs-level events > /dev/null
+        ./target/release/edm-probe --verify "$spec_dir/$name.jsonl" \
+            | grep -q "conformant" \
+            || { echo "spec: $name journal violates the EDM spec"; exit 1; }
+        n=$((n + 1))
+    done
+    echo "spec: $n scenario journals conformant"
+
+    echo "==> spec sharded-journal identity (1024 OSDs, sequential vs sharded)"
+    # Shard-aware journaling contract: per-shard buffers merge in fixed
+    # component order, so the sharded journal is byte-identical to the
+    # sequential one — and still a legal transition stream.
+    cat > "$spec_dir/dc.scn" <<'EOF'
+trace home02
+scale 0.001
+osds 1024
+groups 32
+objects_per_file 4
+policy EDM-HDF
+schedule every-tick
+stride 4
+affinity component
+EOF
+    ./target/release/edm-sim "$spec_dir/dc.scn" \
+        --obs "$spec_dir/dc-seq.jsonl" --obs-level events > /dev/null
+    ./target/release/edm-sim "$spec_dir/dc.scn" --shards 4 \
+        --obs "$spec_dir/dc-par.jsonl" --obs-level events > /dev/null
+    cmp "$spec_dir/dc-seq.jsonl" "$spec_dir/dc-par.jsonl" \
+        || { echo "spec: sharded journal diverged from sequential bytes"; exit 1; }
+    ./target/release/edm-probe --verify "$spec_dir/dc-par.jsonl" > /dev/null \
+        || { echo "spec: 1024-OSD sharded journal violates the EDM spec"; exit 1; }
+    echo "spec: 1024-OSD sharded journal byte-identical and conformant"
+}
+
 step_fuzz() {
     if [ "$QUICK" = "1" ]; then
         echo "==> fuzz skipped (EDM_CHECK_QUICK=1)"
@@ -206,6 +265,7 @@ run_step() {
         test)  step_test ;;
         smoke) step_smoke ;;
         scale) step_scale ;;
+        spec)  step_spec ;;
         fuzz)  step_fuzz ;;
         all)
             for s in $STEPS; do
