@@ -62,8 +62,11 @@ pub fn audit_sources(files: Vec<(String, String)>) -> AuditOutcome {
         rules::check_forbid_unsafe(f, &mut raw);
     }
     // Workspace-level: the edm-spec transition function must match every
-    // journal Event variant (needs both crates' sources at once).
+    // journal Event variant (needs both crates' sources at once), and
+    // the deterministic core must stay inside its frozen det.* pragma
+    // budget (needs every crate's pragmas at once).
     rules::check_spec_event_coverage(&files, &mut raw);
+    rules::check_suppression_budget(&files, &mut raw);
 
     // Suppression: a pragma silences findings of its rule on its target
     // line. Pragma problems are findings themselves and cannot be

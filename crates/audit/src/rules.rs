@@ -21,7 +21,11 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "det.thread_order",
-        "thread spawn / cross-thread aggregation primitive (mpsc, Mutex, RwLock) in simulation-state crates",
+        "thread spawn / cross-thread aggregation primitive (mpsc, Mutex, RwLock) in simulation-state crates or the serve daemon",
+    ),
+    (
+        "det.suppression_budget",
+        "deterministic-core crate exceeds its frozen det.* pragma budget",
     ),
     (
         "det.wallclock",
@@ -85,6 +89,21 @@ pub fn rule_exists(id: &str) -> bool {
 /// Crates whose `src` holds simulation state: map iteration order there
 /// can reach the event sequence, so `det.map_iter` applies.
 const SIM_STATE_CRATES: &[&str] = &["ssd", "cluster", "core", "workload"];
+
+/// `det.thread_order` additionally covers the serve daemon (lib and
+/// bin): its server thread shares a control block with the session
+/// thread, so every cross-thread primitive there must argue — in a
+/// pragma — that no simulation state crosses the thread boundary and
+/// the observable result is independent of scheduler interleaving.
+fn in_thread_order_scope(file: &SourceFile) -> bool {
+    match file.kind {
+        FileKind::LibSrc => {
+            SIM_STATE_CRATES.contains(&file.crate_name.as_str()) || file.crate_name == "serve"
+        }
+        FileKind::BinSrc => file.crate_name == "serve",
+        _ => false,
+    }
+}
 
 /// Files under the `num.*` rules: wear/erase accounting, where a lossy
 /// cast or an exact float compare skews endurance results silently.
@@ -210,7 +229,7 @@ pub fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
     // mpsc receive order, lock acquisition order, and atomic RMW
     // interleavings are all scheduler-dependent; folding results in any
     // of those orders silently breaks the replay digest.
-    if lib && SIM_STATE_CRATES.contains(&file.crate_name.as_str()) {
+    if in_thread_order_scope(file) {
         for i in 0..v.toks.len() {
             if in_test(v.line(i)) {
                 continue;
@@ -862,6 +881,62 @@ fn event_enum_variants(file: &SourceFile) -> Vec<(String, u32)> {
         return out;
     }
     out
+}
+
+/// The frozen `det.*` pragma budget of each deterministic-core crate:
+/// exactly as many determinism suppressions as the crate carried when
+/// the budget was set. Growing a crate must not quietly grow its set of
+/// "trust me" escapes from the determinism rules — a new suppression in
+/// the core is a design event, and the way to admit one is to raise the
+/// number here in the same change, where review can see it. Tooling
+/// crates (harness, audit, fuzz) and the serve daemon own the process
+/// boundary and are deliberately unbudgeted.
+const DET_PRAGMA_BUDGETS: &[(&str, usize)] = &[
+    ("ssd", 0),
+    ("cluster", 3),
+    ("core", 0),
+    ("workload", 1),
+    ("snap", 0),
+    ("obs", 0),
+    ("spec", 0),
+    ("scenario", 0),
+];
+
+/// `det.suppression_budget`: counts `det.*` pragmas under each budgeted
+/// crate's `src/` (every file kind — a suppression in a bin or test
+/// module still normalizes an escape hatch) and fires on any crate over
+/// its frozen allowance. Workspace-level: the count is a property of the
+/// whole crate, reported once at its root.
+pub fn check_suppression_budget(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    for (krate, budget) in DET_PRAGMA_BUDGETS {
+        let prefix = format!("crates/{krate}/src/");
+        let mut sites = Vec::new();
+        for f in files.iter().filter(|f| f.rel_path.starts_with(&prefix)) {
+            // Typo'd rule ids are already `pragma.unknown_rule` findings;
+            // the budget counts only suppressions that actually bind.
+            for p in f
+                .pragmas
+                .iter()
+                .filter(|p| p.rule.starts_with("det.") && rule_exists(&p.rule))
+            {
+                sites.push(format!("{}:{} ({})", f.rel_path, p.line, p.rule));
+            }
+        }
+        if sites.len() > *budget {
+            findings.push(Finding {
+                rule: "det.suppression_budget",
+                path: format!("crates/{krate}/src/lib.rs"),
+                line: 1,
+                message: format!(
+                    "crate `{krate}` carries {} det.* suppressions against a frozen \
+                     budget of {budget} [{}] — admitting a new one means raising the \
+                     budget in edm-audit's DET_PRAGMA_BUDGETS, in the same change",
+                    sites.len(),
+                    sites.join(", ")
+                ),
+            });
+        }
+    }
 }
 
 /// Library crate roots must carry `#![forbid(unsafe_code)]`.

@@ -133,6 +133,80 @@ pub fn f(slots: &mut [u64]) {
 }
 
 #[test]
+fn thread_order_covers_the_serve_daemon_lib_and_bin() {
+    let src = "\
+#![forbid(unsafe_code)]
+use std::sync::Mutex;
+pub fn f() {
+    let agg = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        s.spawn(|| agg.lock().unwrap().push(1u64));
+    });
+}
+";
+    for path in [
+        "crates/serve/src/server.rs",
+        "crates/serve/src/bin/edm-serve.rs",
+    ] {
+        let out = audit(&[(path, src)]);
+        assert!(
+            rules_of(&out).contains(&"det.thread_order"),
+            "{path} must be in det.thread_order scope: {out:?}"
+        );
+    }
+    // A pragma arguing scheduler-independence suppresses it there too.
+    let suppressed = "\
+#![forbid(unsafe_code)]
+pub fn f() {
+    // edm-audit: allow(det.thread_order, \"server thread shares only the control block\")
+    std::thread::spawn(|| {});
+}
+";
+    let out = audit(&[("crates/serve/src/server.rs", suppressed)]);
+    assert!(out.is_clean(), "{out:?}");
+}
+
+#[test]
+fn suppression_budget_fires_when_a_core_crate_grows_a_det_pragma() {
+    // `ssd` has a frozen budget of zero: one reasoned (and otherwise
+    // legitimate) det.* suppression is one too many.
+    let src = "\
+#![forbid(unsafe_code)]
+pub fn f() -> Option<String> {
+    // edm-audit: allow(det.env_read, \"plausible-sounding excuse\")
+    std::env::var(\"SEED\").ok()
+}
+";
+    let out = audit(&[("crates/ssd/src/lib.rs", src)]);
+    let rules = rules_of(&out);
+    assert!(
+        rules.contains(&"det.suppression_budget"),
+        "over-budget crate must fire: {out:?}"
+    );
+    // The same pragma in an unbudgeted tooling crate draws no finding.
+    let out = audit(&[("crates/harness/src/runner.rs", src)]);
+    assert!(
+        !rules_of(&out).contains(&"det.suppression_budget"),
+        "tooling crates are unbudgeted: {out:?}"
+    );
+}
+
+#[test]
+fn suppression_budget_accepts_a_crate_at_its_frozen_allowance() {
+    // `workload` has a budget of one: a single suppressed det finding
+    // is within allowance and the audit stays clean.
+    let src = "\
+#![forbid(unsafe_code)]
+pub fn f() -> Option<String> {
+    // edm-audit: allow(det.env_read, \"documented escape within budget\")
+    std::env::var(\"SEED\").ok()
+}
+";
+    let out = audit(&[("crates/workload/src/cfg.rs", src)]);
+    assert!(out.is_clean(), "{out:?}");
+}
+
+#[test]
 fn env_read_fires_outside_the_harness() {
     let src = "\
 #![forbid(unsafe_code)]

@@ -32,9 +32,11 @@ pub mod config;
 pub mod equeue;
 pub mod extent;
 pub mod ids;
+pub mod live;
 pub mod metrics;
 pub mod migrate;
 pub mod osd;
+pub mod pace;
 pub mod placement;
 pub mod raid;
 pub mod remap;
@@ -45,10 +47,12 @@ pub use catalog::{Catalog, FileMeta};
 pub use cluster::Cluster;
 pub use config::ClusterConfig;
 pub use ids::{ClientId, GroupId, ObjectId, OsdId};
+pub use live::{LiveRun, StepPause};
 pub use metrics::{OsdWearSummary, ResponseWindow, RunReport};
 pub use migrate::{
     AccessEvent, AccessKind, ClusterView, Migrator, MoveAction, NoMigration, ObjectView, OsdView,
 };
+pub use pace::{SimTime, TimeSource, TimeStep};
 pub use placement::Placement;
 pub use raid::{IoKind, ObjectIo, StripeLayout};
 pub use remap::RemappingTable;

@@ -24,6 +24,7 @@ use crate::ids::{ClientId, ObjectId, OsdId};
 use crate::metrics::{summarize_osds, LatencyHistogram, ResponseSeries, RunReport};
 use crate::migrate::{validate_plan, AccessEvent, AccessKind, Migrator, MoveAction};
 use crate::osd::{pages_spanned, OsdError};
+use crate::pace::{SimTime, TimeSource, TimeStep};
 
 /// When the engine consults the migration policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -1465,7 +1466,7 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
     /// Mirror of [`save_engine`](Self::save_engine), applied to a freshly
     /// constructed engine. Derived state (`scripts`) is recomputed from
     /// the trace, so the loaded fields are cross-checked against it.
-    fn load_engine(&mut self, r: &mut SnapReader) {
+    pub(crate) fn load_engine(&mut self, r: &mut SnapReader) {
         self.options.schedule = MigrationSchedule::load(r);
         self.options.failures = Vec::load(r);
         let blocking = r.take_bool();
@@ -1539,7 +1540,7 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
     }
 
     /// Captures the complete simulation state as a snapshot file.
-    fn to_snapshot(&self) -> SnapshotFile {
+    pub(crate) fn to_snapshot(&self) -> SnapshotFile {
         let manifest = SnapManifest {
             now_us: self.now,
             completed_ops: self.completed_ops,
@@ -1628,7 +1629,7 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
     /// Seeds the initial events of a fresh (non-resumed) run: the client
     /// concurrency windows, the first wear tick, and the injected
     /// failures.
-    fn seed_events(&mut self) {
+    pub(crate) fn seed_events(&mut self) {
         self.seed_clients();
         if self.total_records > 0 {
             let tick = self.cluster.config.wear_tick_us;
@@ -1641,8 +1642,28 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
     /// already advanced to it, body not yet run) or the queue is empty;
     /// records where it stopped in `self.paused`.
     pub(crate) fn run_until_pause(&mut self) {
-        while let Some((at, _, ev)) = self.queue.pop() {
+        // SimTime never yields, so the return value carries no
+        // information on this path.
+        let _ = self.run_paced(&mut SimTime);
+    }
+
+    /// [`run_until_pause`](Self::run_until_pause) under an explicit
+    /// [`TimeSource`]: before each event is dispatched the source is
+    /// consulted, and on [`TimeStep::Yield`] the event is re-enqueued
+    /// under its original `(time, seq)` key and control returns to the
+    /// caller with `true` ("yielded"; `self.paused` is untouched). The
+    /// re-push is order-safe: [`CalendarQueue`] clamps a past-time push
+    /// into the current bucket's sorted run, so the next pop sees the
+    /// exact event it would have seen without the yield. This is what
+    /// lets a live daemon pace the same deterministic engine against a
+    /// dilated wall clock without perturbing the replay digest.
+    pub(crate) fn run_paced(&mut self, pace: &mut dyn TimeSource) -> bool {
+        while let Some((at, seq, ev)) = self.queue.pop() {
             debug_assert!(at >= self.now, "time went backwards");
+            if pace.wait_until(at) == TimeStep::Yield {
+                self.queue.push(at, seq, ev);
+                return true;
+            }
             self.now = at;
             self.obs.set_now(at);
             match ev {
@@ -1663,11 +1684,12 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
                 }
                 Event::Tick => {
                     self.paused = Pause::Tick;
-                    return;
+                    return false;
                 }
             }
         }
         self.paused = Pause::Done;
+        false
     }
 
     /// The wear-monitor tick body: sample queue depths, notify the policy,
@@ -1675,7 +1697,7 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
     /// checkpoint if one is due. Sequential runs call this between
     /// [`run_until_pause`](Self::run_until_pause) legs; sharded runs
     /// replace it with the coordinator's barrier.
-    fn handle_tick(&mut self) {
+    pub(crate) fn handle_tick(&mut self) {
         // The tick body is the sharded coordinator's job; its journal
         // entries are untagged in both engines.
         self.scope_component_none();
@@ -1726,7 +1748,7 @@ impl<'a, P: Migrator + ?Sized, R: Recorder + AsDynRecorder + ?Sized> Engine<'a, 
     }
 
     /// End-of-run invariant checks and report construction.
-    fn finalize(self) -> (RunReport, Cluster) {
+    pub(crate) fn finalize(self) -> (RunReport, Cluster) {
         assert_eq!(
             self.completed_ops, self.total_records,
             "replay finished with unserved records"
@@ -1881,7 +1903,7 @@ pub fn resume_trace_obs_keep(
 /// conformance checker keys on: cluster shape and device geometry.
 /// Emitted on the parent recorder *before* the shard branch so the
 /// sequential and sharded paths produce the same preamble.
-fn emit_run_meta(cluster: &Cluster, obs: &mut dyn Recorder) {
+pub(crate) fn emit_run_meta(cluster: &Cluster, obs: &mut dyn Recorder) {
     if !obs.events_on() {
         return;
     }

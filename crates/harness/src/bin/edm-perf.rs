@@ -467,6 +467,75 @@ fn run_audit_cell(reps: u32, results: &mut Vec<BenchCell>) {
     });
 }
 
+/// Times the edm-serve ingest path: the daemon's `LiveWorld` fed the
+/// dumped op stream of the fuzz-corpus live scenario, line by line,
+/// through the same `apply_line` entry point the HTTP daemon drives —
+/// parse, placement lookup, device I/O, wear ticks, and any migrations
+/// they trigger, all in-process with a no-op recorder. `ops_per_sec` is
+/// ingested op lines per second: the ceiling on what one daemon session
+/// can absorb before the HTTP layer even matters.
+fn run_serve_ingest_cell(scale: f64, reps: u32, results: &mut Vec<BenchCell>) {
+    use edm_serve::{dump_ops, ApplyOutcome, LiveWorld};
+
+    let scenario = || {
+        Scenario::parse(&format!(
+            "trace random\nscale {scale}\nschedule every-tick\nlambda 0.05\n"
+        ))
+        .expect("serve-cell scenario")
+    };
+    let ops = dump_ops(&scenario());
+    let lines: Vec<&str> = ops.lines().collect();
+    let mut wall = f64::INFINITY;
+    let mut baseline = None;
+    let mut erases = 0u64;
+    for _ in 0..reps {
+        let mut world = LiveWorld::new(scenario()).expect("live world rejected the scenario");
+        #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
+        let started = Instant::now();
+        for line in &lines {
+            match world.apply_line(line, &mut NoopRecorder) {
+                ApplyOutcome::Applied { .. } => {}
+                other => panic!("corpus op line rejected: {other:?}"),
+            }
+        }
+        wall = wall.min(started.elapsed().as_secs_f64());
+        let stats = world.stats();
+        assert_eq!(stats.applied_ops, lines.len() as u64);
+        assert!(stats.ticks > 0, "ingest never crossed a wear tick");
+        assert!(stats.moved_objects > 0, "ingest never migrated");
+        // Same stream, same world: repetitions must be bit-identical.
+        match &baseline {
+            None => baseline = Some(stats),
+            Some(first) => assert_eq!(
+                *first, stats,
+                "serve ingest diverged across repetitions — determinism broken"
+            ),
+        }
+        erases = (0..world.cluster().config.osds)
+            .map(|o| {
+                world
+                    .cluster()
+                    .osd(edm_cluster::OsdId(o))
+                    .ssd()
+                    .wear()
+                    .block_erases
+            })
+            .sum();
+    }
+    let ops_s = lines.len() as f64 / wall;
+    println!(
+        "serve_ingest: {} op lines in {:.1} ms ({ops_s:.0} ops/s), {erases} erases",
+        lines.len(),
+        wall * 1e3
+    );
+    results.push(BenchCell {
+        name: "serve_ingest".into(),
+        wall_ms: wall * 1e3,
+        ops_per_sec: ops_s,
+        erases,
+    });
+}
+
 /// Times the `edm-spec` conformance replay over the obs smoke journal
 /// (the same shape `check.sh spec` verifies). `ops_per_sec` is journal
 /// events verified per second — the per-event cost of the gate step.
@@ -522,6 +591,7 @@ fn main() {
         run_equeue_cells(200_000, 3, &mut results);
         run_scale_cells(true, &mut results);
         run_snapshot_cells(0.001, 3, &mut results);
+        run_serve_ingest_cell(0.002, 3, &mut results);
         run_audit_cell(3, &mut results);
         run_spec_cell(3, &mut results);
     } else {
@@ -535,6 +605,7 @@ fn main() {
         run_equeue_cells(2_000_000, 5, &mut results);
         run_scale_cells(false, &mut results);
         run_snapshot_cells(0.005, 7, &mut results);
+        run_serve_ingest_cell(0.01, 5, &mut results);
         run_audit_cell(7, &mut results);
         run_spec_cell(7, &mut results);
     }

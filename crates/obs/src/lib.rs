@@ -26,8 +26,10 @@
 pub mod event;
 pub mod hist;
 pub mod json;
+pub mod prom;
 pub mod recorder;
 
 pub use event::Event;
 pub use hist::Histogram;
+pub use prom::render_prometheus;
 pub use recorder::{AsDynRecorder, JournalEntry, MemoryRecorder, NoopRecorder, ObsLevel, Recorder};

@@ -1,0 +1,109 @@
+//! Prometheus text-format rendering of a [`MemoryRecorder`].
+//!
+//! The daemon's `/metrics` endpoint serves this directly: counters
+//! become `_total` counters, gauges stay gauges, and the log2 latency
+//! histograms become cumulative-bucket histograms (`le` is the
+//! inclusive upper bound of each log2 bucket; there is no `_sum`
+//! series because the log2 histogram deliberately does not keep one —
+//! `_max` is exported as a companion gauge instead).
+//!
+//! Output is deterministic: metric families render in BTree name order
+//! and every name is sanitized to the Prometheus charset by mapping
+//! `.`, `-`, and any other non-alphanumeric byte to `_`.
+
+use crate::recorder::MemoryRecorder;
+
+/// Prefix stamped on every exported metric family.
+const PREFIX: &str = "edm_";
+
+/// Maps a recorder metric name (`sim.ops_completed`) to a Prometheus
+/// metric name body (`sim_ops_completed`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Renders the recorder's counters, gauges, and histograms in the
+/// Prometheus exposition text format (version 0.0.4).
+pub fn render_prometheus(rec: &MemoryRecorder) -> String {
+    let mut out = String::new();
+    for (name, value) in rec.counters() {
+        let m = format!("{PREFIX}{}_total", sanitize(name));
+        out.push_str(&format!("# TYPE {m} counter\n{m} {value}\n"));
+    }
+    for (name, value) in rec.gauges() {
+        let m = format!("{PREFIX}{}", sanitize(name));
+        out.push_str(&format!("# TYPE {m} gauge\n{m} {value}\n"));
+    }
+    for (name, hist) in rec.histograms() {
+        let m = format!("{PREFIX}{}", sanitize(name));
+        out.push_str(&format!("# TYPE {m} histogram\n"));
+        let mut cumulative = 0u64;
+        for (_lo, hi, n) in hist.nonzero_buckets() {
+            cumulative += n;
+            out.push_str(&format!("{m}_bucket{{le=\"{hi}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!(
+            "{m}_bucket{{le=\"+Inf\"}} {}\n{m}_count {}\n{m}_max {}\n",
+            hist.count(),
+            hist.count(),
+            hist.max()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{ObsLevel, Recorder};
+
+    #[test]
+    fn sanitize_maps_punctuation() {
+        assert_eq!(sanitize("sim.ops_completed"), "sim_ops_completed");
+        assert_eq!(sanitize("a-b.c"), "a_b_c");
+    }
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let mut r = MemoryRecorder::new(ObsLevel::Metrics);
+        r.counter("sim.ops_completed", 41);
+        r.counter("sim.ops_completed", 1);
+        r.gauge("trigger.rsd", 0.25);
+        r.latency("response_us", 3); // bucket [2,3]
+        r.latency("response_us", 3);
+        r.latency("response_us", 900); // bucket [512,1023]
+        let text = render_prometheus(&r);
+        assert!(text.contains("# TYPE edm_sim_ops_completed_total counter"));
+        assert!(text.contains("edm_sim_ops_completed_total 42"));
+        assert!(text.contains("edm_trigger_rsd 0.25"));
+        assert!(text.contains("edm_response_us_bucket{le=\"3\"} 2"));
+        // Buckets are cumulative.
+        assert!(text.contains("edm_response_us_bucket{le=\"1023\"} 3"));
+        assert!(text.contains("edm_response_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("edm_response_us_count 3"));
+        assert!(text.contains("edm_response_us_max 900"));
+    }
+
+    #[test]
+    fn empty_recorder_renders_empty() {
+        let r = MemoryRecorder::new(ObsLevel::Metrics);
+        assert_eq!(render_prometheus(&r), "");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let fill = || {
+            let mut r = MemoryRecorder::new(ObsLevel::Metrics);
+            r.counter("b", 2);
+            r.counter("a", 1);
+            r.gauge("z", 9.0);
+            render_prometheus(&r)
+        };
+        assert_eq!(fill(), fill());
+        // Name order, not insertion order.
+        let text = fill();
+        assert!(text.find("edm_a_total").unwrap() < text.find("edm_b_total").unwrap());
+    }
+}

@@ -207,7 +207,10 @@ impl Scenario {
         Ok(s)
     }
 
-    fn build_policy(&self) -> Result<Box<dyn Migrator>, String> {
+    /// Instantiates the named policy with this scenario's λ/force
+    /// settings. Public so live hosts can build the same policy a batch
+    /// run would.
+    pub fn build_policy(&self) -> Result<Box<dyn Migrator>, String> {
         let edm = EdmConfig {
             lambda: self.lambda,
             force: self.force,
@@ -308,7 +311,10 @@ impl Scenario {
         trace
     }
 
-    fn build_cluster(&self, trace: &Trace) -> Result<Cluster, String> {
+    /// Builds the cluster for `trace` with the paper's sizing rules,
+    /// scaled to this scenario. Public for the same reason as
+    /// [`build_policy`](Self::build_policy).
+    pub fn build_cluster(&self, trace: &Trace) -> Result<Cluster, String> {
         let mut config = ClusterConfig::paper(self.osds);
         config.groups = self.groups;
         config.objects_per_file = self.objects_per_file;
@@ -343,6 +349,18 @@ impl Scenario {
                 ..SimOptions::default()
             },
         ))
+    }
+
+    /// The replay-shaping options of a batch run of this scenario
+    /// (no checkpointing, no sharding). Live hosts pass these to the
+    /// engine so their runs line up with the batch runs bit-for-bit.
+    pub fn sim_options(&self) -> SimOptions {
+        SimOptions {
+            schedule: self.schedule,
+            failures: self.failures.clone(),
+            affinity: self.affinity,
+            ..SimOptions::default()
+        }
     }
 
     /// Runs the scenario end to end.

@@ -1,0 +1,272 @@
+//! A dependency-free HTTP/1.1 subset: exactly what the daemon's control
+//! plane needs and nothing more.
+//!
+//! One request per connection (`Connection: close` semantics, which is
+//! also what the shell-side `/dev/tcp` helper in `scripts/check.sh`
+//! speaks). The parser is deliberately strict — the daemon shares a
+//! process with a deterministic simulation, so malformed input is
+//! rejected loudly rather than guessed at — and bounded: header block
+//! and body sizes are capped so a stray client cannot balloon memory.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted request body, bytes. Ingest batches are line
+/// protocol text; a megabyte is thousands of ops per request.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// Maximum accepted header block (request line + headers), bytes.
+pub const MAX_HEADER: usize = 16 * 1024;
+
+/// A parsed request: the subset of HTTP the daemon routes on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET` or `POST` (anything else is rejected at parse time).
+    pub method: String,
+    /// Request target as sent, e.g. `/healthz`.
+    pub path: String,
+    /// Decoded body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed; maps onto an HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed request line/headers, or a method we do not serve.
+    BadRequest(&'static str),
+    /// `Content-Length` exceeds [`MAX_BODY`] (HTTP 413).
+    TooLarge,
+    /// The peer closed the connection mid-request (HTTP 400).
+    Truncated,
+    /// Transport error while reading.
+    Io(String),
+}
+
+impl ParseError {
+    /// The HTTP status this error is reported as.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::TooLarge => 413,
+            _ => 400,
+        }
+    }
+
+    /// One-line human explanation for the error body.
+    pub fn detail(&self) -> String {
+        match self {
+            ParseError::BadRequest(what) => format!("bad request: {what}"),
+            ParseError::TooLarge => format!("body exceeds {MAX_BODY} bytes"),
+            ParseError::Truncated => "connection closed mid-request".to_string(),
+            ParseError::Io(e) => format!("transport error: {e}"),
+        }
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, bounded by `budget`.
+fn read_line(r: &mut impl BufRead, budget: &mut usize) -> Result<String, ParseError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = 0u8;
+        match r.read(std::slice::from_mut(&mut byte)) {
+            Ok(0) => return Err(ParseError::Truncated),
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Io(e.to_string())),
+        }
+        if *budget == 0 {
+            return Err(ParseError::BadRequest("header block too large"));
+        }
+        *budget -= 1;
+        if byte == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line).map_err(|_| ParseError::BadRequest("non-UTF-8 header"));
+        }
+        line.push(byte);
+    }
+}
+
+/// Parses one request from the stream.
+pub fn parse_request(r: &mut impl BufRead) -> Result<Request, ParseError> {
+    let mut budget = MAX_HEADER;
+    let request_line = read_line(r, &mut budget)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method != "GET" && method != "POST" {
+        return Err(ParseError::BadRequest("method not GET or POST"));
+    }
+    if path.is_empty() || !path.starts_with('/') {
+        return Err(ParseError::BadRequest("request target must start with /"));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::BadRequest("not an HTTP/1.x request"));
+    }
+    let mut content_length: usize = 0;
+    loop {
+        let line = read_line(r, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::BadRequest("header line without a colon"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::BadRequest("unparseable Content-Length"))?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(ParseError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    let mut read = 0;
+    while read < content_length {
+        match r.read(&mut body[read..]) {
+            Ok(0) => return Err(ParseError::Truncated),
+            Ok(n) => read += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Io(e.to_string())),
+        }
+    }
+    Ok(Request { method, path, body })
+}
+
+/// Canonical reason phrases for the statuses the daemon emits.
+pub fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one complete response (with `Content-Length`, then closes by
+/// convention — the daemon serves one request per connection).
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ParseError> {
+        parse_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse(b"POST /ingest HTTP/1.1\r\nContent-Length: 8\r\n\r\nw 3 0 42").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"w 3 0 42");
+    }
+
+    #[test]
+    fn tolerates_bare_lf_lines() {
+        let r = parse(b"GET /nodes HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(r.path, "/nodes");
+    }
+
+    #[test]
+    fn rejects_bad_method() {
+        let e = parse(b"DELETE /nodes HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(e, ParseError::BadRequest("method not GET or POST"));
+        assert_eq!(e.status(), 400);
+        let e = parse(b"complete garbage\r\n\r\n").unwrap_err();
+        assert_eq!(e.status(), 400);
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let req = format!(
+            "POST /ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let e = parse(req.as_bytes()).unwrap_err();
+        assert_eq!(e, ParseError::TooLarge);
+        assert_eq!(e.status(), 413);
+    }
+
+    #[test]
+    fn rejects_truncated_request() {
+        // Connection drops mid-headers.
+        assert_eq!(
+            parse(b"GET /healthz HTT").unwrap_err(),
+            ParseError::Truncated
+        );
+        // Connection drops mid-body.
+        let e = parse(b"POST /ingest HTTP/1.1\r\nContent-Length: 10\r\n\r\nw 1").unwrap_err();
+        assert_eq!(e, ParseError::Truncated);
+    }
+
+    #[test]
+    fn rejects_header_garbage() {
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nno colon here\r\n\r\n").unwrap_err(),
+            ParseError::BadRequest(_)
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nContent-Length: soon\r\n\r\n").unwrap_err(),
+            ParseError::BadRequest(_)
+        ));
+        assert!(matches!(
+            parse(b"GET x HTTP/1.1\r\n\r\n").unwrap_err(),
+            ParseError::BadRequest(_)
+        ));
+        assert!(matches!(
+            parse(b"GET /x SPDY/9\r\n\r\n").unwrap_err(),
+            ParseError::BadRequest(_)
+        ));
+    }
+
+    #[test]
+    fn bounds_header_block() {
+        let mut req = b"GET /x HTTP/1.1\r\n".to_vec();
+        req.extend(std::iter::repeat_n(b'a', MAX_HEADER));
+        assert!(matches!(
+            parse(&req).unwrap_err(),
+            ParseError::BadRequest("header block too large")
+        ));
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

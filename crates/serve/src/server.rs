@@ -1,0 +1,206 @@
+//! The daemon's HTTP server: a sequential accept loop over a
+//! line-protocol subset of HTTP/1.1 (see [`crate::http`]).
+//!
+//! The server thread never touches simulation state. GET endpoints serve
+//! the strings the session thread last published; POST endpoints flip
+//! control flags or enqueue ingest lines on the shared [`Ctrl`] block.
+//! One connection is serviced at a time — the daemon's API traffic is
+//! control-plane, where simplicity beats throughput — and the listener
+//! is polled non-blocking so a shutdown request is honored within a poll
+//! interval even when no client ever connects again.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::http::{parse_request, status_text, write_response, ParseError, Request};
+use crate::state::Ctrl;
+
+/// Poll interval for the non-blocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Per-connection socket timeout: a stalled client cannot wedge the
+/// control plane for longer than this.
+const SOCKET_TIMEOUT: Duration = Duration::from_millis(2000);
+
+/// Runs the accept loop until a shutdown is requested. Consumes the
+/// listener; every response closes its connection.
+pub fn serve(listener: TcpListener, ctrl: &Ctrl) {
+    if listener.set_nonblocking(true).is_err() {
+        // Without non-blocking accept the loop could never observe
+        // shutdown; refuse to serve rather than hang forever.
+        ctrl.request_shutdown();
+        return;
+    }
+    loop {
+        if ctrl.shutdown_requested() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => handle_connection(stream, ctrl),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Spawns the server thread. The handle joins once a shutdown request
+/// is observed.
+pub fn spawn_server(listener: TcpListener, ctrl: Arc<Ctrl>) -> std::thread::JoinHandle<()> {
+    // edm-audit: allow(det.thread_order, "server thread shares only the Ctrl control block, never simulation state")
+    std::thread::spawn(move || serve(listener, &ctrl))
+}
+
+fn handle_connection(stream: TcpStream, ctrl: &Ctrl) {
+    // Accepted sockets may inherit the listener's non-blocking flag;
+    // undo that and bound each read/write instead.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    match parse_request(&mut reader) {
+        Ok(request) => respond(&mut writer, &request, ctrl),
+        Err(ParseError::Io(_)) => {} // client went away; nothing to say
+        Err(e) => {
+            let _ = write_response(&mut writer, e.status(), "text/plain", e.detail().as_bytes());
+        }
+    }
+    let _ = writer.flush();
+}
+
+fn respond(w: &mut TcpStream, request: &Request, ctrl: &Ctrl) {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    let result = match (method, path) {
+        ("GET", "/healthz") => json(w, &ctrl.published().healthz),
+        ("GET", "/nodes") => json(w, &ctrl.published().nodes),
+        ("GET", "/plan") => json(w, &ctrl.published().plan),
+        ("GET", "/stats") => json(w, &ctrl.published().stats),
+        ("GET", "/metrics") => write_response(
+            w,
+            200,
+            "text/plain; version=0.0.4",
+            ctrl.published().metrics.as_bytes(),
+        ),
+        ("POST", "/ingest") => match std::str::from_utf8(&request.body) {
+            Err(_) => write_response(w, 400, "text/plain", b"ingest body is not UTF-8"),
+            Ok(body) => match ctrl.push_ingest(body) {
+                Ok(accepted) => json(w, &format!("{{\"accepted\":{accepted}}}")),
+                Err(e) => write_response(w, 409, "text/plain", e.as_bytes()),
+            },
+        },
+        ("POST", "/pause") => {
+            ctrl.pause();
+            json(w, "{\"paused\":true}")
+        }
+        ("POST", "/resume") => {
+            ctrl.resume();
+            json(w, "{\"paused\":false}")
+        }
+        ("POST", "/checkpoint") => {
+            ctrl.request_checkpoint();
+            json(w, "{\"checkpoint\":\"requested\"}")
+        }
+        ("POST", "/shutdown") => {
+            ctrl.request_shutdown();
+            json(w, "{\"shutdown\":\"requested\"}")
+        }
+        // Known paths with the wrong verb are 405, the rest 404.
+        (
+            _,
+            "/healthz" | "/nodes" | "/plan" | "/stats" | "/metrics" | "/ingest" | "/pause"
+            | "/resume" | "/checkpoint" | "/shutdown",
+        ) => write_response(w, 405, "text/plain", status_text(405).as_bytes()),
+        _ => write_response(w, 404, "text/plain", status_text(404).as_bytes()),
+    };
+    let _ = result;
+}
+
+fn json(w: &mut TcpStream, body: &str) -> std::io::Result<()> {
+    write_response(w, 200, "application/json", body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Published;
+    use std::io::Read;
+
+    fn start() -> (std::net::SocketAddr, Arc<Ctrl>, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let ctrl = Arc::new(Ctrl::new());
+        ctrl.publish(Published {
+            healthz: "{\"ok\":true}".to_string(),
+            metrics: "# TYPE edm_x_total counter\nedm_x_total 1\n".to_string(),
+            ..Published::default()
+        });
+        let handle = spawn_server(listener, Arc::clone(&ctrl));
+        (addr, ctrl, handle)
+    }
+
+    fn roundtrip(addr: std::net::SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_published_views_and_control() {
+        let (addr, ctrl, handle) = start();
+        let reply = roundtrip(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.ends_with("{\"ok\":true}"), "{reply}");
+
+        let reply = roundtrip(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(reply.contains("edm_x_total 1"), "{reply}");
+
+        let body = "w 0 0 4096\n";
+        let reply = roundtrip(
+            addr,
+            &format!(
+                "POST /ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert!(reply.contains("\"accepted\":1"), "{reply}");
+        assert_eq!(ctrl.drain_ingest(10), vec!["w 0 0 4096"]);
+
+        let reply = roundtrip(addr, "POST /pause HTTP/1.1\r\n\r\n");
+        assert!(reply.contains("\"paused\":true"), "{reply}");
+        assert!(ctrl.is_paused());
+
+        let reply = roundtrip(addr, "DELETE /healthz HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}"); // parser: GET/POST only
+        let reply = roundtrip(addr, "POST /healthz HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 405"), "{reply}");
+        let reply = roundtrip(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
+
+        let reply = roundtrip(addr, "POST /shutdown HTTP/1.1\r\n\r\n");
+        assert!(reply.contains("\"shutdown\""), "{reply}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn ingest_conflict_maps_to_409() {
+        let (addr, ctrl, handle) = start();
+        ctrl.push_ingest("end").unwrap();
+        let reply = roundtrip(
+            addr,
+            "POST /ingest HTTP/1.1\r\nContent-Length: 4\r\n\r\nw000",
+        );
+        assert!(reply.starts_with("HTTP/1.1 409"), "{reply}");
+        ctrl.request_shutdown();
+        handle.join().unwrap();
+    }
+}

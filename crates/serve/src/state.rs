@@ -1,0 +1,229 @@
+//! Shared control-plane state between the session thread and the HTTP
+//! server thread.
+//!
+//! The deterministic machinery (cluster, policy, recorder) never crosses
+//! a thread boundary: it lives on the session thread's stack. What is
+//! shared is this [`Ctrl`] block — admin flags as atomics, plus two
+//! small mutex-guarded structures: the ingest queue (server pushes
+//! lines, session drains them) and the published views (session renders
+//! strings at safe points, server serves them verbatim). The server
+//! thread therefore holds a lock only long enough to clone or swap a
+//! string, and the simulation's event order can't depend on request
+//! timing.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+// Shared state is confined to this control block; the session thread owns
+// all simulation state and only rendered strings / queued text cross over.
+// edm-audit: allow(det.thread_order, "control-plane handoff only; no simulation state is shared")
+type Lock<T> = std::sync::Mutex<T>;
+
+/// Cap on buffered, not-yet-applied ingest lines. `POST /ingest` returns
+/// 409 above this so a fast client gets backpressure instead of
+/// unbounded daemon memory.
+pub const MAX_QUEUED_LINES: usize = 1 << 18;
+
+/// Operation lines accepted over HTTP, awaiting the session thread.
+#[derive(Debug, Default)]
+struct IngestQueue {
+    lines: VecDeque<String>,
+    /// Total lines ever accepted (for `/healthz`).
+    accepted: u64,
+    /// An `end` marker has been received: the stream is complete.
+    closed: bool,
+}
+
+/// Rendered views the session thread publishes at safe points.
+#[derive(Debug, Default, Clone)]
+pub struct Published {
+    pub healthz: String,
+    pub nodes: String,
+    pub plan: String,
+    pub stats: String,
+    pub metrics: String,
+    /// The session finished (trace replay complete, or ingest stream
+    /// ended and drained).
+    pub done: bool,
+}
+
+/// The shared control block (one per daemon, behind an `Arc`).
+#[derive(Default)]
+pub struct Ctrl {
+    paused: AtomicBool,
+    shutdown: AtomicBool,
+    checkpoint_requested: AtomicBool,
+    ingest: Lock<IngestQueue>,
+    published: Lock<Published>,
+}
+
+impl Ctrl {
+    pub fn new() -> Ctrl {
+        Ctrl::default()
+    }
+
+    // ---- admin flags ---------------------------------------------------
+
+    pub fn pause(&self) {
+        self.paused.store(true, Ordering::SeqCst);
+    }
+
+    pub fn resume(&self) {
+        self.paused.store(false, Ordering::SeqCst);
+    }
+
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::SeqCst)
+    }
+
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    pub fn request_checkpoint(&self) {
+        self.checkpoint_requested.store(true, Ordering::SeqCst);
+    }
+
+    /// Consumes a pending checkpoint request (session thread, at a safe
+    /// point).
+    pub fn take_checkpoint_request(&self) -> bool {
+        self.checkpoint_requested.swap(false, Ordering::SeqCst)
+    }
+
+    // ---- ingest queue --------------------------------------------------
+
+    /// Enqueues the lines of one `POST /ingest` body. Returns the total
+    /// accepted-line count, or an error string (HTTP 409) if the stream
+    /// is already closed or the queue is full.
+    pub fn push_ingest(&self, body: &str) -> Result<u64, String> {
+        let mut q = self.lock_ingest();
+        if q.closed {
+            return Err("ingest stream already ended".to_string());
+        }
+        let lines: Vec<&str> = body
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        if q.lines.len() + lines.len() > MAX_QUEUED_LINES {
+            return Err(format!(
+                "ingest queue full ({} lines buffered)",
+                q.lines.len()
+            ));
+        }
+        for line in lines {
+            if line == "end" {
+                q.closed = true;
+                break;
+            }
+            q.lines.push_back(line.to_string());
+            q.accepted += 1;
+        }
+        Ok(q.accepted)
+    }
+
+    /// Drains up to `max` queued lines for the session thread.
+    pub fn drain_ingest(&self, max: usize) -> Vec<String> {
+        let mut q = self.lock_ingest();
+        let n = q.lines.len().min(max);
+        q.lines.drain(..n).collect()
+    }
+
+    /// `(accepted, buffered, closed)` — for `/healthz`.
+    pub fn ingest_status(&self) -> (u64, usize, bool) {
+        let q = self.lock_ingest();
+        (q.accepted, q.lines.len(), q.closed)
+    }
+
+    /// True once the stream is closed and every queued line was drained.
+    pub fn ingest_complete(&self) -> bool {
+        let q = self.lock_ingest();
+        q.closed && q.lines.is_empty()
+    }
+
+    // ---- published views -----------------------------------------------
+
+    /// Replaces the published views (session thread, at safe points).
+    pub fn publish(&self, views: Published) {
+        *self.lock_published() = views;
+    }
+
+    pub fn published(&self) -> Published {
+        self.lock_published().clone()
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.lock_published().done
+    }
+
+    fn lock_ingest(&self) -> std::sync::MutexGuard<'_, IngestQueue> {
+        // A poisoned lock means a panicking thread mid-publish; the data
+        // is plain strings/queues, safe to keep serving.
+        match self.ingest.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn lock_published(&self) -> std::sync::MutexGuard<'_, Published> {
+        match self.published.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admin_flags_toggle() {
+        let c = Ctrl::new();
+        assert!(!c.is_paused());
+        c.pause();
+        assert!(c.is_paused());
+        c.resume();
+        assert!(!c.is_paused());
+        c.request_checkpoint();
+        assert!(c.take_checkpoint_request());
+        assert!(!c.take_checkpoint_request());
+        c.request_shutdown();
+        assert!(c.shutdown_requested());
+    }
+
+    #[test]
+    fn ingest_queue_accepts_drains_and_closes() {
+        let c = Ctrl::new();
+        let n = c
+            .push_ingest("w 0 0 4096\nr 1 512 100\n\n# comment\n")
+            .unwrap();
+        assert_eq!(n, 2);
+        assert!(!c.ingest_complete());
+        let drained = c.drain_ingest(10);
+        assert_eq!(drained, vec!["w 0 0 4096", "r 1 512 100"]);
+        c.push_ingest("w 2 0 1\nend\nw 3 0 1\n").unwrap();
+        let (accepted, buffered, closed) = c.ingest_status();
+        assert_eq!((accepted, buffered, closed), (3, 1, true));
+        assert!(c.push_ingest("w 9 0 1").is_err());
+        c.drain_ingest(10);
+        assert!(c.ingest_complete());
+    }
+
+    #[test]
+    fn published_views_swap_whole() {
+        let c = Ctrl::new();
+        assert!(!c.is_done());
+        c.publish(Published {
+            healthz: "{\"ok\":true}".to_string(),
+            done: true,
+            ..Published::default()
+        });
+        assert!(c.is_done());
+        assert_eq!(c.published().healthz, "{\"ok\":true}");
+    }
+}

@@ -1,0 +1,308 @@
+//! Rendering of the daemon's HTTP views.
+//!
+//! The session thread renders these strings at safe points (ticks,
+//! pauses, completion) and publishes them through
+//! [`Ctrl::publish`](crate::state::Ctrl::publish); the server thread
+//! serves them verbatim. Rendering therefore never races the simulation
+//! — a view is always a consistent cut of the world.
+//!
+//! The `/stats` body is part of the crash-recovery contract: it carries
+//! only *convergent* state, values an interrupted-and-resumed session
+//! arrives at bit-identically after being re-fed the same op stream. The
+//! incarnation-local bookkeeping (skips, buffered lines, checkpoint
+//! counts) lives in `/healthz`, which makes no such promise.
+
+use edm_cluster::{Cluster, OsdId};
+use edm_obs::json::{field_bool, field_f64, field_raw, field_str, field_u64};
+use edm_obs::{Event, JournalEntry};
+
+use crate::ingest::LiveStats;
+
+/// Inputs for `/healthz` (assembled by the daemon each publish).
+pub struct HealthInfo<'a> {
+    pub mode: &'a str,
+    pub policy: &'a str,
+    pub backend: &'a str,
+    pub now_us: u64,
+    pub paused: bool,
+    pub done: bool,
+    pub ingest_accepted: u64,
+    pub ingest_buffered: u64,
+    pub ingest_closed: bool,
+    pub skipped_ops: u64,
+    pub rejected_lines: u64,
+    pub checkpoints: u64,
+    pub backend_moves: u64,
+    pub backend_errors: u64,
+    pub last_error: Option<&'a str>,
+}
+
+pub fn render_healthz(h: &HealthInfo<'_>) -> String {
+    let mut out = String::from("{");
+    field_bool(&mut out, "ok", true);
+    field_str(&mut out, "mode", h.mode);
+    field_str(&mut out, "policy", h.policy);
+    field_str(&mut out, "backend", h.backend);
+    field_u64(&mut out, "now_us", h.now_us);
+    field_bool(&mut out, "paused", h.paused);
+    field_bool(&mut out, "done", h.done);
+    field_u64(&mut out, "ingest_accepted", h.ingest_accepted);
+    field_u64(&mut out, "ingest_buffered", h.ingest_buffered);
+    field_bool(&mut out, "ingest_closed", h.ingest_closed);
+    field_u64(&mut out, "skipped_ops", h.skipped_ops);
+    field_u64(&mut out, "rejected_lines", h.rejected_lines);
+    field_u64(&mut out, "checkpoints", h.checkpoints);
+    field_u64(&mut out, "backend_moves", h.backend_moves);
+    field_u64(&mut out, "backend_errors", h.backend_errors);
+    match h.last_error {
+        Some(e) => field_str(&mut out, "last_error", e),
+        None => field_raw(&mut out, "last_error", "null"),
+    }
+    out.push('}');
+    out
+}
+
+/// `/nodes`: one object per OSD, straight from the policy's own view of
+/// the cluster (wear-model inputs included) plus the object count.
+pub fn render_nodes(cluster: &Cluster, now_us: u64) -> String {
+    let view = cluster.view(now_us);
+    let mut out = String::from("{");
+    field_u64(&mut out, "now_us", now_us);
+    field_u64(&mut out, "osds", view.osds.len() as u64);
+    let mut nodes = String::from("[");
+    for osd in &view.osds {
+        if !nodes.ends_with('[') {
+            nodes.push(',');
+        }
+        let mut n = String::from("{");
+        field_u64(&mut n, "osd", osd.osd.0 as u64);
+        field_u64(&mut n, "group", osd.group.0 as u64);
+        field_f64(&mut n, "utilization", osd.utilization);
+        field_u64(&mut n, "free_bytes", osd.free_bytes);
+        field_u64(&mut n, "capacity_bytes", osd.capacity_bytes);
+        field_u64(&mut n, "wc_pages", osd.wc_pages);
+        field_u64(&mut n, "erases", osd.measured_erases);
+        field_f64(&mut n, "ewma_latency_us", osd.ewma_latency_us);
+        field_u64(
+            &mut n,
+            "objects",
+            cluster.osd(osd.osd).object_count() as u64,
+        );
+        n.push('}');
+        nodes.push_str(&n);
+    }
+    nodes.push(']');
+    field_raw(&mut out, "nodes", &nodes);
+    out.push('}');
+    out
+}
+
+/// `/plan`: the most recent trigger evaluation, chosen plan, and plan
+/// assessment from the journal, each rendered with the journal's own
+/// field serialization (so `/plan` speaks the same schema as the event
+/// log). Requires the daemon to run at the `events` obs level; below it
+/// the journal is empty and `/plan` says so.
+pub fn render_plan(journal: &[JournalEntry]) -> String {
+    let mut trigger: Option<&JournalEntry> = None;
+    let mut plan: Option<&JournalEntry> = None;
+    let mut assessment: Option<&JournalEntry> = None;
+    let mut evaluations = 0u64;
+    for entry in journal {
+        match entry.event {
+            Event::TriggerEval { .. } => {
+                evaluations += 1;
+                trigger = Some(entry);
+            }
+            Event::PlanChosen { .. } => plan = Some(entry),
+            Event::PlanAssessment { .. } => assessment = Some(entry),
+            _ => {}
+        }
+    }
+    let render = |entry: Option<&JournalEntry>| -> String {
+        match entry {
+            None => "null".to_string(),
+            Some(e) => {
+                let mut o = String::from("{");
+                field_str(&mut o, "kind", e.event.kind());
+                field_u64(&mut o, "t_us", e.t_us);
+                e.event.write_fields(&mut o);
+                o.push('}');
+                o
+            }
+        }
+    };
+    let mut out = String::from("{");
+    field_u64(&mut out, "evaluations", evaluations);
+    field_raw(&mut out, "trigger", &render(trigger));
+    field_raw(&mut out, "plan", &render(plan));
+    field_raw(&mut out, "assessment", &render(assessment));
+    out.push('}');
+    out
+}
+
+/// Ingest-mode `/stats`. Every field is convergent (see module docs);
+/// the serve gate diffs this body between an uninterrupted session and a
+/// killed-and-resumed one.
+pub fn render_live_stats(stats: &LiveStats, now_us: u64, cluster: &Cluster) -> String {
+    let mut out = String::from("{");
+    field_str(&mut out, "mode", "ingest");
+    field_u64(&mut out, "now_us", now_us);
+    field_u64(&mut out, "applied_ops", stats.applied_ops);
+    field_u64(&mut out, "reads", stats.reads);
+    field_u64(&mut out, "writes", stats.writes);
+    field_u64(&mut out, "ticks", stats.ticks);
+    field_u64(
+        &mut out,
+        "migration_evaluations",
+        stats.migration_evaluations,
+    );
+    field_u64(&mut out, "migrations_triggered", stats.migrations_triggered);
+    field_u64(&mut out, "failed_moves", stats.failed_moves);
+    field_u64(&mut out, "moved_objects", stats.moved_objects);
+    field_u64(&mut out, "moved_bytes", stats.moved_bytes);
+    let view = cluster.view(now_us);
+    let mut osds = String::from("[");
+    for osd in &view.osds {
+        if !osds.ends_with('[') {
+            osds.push(',');
+        }
+        let mut n = String::from("{");
+        field_u64(&mut n, "osd", osd.osd.0 as u64);
+        field_u64(&mut n, "erases", osd.measured_erases);
+        field_u64(&mut n, "free_bytes", osd.free_bytes);
+        field_u64(
+            &mut n,
+            "objects",
+            cluster.osd(osd.osd).object_count() as u64,
+        );
+        field_f64(&mut n, "utilization", osd.utilization);
+        n.push('}');
+        osds.push_str(&n);
+    }
+    osds.push(']');
+    field_raw(&mut out, "osds", &osds);
+    out.push('}');
+    out
+}
+
+/// Replay-mode `/stats` while the trace is still running.
+pub fn render_replay_progress(now_us: u64, completed: u64, total: u64) -> String {
+    let mut out = String::from("{");
+    field_str(&mut out, "mode", "replay");
+    field_bool(&mut out, "done", false);
+    field_u64(&mut out, "now_us", now_us);
+    field_u64(&mut out, "completed_ops", completed);
+    field_u64(&mut out, "total_ops", total);
+    out.push('}');
+    out
+}
+
+/// Replay-mode `/stats` once the trace finished: the batch tool's
+/// rendered report plus the frozen digest, so a dilated live replay can
+/// be checked against `edm-sim` output directly.
+pub fn render_replay_final(report_text: &str, digest: u64) -> String {
+    let mut out = String::from("{");
+    field_str(&mut out, "mode", "replay");
+    field_bool(&mut out, "done", true);
+    field_str(&mut out, "digest", &format!("{digest:#018x}"));
+    field_str(&mut out, "report", report_text);
+    out.push('}');
+    out
+}
+
+/// Aggregate erase count, for the quick health line the daemon logs.
+pub fn total_erases(cluster: &Cluster) -> u64 {
+    (0..cluster.config.osds)
+        .map(|o| cluster.osd(OsdId(o)).ssd().wear().block_erases)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_obs::json;
+
+    #[test]
+    fn healthz_is_valid_json() {
+        let h = HealthInfo {
+            mode: "ingest",
+            policy: "EDM-HDF",
+            backend: "mem",
+            now_us: 12,
+            paused: false,
+            done: false,
+            ingest_accepted: 3,
+            ingest_buffered: 1,
+            ingest_closed: false,
+            skipped_ops: 0,
+            rejected_lines: 0,
+            checkpoints: 2,
+            backend_moves: 1,
+            backend_errors: 0,
+            last_error: Some("a \"quoted\" problem"),
+        };
+        let v = json::parse(&render_healthz(&h)).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("checkpoints").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            v.get("last_error").unwrap().as_str(),
+            Some("a \"quoted\" problem")
+        );
+    }
+
+    #[test]
+    fn plan_view_picks_latest_entries() {
+        let mut rec = edm_obs::MemoryRecorder::new(edm_obs::ObsLevel::Events);
+        use edm_obs::Recorder;
+        rec.set_now(5);
+        for round in 0..2u64 {
+            rec.event(Event::TriggerEval {
+                policy: "EDM-HDF",
+                metric: "wear",
+                rsd: 0.2 + round as f64,
+                lambda: 0.1,
+                mean: 1.0,
+                triggered: true,
+                sources: vec![1],
+                destinations: vec![2],
+            });
+            rec.event(Event::PlanChosen {
+                policy: "EDM-HDF",
+                moves: round + 1,
+                moved_bytes: 4096,
+                objects: vec![7],
+                sources: vec![1],
+                destinations: vec![2],
+            });
+        }
+        let v = json::parse(&render_plan(rec.journal())).unwrap();
+        assert_eq!(v.get("evaluations").unwrap().as_u64(), Some(2));
+        let trigger = v.get("trigger").unwrap();
+        assert_eq!(trigger.get("kind").unwrap().as_str(), Some("trigger_eval"));
+        assert_eq!(trigger.get("rsd").unwrap().as_f64(), Some(1.2));
+        assert_eq!(
+            v.get("plan").unwrap().get("moves").unwrap().as_u64(),
+            Some(2)
+        );
+        assert_eq!(v.get("assessment"), Some(&json::JsonValue::Null));
+    }
+
+    #[test]
+    fn empty_journal_renders_null_plan() {
+        let v = json::parse(&render_plan(&[])).unwrap();
+        assert_eq!(v.get("evaluations").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("trigger"), Some(&json::JsonValue::Null));
+    }
+
+    #[test]
+    fn replay_views_are_valid_json() {
+        let v = json::parse(&render_replay_progress(10, 3, 9)).unwrap();
+        assert_eq!(v.get("total_ops").unwrap().as_u64(), Some(9));
+        let v = json::parse(&render_replay_final("line one\nline two", 0xabcd)).unwrap();
+        assert_eq!(
+            v.get("digest").unwrap().as_str(),
+            Some("0x000000000000abcd")
+        );
+        assert!(v.get("report").unwrap().as_str().unwrap().contains('\n'));
+    }
+}

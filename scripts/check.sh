@@ -13,6 +13,7 @@
 #   check.sh smoke   perf + obs + checkpoint/resume smokes
 #   check.sh scale   sharded-vs-sequential digest identity smoke
 #   check.sh spec    edm-spec conformance replay of smoke + corpus journals
+#   check.sh serve   edm-serve daemon: ingest pipeline, kill/resume, replay digest
 #   check.sh fuzz    edm-fuzz smoke batch (+ fuzz_throughput bench cell)
 #
 # EDM_CHECK_QUICK=1 shrinks the expensive steps (test -> workspace lib
@@ -20,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STEPS="fmt lint audit build test smoke scale spec fuzz"
+STEPS="fmt lint audit build test smoke scale spec serve fuzz"
 QUICK="${EDM_CHECK_QUICK:-0}"
 
 # Temp dirs live in an array cleaned by a single EXIT trap, so any number
@@ -244,6 +245,166 @@ EOF
     echo "spec: 1024-OSD sharded journal byte-identical and conformant"
 }
 
+# --- serve helpers: raw HTTP over bash /dev/tcp (no curl dependency) ---
+serve_get() { # <port> <path> -> body on stdout
+    exec 3<>"/dev/tcp/127.0.0.1/$1" || return 1
+    printf 'GET %s HTTP/1.1\r\n\r\n' "$2" >&3
+    local reply
+    reply="$(cat <&3)"
+    exec 3<&- 3>&-
+    printf '%s' "${reply#*$'\r\n\r\n'}"
+}
+
+serve_post() { # <port> <path> [body-file] -> body on stdout
+    local len=0
+    if [ -n "${3:-}" ]; then
+        len="$(wc -c < "$3")"
+    fi
+    exec 3<>"/dev/tcp/127.0.0.1/$1" || return 1
+    {
+        printf 'POST %s HTTP/1.1\r\nContent-Length: %s\r\n\r\n' "$2" "$len"
+        if [ -n "${3:-}" ]; then cat "$3"; fi
+    } >&3
+    local reply
+    reply="$(cat <&3)"
+    exec 3<&- 3>&-
+    case "$reply" in
+        "HTTP/1.1 200"*) ;;
+        *) echo "serve: POST $2 -> ${reply%%$'\r'*}" >&2; return 1 ;;
+    esac
+    printf '%s' "${reply#*$'\r\n\r\n'}"
+}
+
+serve_wait_port() { # <port-file>; sets SERVE_PORT
+    local i
+    for i in $(seq 1 200); do
+        if [ -s "$1" ]; then
+            SERVE_PORT="$(head -n1 "$1")"
+            return 0
+        fi
+        sleep 0.05
+    done
+    echo "serve: daemon never wrote its port file $1"
+    exit 1
+}
+
+serve_wait_health() { # <port> <healthz-substring> <description>
+    local i
+    for i in $(seq 1 1200); do
+        if serve_get "$1" /healthz 2> /dev/null | grep -q "$2"; then
+            return 0
+        fi
+        sleep 0.05
+    done
+    echo "serve: timed out waiting for $3"
+    serve_get "$1" /healthz 2> /dev/null || true
+    exit 1
+}
+
+step_serve() {
+    if [ "$QUICK" = "1" ]; then
+        echo "==> serve skipped (EDM_CHECK_QUICK=1)"
+        return 0
+    fi
+    echo "==> serve gate (live daemon: ingest, kill/resume convergence, replay digest)"
+    local serve_dir
+    scratch_dir; serve_dir="$SCRATCH_DIR"
+    # The fuzz-corpus live scenario: crosses wear ticks and fires
+    # migrations within a ~1200-op stream.
+    cat > "$serve_dir/live.scn" <<'EOF'
+trace random
+scale 0.002
+schedule every-tick
+lambda 0.05
+EOF
+    ./target/release/edm-serve --dump-ops "$serve_dir/live.scn" > "$serve_dir/ops.txt"
+    local total_ops
+    total_ops="$(wc -l < "$serve_dir/ops.txt")"
+    [ "$total_ops" -gt 500 ] || { echo "serve: suspiciously short op stream"; exit 1; }
+
+    # (1) Dilated live replay must reproduce the batch digest, and its
+    # journal must conform to the EDM spec.
+    local batch_digest
+    batch_digest="$(./target/release/edm-sim "$serve_dir/live.scn" 2> /dev/null \
+        | grep -o "determinism digest 0x[0-9a-f]*" | grep -o "0x[0-9a-f]*")"
+    [ -n "$batch_digest" ] || { echo "serve: edm-sim printed no digest"; exit 1; }
+    ./target/release/edm-serve "$serve_dir/live.scn" --speed 100000 \
+        --port-file "$serve_dir/replay.port" --journal "$serve_dir/replay.jsonl" \
+        > /dev/null &
+    local replay_pid=$!
+    serve_wait_port "$serve_dir/replay.port"
+    serve_wait_health "$SERVE_PORT" '"done":true' "the dilated replay to finish"
+    serve_get "$SERVE_PORT" /stats > "$serve_dir/replay-stats.json"
+    serve_post "$SERVE_PORT" /shutdown > /dev/null
+    wait "$replay_pid"
+    grep -q "\"digest\":\"$batch_digest\"" "$serve_dir/replay-stats.json" \
+        || { echo "serve: live replay digest diverged from edm-sim $batch_digest"; \
+             cat "$serve_dir/replay-stats.json"; exit 1; }
+    ./target/release/edm-probe --verify "$serve_dir/replay.jsonl" | grep -q "conformant" \
+        || { echo "serve: replay journal violates the EDM spec"; exit 1; }
+
+    # (2) Uninterrupted ingest run: the full stream through POST /ingest.
+    # Its journal must also verify, and /plan must carry a real plan.
+    ./target/release/edm-serve "$serve_dir/live.scn" --mode ingest \
+        --port-file "$serve_dir/a.port" --journal "$serve_dir/ingest.jsonl" \
+        > /dev/null &
+    local a_pid=$!
+    serve_wait_port "$serve_dir/a.port"
+    { cat "$serve_dir/ops.txt"; echo "end"; } > "$serve_dir/ops-end.txt"
+    serve_post "$SERVE_PORT" /ingest "$serve_dir/ops-end.txt" > /dev/null
+    serve_wait_health "$SERVE_PORT" '"done":true' "the uninterrupted ingest run"
+    serve_get "$SERVE_PORT" /healthz | grep -q '"ok":true' \
+        || { echo "serve: daemon unhealthy after ingest"; exit 1; }
+    serve_get "$SERVE_PORT" /plan > "$serve_dir/plan.json"
+    grep -q '"plan_chosen"' "$serve_dir/plan.json" \
+        || { echo "serve: /plan carries no chosen plan"; cat "$serve_dir/plan.json"; exit 1; }
+    serve_get "$SERVE_PORT" /stats > "$serve_dir/stats-uninterrupted.json"
+    serve_post "$SERVE_PORT" /shutdown > /dev/null
+    wait "$a_pid"
+    grep -q "\"applied_ops\":$total_ops" "$serve_dir/stats-uninterrupted.json" \
+        || { echo "serve: ingest run did not apply all $total_ops ops"; exit 1; }
+    ./target/release/edm-probe --verify "$serve_dir/ingest.jsonl" | grep -q "conformant" \
+        || { echo "serve: ingest journal violates the EDM spec"; exit 1; }
+
+    # (3) Kill-and-resume: feed a third of the stream, cut a checkpoint,
+    # kill -9 the daemon, resume from the snapshot, re-feed the ENTIRE
+    # stream. Dedup skips the checkpointed prefix and /stats must
+    # converge bit-identically on the uninterrupted run's.
+    local part
+    part=$(( total_ops / 3 ))
+    head -n "$part" "$serve_dir/ops.txt" > "$serve_dir/ops-part.txt"
+    ./target/release/edm-serve "$serve_dir/live.scn" --mode ingest \
+        --port-file "$serve_dir/b.port" --checkpoint-dir "$serve_dir/ckpts" \
+        > /dev/null &
+    local b_pid=$!
+    serve_wait_port "$serve_dir/b.port"
+    serve_post "$SERVE_PORT" /ingest "$serve_dir/ops-part.txt" > /dev/null
+    serve_wait_health "$SERVE_PORT" "\"ingest_accepted\":$part,\"ingest_buffered\":0" \
+        "the partial stream to drain"
+    serve_post "$SERVE_PORT" /checkpoint > /dev/null
+    serve_wait_health "$SERVE_PORT" '"checkpoints":1' "the checkpoint to be cut"
+    kill -9 "$b_pid"
+    wait "$b_pid" 2> /dev/null || true
+    local snap
+    snap="$(ls "$serve_dir"/ckpts/*.snap | tail -n1)"
+    [ -n "$snap" ] || { echo "serve: no checkpoint survived the kill"; exit 1; }
+    ./target/release/edm-serve --resume "$snap" --mode ingest \
+        --port-file "$serve_dir/c.port" > /dev/null &
+    local c_pid=$!
+    serve_wait_port "$serve_dir/c.port"
+    serve_post "$SERVE_PORT" /ingest "$serve_dir/ops-end.txt" > /dev/null
+    serve_wait_health "$SERVE_PORT" '"done":true' "the resumed ingest run"
+    serve_get "$SERVE_PORT" /healthz | grep -q "\"skipped_ops\":$part" \
+        || { echo "serve: resume dedup did not skip the checkpointed prefix"; \
+             serve_get "$SERVE_PORT" /healthz; exit 1; }
+    serve_get "$SERVE_PORT" /stats > "$serve_dir/stats-resumed.json"
+    serve_post "$SERVE_PORT" /shutdown > /dev/null
+    wait "$c_pid"
+    diff "$serve_dir/stats-uninterrupted.json" "$serve_dir/stats-resumed.json" \
+        || { echo "serve: killed-and-resumed /stats diverged from uninterrupted run"; exit 1; }
+    echo "serve: replay digest $batch_digest matches, journals conformant, kill/resume converges OK"
+}
+
 step_fuzz() {
     if [ "$QUICK" = "1" ]; then
         echo "==> fuzz skipped (EDM_CHECK_QUICK=1)"
@@ -266,6 +427,7 @@ run_step() {
         smoke) step_smoke ;;
         scale) step_scale ;;
         spec)  step_spec ;;
+        serve) step_serve ;;
         fuzz)  step_fuzz ;;
         all)
             for s in $STEPS; do

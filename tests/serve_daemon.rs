@@ -1,0 +1,287 @@
+//! End-to-end tests of the edm-serve daemon over a real loopback socket.
+//!
+//! Each test binds an ephemeral port, runs the daemon session on a
+//! thread, and speaks actual HTTP/1.1 through `TcpStream` — covering
+//! the full ingest → wear tick → trigger → migration → observability
+//! pipeline, the replay digest equivalence, and the checkpoint/resume
+//! convergence contract through the daemon (not just the library).
+//!
+//! These tests race a real daemon against wall-clock deadlines, so they
+//! legitimately read `Instant::now` at the process boundary — the
+//! simulation state they assert on stays virtual-time-deterministic.
+#![allow(clippy::disallowed_methods)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use edm_cluster::MigrationSchedule;
+use edm_obs::ObsLevel;
+use edm_scenario::{report_digest, Scenario};
+use edm_serve::{dump_ops, run_daemon_on, BackendKind, DaemonConfig, Mode};
+
+fn scenario() -> Scenario {
+    // Mirrors fuzz/corpus/random-trace-every-tick.scn: a workload that
+    // demonstrably crosses wear ticks and fires migrations.
+    Scenario {
+        trace: "random".into(),
+        scale: 0.002,
+        schedule: MigrationSchedule::EveryTick,
+        lambda: 0.05,
+        ..Scenario::default()
+    }
+}
+
+fn config(mode: Mode) -> DaemonConfig {
+    DaemonConfig {
+        scenario: scenario(),
+        mode,
+        speed: None,
+        checkpoint_dir: None,
+        checkpoint_every_us: None,
+        resume: None,
+        journal: None,
+        obs_level: ObsLevel::Events,
+        backend: BackendKind::Mem,
+    }
+}
+
+struct Daemon {
+    addr: SocketAddr,
+    handle: std::thread::JoinHandle<Result<(), String>>,
+}
+
+impl Daemon {
+    fn start(config: DaemonConfig) -> Daemon {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || run_daemon_on(listener, config));
+        Daemon { addr, handle }
+    }
+
+    fn request(&self, raw: String) -> String {
+        let mut s = TcpStream::connect(self.addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut reply = String::new();
+        s.read_to_string(&mut reply).unwrap();
+        reply
+    }
+
+    /// GET `path`, assert 200, return the body.
+    fn get(&self, path: &str) -> String {
+        let reply = self.request(format!("GET {path} HTTP/1.1\r\n\r\n"));
+        assert!(reply.starts_with("HTTP/1.1 200"), "GET {path}: {reply}");
+        body_of(&reply)
+    }
+
+    fn post(&self, path: &str, body: &str) -> String {
+        let reply = self.request(format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ));
+        assert!(reply.starts_with("HTTP/1.1 200"), "POST {path}: {reply}");
+        body_of(&reply)
+    }
+
+    /// Polls `/healthz` until it contains `needle` — the view is a
+    /// snapshot the session thread republishes at safe points, so state
+    /// flips show up eventually rather than on the next request.
+    fn wait_health(&self, needle: &str) {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if self.get("/healthz").contains(needle) {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "healthz never contained {needle:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Polls `/healthz` until it reports `"done":true`.
+    fn wait_done(&self) {
+        self.wait_health("\"done\":true");
+    }
+
+    fn shutdown(self) {
+        self.post("/shutdown", "");
+        self.handle.join().unwrap().unwrap();
+    }
+}
+
+fn body_of(reply: &str) -> String {
+    match reply.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => panic!("no header/body separator in {reply:?}"),
+    }
+}
+
+/// Pulls `edm_<name>_total <value>` out of a Prometheus rendering.
+fn metric(metrics: &str, name: &str) -> u64 {
+    let needle = format!("edm_{name}_total ");
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(needle.as_str()))
+        .unwrap_or_else(|| panic!("{name} not in metrics:\n{metrics}"))
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("edm-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn ingest_daemon_runs_the_full_migration_pipeline() {
+    let daemon = Daemon::start(config(Mode::Ingest));
+    let ops = dump_ops(&scenario());
+    let lines: Vec<&str> = ops.lines().collect();
+
+    // Feed the stream in two chunks plus the end marker, like a client.
+    let mid = lines.len() / 2;
+    daemon.post("/ingest", &format!("{}\n", lines[..mid].join("\n")));
+    // Pause/resume mid-stream: the daemon must hold position, not drop ops.
+    daemon.post("/pause", "");
+    daemon.wait_health("\"paused\":true");
+    daemon.post("/resume", "");
+    daemon.post("/ingest", &format!("{}\nend\n", lines[mid..].join("\n")));
+    daemon.wait_done();
+
+    // The pipeline ran: ticks fired, the trigger tripped, objects moved.
+    let metrics = daemon.get("/metrics");
+    assert!(metric(&metrics, "sim_ticks") > 0);
+    assert!(metric(&metrics, "sim_migration_evaluations") > 0);
+    let moved = metric(&metrics, "sim_moved_objects");
+    assert!(moved > 0, "no migrations fired:\n{metrics}");
+
+    // /plan carries the journal's latest trigger/plan records.
+    let plan = daemon.get("/plan");
+    assert!(plan.contains("\"trigger_eval\""), "{plan}");
+    assert!(plan.contains("\"plan_chosen\""), "{plan}");
+
+    // /stats agrees with the metrics and saw every line we sent.
+    let stats = daemon.get("/stats");
+    assert!(
+        stats.contains(&format!("\"applied_ops\":{}", lines.len())),
+        "{stats}"
+    );
+    assert!(
+        stats.contains(&format!("\"moved_objects\":{moved}")),
+        "{stats}"
+    );
+
+    // The in-memory backend applied exactly the completed migrations.
+    let healthz = daemon.get("/healthz");
+    assert!(
+        healthz.contains(&format!("\"backend_moves\":{moved}")),
+        "{healthz}"
+    );
+    assert!(healthz.contains("\"backend_errors\":0"), "{healthz}");
+
+    // /nodes exposes the whole cluster.
+    assert!(daemon.get("/nodes").contains("\"osds\":16"));
+    daemon.shutdown();
+}
+
+#[test]
+fn replay_daemon_reproduces_the_batch_digest() {
+    let expected = report_digest(&scenario().run().unwrap());
+    let daemon = Daemon::start(config(Mode::Replay));
+    daemon.wait_done();
+    let stats = daemon.get("/stats");
+    assert!(
+        stats.contains(&format!("{expected:#018x}")),
+        "digest mismatch: want {expected:#018x} in {stats}"
+    );
+    assert!(stats.contains("\"mode\":\"replay\""));
+    daemon.shutdown();
+}
+
+#[test]
+fn ingest_daemon_resume_converges_on_uninterrupted_stats() {
+    let ops = dump_ops(&scenario());
+    let lines: Vec<&str> = ops.lines().collect();
+    let ckpt_dir = temp_dir("resume");
+
+    // Uninterrupted reference run.
+    let daemon = Daemon::start(config(Mode::Ingest));
+    daemon.post("/ingest", &format!("{}\nend\n", lines.join("\n")));
+    daemon.wait_done();
+    let reference = daemon.get("/stats");
+    daemon.shutdown();
+
+    // Interrupted run: feed part of the stream, cut a checkpoint, stop.
+    let mut interrupted = config(Mode::Ingest);
+    interrupted.checkpoint_dir = Some(ckpt_dir.clone());
+    let daemon = Daemon::start(interrupted);
+    let part = lines.len() / 3;
+    daemon.post("/ingest", &format!("{}\n", lines[..part].join("\n")));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let h = daemon.get("/healthz");
+        if h.contains(&format!("\"ingest_accepted\":{part}")) && h.contains("\"ingest_buffered\":0")
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "partial stream never drained");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    daemon.post("/checkpoint", "");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !daemon.get("/healthz").contains("\"checkpoints\":1") {
+        assert!(Instant::now() < deadline, "checkpoint never cut");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    daemon.shutdown(); // the crash stand-in: state survives only in the snapshot
+
+    let snap = std::fs::read_dir(&ckpt_dir)
+        .unwrap()
+        .filter_map(|e| Some(e.ok()?.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "snap"))
+        .max()
+        .expect("no checkpoint written");
+
+    // Resumed run: re-feed the ENTIRE stream; dedup skips what the
+    // checkpoint covers and /stats must converge bit-identically.
+    let mut resumed = config(Mode::Ingest);
+    resumed.resume = Some(snap);
+    let daemon = Daemon::start(resumed);
+    daemon.post("/ingest", &format!("{}\nend\n", lines.join("\n")));
+    daemon.wait_done();
+    let converged = daemon.get("/stats");
+    let healthz = daemon.get("/healthz");
+    daemon.shutdown();
+
+    assert!(
+        healthz.contains(&format!("\"skipped_ops\":{part}")),
+        "resume dedup did not consume the checkpointed prefix: {healthz}"
+    );
+    assert_eq!(reference, converged);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
+#[test]
+fn daemon_rejects_malformed_and_unknown_requests() {
+    let daemon = Daemon::start(config(Mode::Ingest));
+    let reply = daemon.request("BREW /healthz HTTP/1.1\r\n\r\n".to_string());
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    let reply = daemon.request("GET /no-such-endpoint HTTP/1.1\r\n\r\n".to_string());
+    assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
+    let reply = daemon.request("GET /healthz\r\n\r\n".to_string());
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    // Bad ingest lines are rejected by the world but the daemon survives.
+    daemon.post("/ingest", "not a real op\nw 999999 0 1\nend\n");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !daemon.get("/healthz").contains("\"rejected_lines\":2") {
+        assert!(Instant::now() < deadline, "rejects never surfaced");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(daemon.get("/healthz").contains("\"ok\":true"));
+    daemon.shutdown();
+}
