@@ -24,12 +24,18 @@
 //! §8. The `vendor/` stand-ins are deliberately out of scope — they
 //! model *external* crates.
 
+pub mod ast;
 pub mod ci;
+mod conc;
 mod lexer;
+pub mod parse;
 mod pragma;
 mod report;
 mod rules;
 mod source;
+pub mod symgraph;
+mod taint;
+mod units;
 
 pub use ci::check_workflow_gate;
 pub use lexer::{lex, TokKind, Token};
@@ -37,6 +43,7 @@ pub use pragma::{parse_pragmas, Pragma, PragmaError};
 pub use report::{AuditOutcome, Finding, Suppressed};
 pub use rules::{rule_exists, RULES};
 pub use source::{FileKind, SourceFile};
+pub use symgraph::SymGraph;
 
 use std::path::{Path, PathBuf};
 
@@ -68,6 +75,10 @@ pub fn audit_sources(files: Vec<(String, String)>) -> AuditOutcome {
     rules::check_spec_event_coverage(&files, &mut raw);
     rules::check_suppression_budget(&files, &mut raw);
 
+    // Semantic passes: the workspace symbol graph feeds the
+    // interprocedural rules (det.taint, conc.*, unit.*).
+    raw.append(&mut semantic_findings(&files));
+
     // Suppression: a pragma silences findings of its rule on its target
     // line. Pragma problems are findings themselves and cannot be
     // suppressed.
@@ -82,6 +93,7 @@ pub fn audit_sources(files: Vec<(String, String)>) -> AuditOutcome {
                 path: f.rel_path.clone(),
                 line: e.line,
                 message: e.detail.clone(),
+                chain: Vec::new(),
             });
         }
         for p in &f.pragmas {
@@ -91,6 +103,7 @@ pub fn audit_sources(files: Vec<(String, String)>) -> AuditOutcome {
                     path: f.rel_path.clone(),
                     line: p.line,
                     message: format!("no rule named `{}` (see edm-audit --list-rules)", p.rule),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -134,11 +147,51 @@ pub fn audit_sources(files: Vec<(String, String)>) -> AuditOutcome {
                     "pragma allows `{}` but suppressed nothing on line {}",
                     p.rule, p.target_line
                 ),
+                chain: Vec::new(),
             });
         }
     }
     outcome.sort();
     outcome
+}
+
+/// Runs only the semantic passes — symbol-graph construction plus the
+/// interprocedural rules (`det.taint`, `conc.lock_order`,
+/// `conc.shared_state`, `unit.time`, `unit.wear`) — over
+/// already-loaded files. Public so `edm-perf` can time exactly this
+/// unit as the `audit_semantic` bench cell.
+pub fn semantic_findings(files: &[SourceFile]) -> Vec<Finding> {
+    let graph = SymGraph::build(files);
+    let mut raw = Vec::new();
+    taint::check_taint(&graph, &mut raw);
+    conc::check_conc(&graph, &mut raw);
+    units::check_units(&graph, &mut raw);
+    raw
+}
+
+/// Loads (lexes, parses, classifies) every auditable `.rs` file under
+/// `root` without running any rules.
+pub fn load_workspace_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files
+        .into_iter()
+        .map(|p| {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            std::fs::read_to_string(&p).map(|src| SourceFile::new(rel, src))
+        })
+        .collect()
 }
 
 /// Audits the workspace rooted at `root`: every `.rs` file under

@@ -80,6 +80,26 @@ pub const RULES: &[(&str, &str)] = &[
         "spec.event_coverage",
         "journal Event variant never matched in the edm-spec transition function",
     ),
+    (
+        "det.taint",
+        "nondeterministic value (wallclock, RNG, env, thread id, hash iteration) flows into sim state, a snapshot section, or the journal",
+    ),
+    (
+        "conc.lock_order",
+        "inconsistent lock acquisition order, or a lock held across a blocking call",
+    ),
+    (
+        "conc.shared_state",
+        "non-Sync state (Rc/RefCell/Cell) reachable from a spawned closure",
+    ),
+    (
+        "unit.time",
+        "arithmetic/comparison mixing a time unit (us/ms/ns) with another unit",
+    ),
+    (
+        "unit.wear",
+        "arithmetic/comparison mixing wear/erase/page/block/byte units",
+    ),
 ];
 
 pub fn rule_exists(id: &str) -> bool {
@@ -152,6 +172,7 @@ pub fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
         path: file.rel_path.clone(),
         line,
         message,
+        chain: Vec::new(),
     };
     let in_test = |line: u32| file.in_cfg_test(line);
     let lib = file.kind == FileKind::LibSrc;
@@ -504,121 +525,23 @@ fn for_loop_over(v: &View<'_>, i: usize, decls: &BTreeSet<String>) -> Option<(St
 /// site, to survive same-name structs in different modules).
 pub type StructTable = BTreeMap<(String, String), Vec<Vec<String>>>;
 
-/// Pass A: record every `struct Name { field: Type, … }` in `file`.
+/// Pass A: record every `struct Name { field: Type, … }` in `file`,
+/// straight off the AST.
 pub fn collect_structs(file: &SourceFile, table: &mut StructTable) {
-    let v = View {
-        src: &file.src,
-        toks: &file.sig,
-    };
-    let mut i = 0;
-    while i < v.toks.len() {
-        if !v.is_ident(i, "struct") || v.kind(i + 1) != Some(TokKind::Ident) {
-            i += 1;
+    for s in file.ast.structs() {
+        if s.fields.is_empty() {
             continue;
         }
-        let name = v.text(i + 1).to_string();
-        let mut j = i + 2;
-        // Skip generics.
-        if v.is(j, "<") {
-            let mut angle = 0i32;
-            while j < v.toks.len() {
-                match v.text(j) {
-                    "<" => angle += 1,
-                    ">" => {
-                        angle -= 1;
-                        if angle <= 0 {
-                            j += 1;
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                j += 1;
-            }
-        }
-        // Skip a where clause; stop at `{`, bail on tuple/unit structs.
-        while j < v.toks.len() && !v.is(j, "{") {
-            if v.is(j, "(") || v.is(j, ";") {
-                break;
-            }
-            j += 1;
-        }
-        if !v.is(j, "{") {
-            i = j.max(i + 1);
-            continue;
-        }
-        let mut fields = Vec::new();
-        let mut brace = 1i32;
-        let mut expect_field = true; // at `{` or after a field's `,`
-        j += 1;
-        while j < v.toks.len() && brace > 0 {
-            match v.text(j) {
-                "{" => brace += 1,
-                "}" => brace -= 1,
-                "," if brace == 1 => expect_field = true,
-                "#" if brace == 1 => {
-                    // Skip an attribute `#[…]` without disturbing
-                    // expect_field.
-                    if v.is(j + 1, "[") {
-                        let mut br = 0i32;
-                        j += 1;
-                        while j < v.toks.len() {
-                            match v.text(j) {
-                                "[" => br += 1,
-                                "]" => {
-                                    br -= 1;
-                                    if br == 0 {
-                                        break;
-                                    }
-                                }
-                                _ => {}
-                            }
-                            j += 1;
-                        }
-                    }
-                }
-                "pub" if brace == 1 => {}
-                "(" if brace == 1 => {
-                    // pub(crate) etc. — skip the parenthesized vis.
-                    let mut par = 1i32;
-                    j += 1;
-                    while j < v.toks.len() && par > 0 {
-                        match v.text(j) {
-                            "(" => par += 1,
-                            ")" => par -= 1,
-                            _ => {}
-                        }
-                        j += 1;
-                    }
-                    continue;
-                }
-                _ => {
-                    if expect_field
-                        && brace == 1
-                        && v.kind(j) == Some(TokKind::Ident)
-                        && v.is(j + 1, ":")
-                        && !v.is(j + 2, ":")
-                    {
-                        fields.push(v.text(j).to_string());
-                        expect_field = false;
-                    }
-                }
-            }
-            j += 1;
-        }
-        if !fields.is_empty() {
-            table
-                .entry((file.crate_name.clone(), name))
-                .or_default()
-                .push(fields);
-        }
-        i = j;
+        table
+            .entry((file.crate_name.clone(), s.name.clone()))
+            .or_default()
+            .push(s.fields.iter().map(|f| f.name.clone()).collect());
     }
 }
 
-/// Pass B: for every `impl Snapshot for T` in `file`, check that each
-/// field of `T` (when `T` is a named-field struct in the same crate)
-/// appears in both the `save` and the `load` body.
+/// Pass B: for every `impl Snapshot for T` in `file` (found on the
+/// AST), check that each field of `T` (when `T` is a named-field struct
+/// in the same crate) appears in both the `save` and the `load` body.
 pub fn check_snapshot_coverage(
     file: &SourceFile,
     table: &StructTable,
@@ -627,146 +550,91 @@ pub fn check_snapshot_coverage(
     if file.kind != FileKind::LibSrc {
         return;
     }
-    let v = View {
-        src: &file.src,
-        toks: &file.sig,
-    };
-    let mut i = 0;
-    while i < v.toks.len() {
-        if !v.is_ident(i, "impl") {
-            i += 1;
+    let mut impls: Vec<(&crate::ast::ImplBlock, u32)> = Vec::new();
+    collect_impls(&file.ast.items, &mut impls);
+    for (imp, impl_line) in impls {
+        if imp.trait_name.as_deref() != Some("Snapshot") || file.in_cfg_test(impl_line) {
             continue;
         }
-        let impl_line = v.line(i);
-        if file.in_cfg_test(impl_line) {
-            i += 1;
+        let tname = &imp.type_name;
+        let key = (file.crate_name.clone(), tname.clone());
+        let Some(candidates) = table.get(&key) else {
             continue;
-        }
-        // Scan the header up to `{`; require …`Snapshot` `for` TypePath.
-        let mut j = i + 1;
-        let mut saw_snapshot_for = false;
-        let mut type_name: Option<String> = None;
-        while j < v.toks.len() && !v.is(j, "{") {
-            if v.is_ident(j, "for") && j > 0 && v.is_ident(j - 1, "Snapshot") {
-                saw_snapshot_for = true;
-            } else if saw_snapshot_for && v.kind(j) == Some(TokKind::Ident) && type_name.is_none() {
-                // First ident after `for` that is not a path prefix: take
-                // the *last* path segment before generics end the name.
-                let mut k = j;
-                let mut last = v.text(j);
-                while v.is(k + 1, ":") && v.is(k + 2, ":") && v.kind(k + 3) == Some(TokKind::Ident)
-                {
-                    k += 3;
-                    last = v.text(k);
+        };
+        let save_idents = fn_body_idents(file, imp, "save");
+        let load_idents = fn_body_idents(file, imp, "load");
+        // Same-name structs in different modules: report only if the
+        // check fails for every candidate definition, and report the
+        // candidate with the fewest missing fields.
+        let mut best: Option<Vec<String>> = None;
+        for fields in candidates {
+            let mut missing = Vec::new();
+            for field in fields {
+                let in_save = save_idents.contains(field.as_str());
+                let in_load = load_idents.contains(field.as_str());
+                if !in_save || !in_load {
+                    let side = match (in_save, in_load) {
+                        (false, false) => "save and load paths",
+                        (false, true) => "save path",
+                        _ => "load path",
+                    };
+                    missing.push(format!("`{field}` missing from the {side}"));
                 }
-                type_name = Some(last.to_string());
-                j = k;
             }
-            j += 1;
-            if j > i + 48 {
+            if missing.is_empty() {
+                best = None;
                 break;
             }
-        }
-        if !saw_snapshot_for || !v.is(j, "{") {
-            i += 1;
-            continue;
-        }
-        let body_start = j;
-        let body_end = match matching_brace(&v, body_start) {
-            Some(e) => e,
-            None => {
-                i = body_start + 1;
-                continue;
-            }
-        };
-        let Some(tname) = type_name else {
-            i = body_end;
-            continue;
-        };
-        let key = (file.crate_name.clone(), tname.clone());
-        if let Some(candidates) = table.get(&key) {
-            let save_idents = fn_body_idents(&v, body_start, body_end, "save");
-            let load_idents = fn_body_idents(&v, body_start, body_end, "load");
-            // Same-name structs in different modules: report only if the
-            // check fails for every candidate definition, and report the
-            // candidate with the fewest missing fields.
-            let mut best: Option<Vec<String>> = None;
-            for fields in candidates {
-                let mut missing = Vec::new();
-                for field in fields {
-                    let in_save = save_idents.contains(field.as_str());
-                    let in_load = load_idents.contains(field.as_str());
-                    if !in_save || !in_load {
-                        let side = match (in_save, in_load) {
-                            (false, false) => "save and load paths",
-                            (false, true) => "save path",
-                            _ => "load path",
-                        };
-                        missing.push(format!("`{field}` missing from the {side}"));
-                    }
-                }
-                if missing.is_empty() {
-                    best = None;
-                    break;
-                }
-                if best.as_ref().is_none_or(|b| missing.len() < b.len()) {
-                    best = Some(missing);
-                }
-            }
-            if let Some(missing) = best {
-                for m in missing {
-                    findings.push(Finding {
-                        rule: "snap.field_coverage",
-                        path: file.rel_path.clone(),
-                        line: impl_line,
-                        message: format!("Snapshot impl for `{tname}`: field {m}"),
-                    });
-                }
+            if best.as_ref().is_none_or(|b| missing.len() < b.len()) {
+                best = Some(missing);
             }
         }
-        i = body_end;
+        if let Some(missing) = best {
+            for m in missing {
+                findings.push(Finding {
+                    rule: "snap.field_coverage",
+                    path: file.rel_path.clone(),
+                    line: impl_line,
+                    message: format!("Snapshot impl for `{tname}`: field {m}"),
+                    chain: Vec::new(),
+                });
+            }
+        }
     }
 }
 
-/// Index just past the brace matching the `{` at `open`.
-fn matching_brace(v: &View<'_>, open: usize) -> Option<usize> {
-    let mut depth = 0i32;
-    for j in open..v.toks.len() {
-        match v.text(j) {
-            "{" => depth += 1,
-            "}" => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(j + 1);
-                }
-            }
+/// Every impl block in the file (recursing through inline modules),
+/// with its declaration line.
+fn collect_impls<'a>(
+    items: &'a [crate::ast::Item],
+    out: &mut Vec<(&'a crate::ast::ImplBlock, u32)>,
+) {
+    for item in items {
+        match &item.kind {
+            crate::ast::ItemKind::Impl(imp) => out.push((imp, item.line)),
+            crate::ast::ItemKind::Mod(m) => collect_impls(&m.items, out),
             _ => {}
         }
     }
-    None
 }
 
-/// All ident texts inside the body of `fn <name>` within [start, end).
-fn fn_body_idents<'s>(v: &View<'s>, start: usize, end: usize, name: &str) -> BTreeSet<&'s str> {
+/// All ident texts inside the body of `fn <name>` of an impl block.
+fn fn_body_idents<'s>(
+    file: &'s SourceFile,
+    imp: &crate::ast::ImplBlock,
+    name: &str,
+) -> BTreeSet<&'s str> {
     let mut out = BTreeSet::new();
-    let mut j = start;
-    while j < end.min(v.toks.len()) {
-        if v.is_ident(j, "fn") && v.is_ident(j + 1, name) {
-            // Find the body `{` (skip the signature).
-            let mut k = j + 2;
-            while k < end && !v.is(k, "{") {
-                k += 1;
-            }
-            if let Some(close) = matching_brace(v, k) {
-                for t in k..close.min(end) {
-                    if v.kind(t) == Some(TokKind::Ident) {
-                        out.insert(v.text(t));
-                    }
-                }
-            }
-            return out;
+    let Some(decl) = imp.fns.iter().find(|f| f.name == name) else {
+        return out;
+    };
+    let Some((lo, hi)) = decl.body_range else {
+        return out;
+    };
+    for t in lo..hi.min(file.sig.len()) {
+        if file.sig[t].kind == TokKind::Ident {
+            out.insert(file.sig[t].text(&file.src));
         }
-        j += 1;
     }
     out
 }
@@ -814,73 +682,21 @@ pub fn check_spec_event_coverage(files: &[SourceFile], findings: &mut Vec<Findin
                      function (crates/spec/src) — the spec cannot certify journals \
                      that carry it"
                 ),
+                chain: Vec::new(),
             });
         }
     }
 }
 
 /// The variant names (and declaration lines) of `pub enum Event` in the
-/// given file.
+/// given file, straight off the AST.
 fn event_enum_variants(file: &SourceFile) -> Vec<(String, u32)> {
-    let v = View {
-        src: &file.src,
-        toks: &file.sig,
-    };
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < v.toks.len() {
-        if !(v.is_ident(i, "enum") && v.is_ident(i + 1, "Event") && v.is(i + 2, "{")) {
-            i += 1;
-            continue;
-        }
-        let mut depth = 0i32;
-        let mut expect_variant = false;
-        let mut j = i + 2;
-        while j < v.toks.len() {
-            match v.text(j) {
-                "{" => {
-                    depth += 1;
-                    if depth == 1 {
-                        expect_variant = true;
-                    }
-                }
-                "}" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        return out;
-                    }
-                }
-                "," if depth == 1 => expect_variant = true,
-                "#" if depth == 1 && v.is(j + 1, "[") => {
-                    // Skip a variant attribute `#[…]`.
-                    let mut br = 0i32;
-                    j += 1;
-                    while j < v.toks.len() {
-                        match v.text(j) {
-                            "[" => br += 1,
-                            "]" => {
-                                br -= 1;
-                                if br == 0 {
-                                    break;
-                                }
-                            }
-                            _ => {}
-                        }
-                        j += 1;
-                    }
-                }
-                _ => {
-                    if expect_variant && depth == 1 && v.kind(j) == Some(TokKind::Ident) {
-                        out.push((v.text(j).to_string(), v.line(j)));
-                        expect_variant = false;
-                    }
-                }
-            }
-            j += 1;
-        }
-        return out;
-    }
-    out
+    file.ast
+        .enums()
+        .into_iter()
+        .find(|e| e.name == "Event")
+        .map(|e| e.variants.clone())
+        .unwrap_or_default()
 }
 
 /// The frozen `det.*` pragma budget of each deterministic-core crate:
@@ -902,12 +718,16 @@ const DET_PRAGMA_BUDGETS: &[(&str, usize)] = &[
     ("scenario", 0),
 ];
 
-/// `det.suppression_budget`: counts `det.*` pragmas under each budgeted
-/// crate's `src/` (every file kind — a suppression in a bin or test
-/// module still normalizes an escape hatch) and fires on any crate over
-/// its frozen allowance. Workspace-level: the count is a property of the
-/// whole crate, reported once at its root.
+/// `det.suppression_budget`: counts `det.*`, `conc.*`, and `unit.*`
+/// pragmas under each budgeted crate's `src/` (every file kind — a
+/// suppression in a bin or test module still normalizes an escape
+/// hatch) and fires on any crate over its frozen allowance.
+/// Workspace-level: the count is a property of the whole crate,
+/// reported once at its root.
 pub fn check_suppression_budget(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let budgeted = |rule: &str| {
+        rule.starts_with("det.") || rule.starts_with("conc.") || rule.starts_with("unit.")
+    };
     for (krate, budget) in DET_PRAGMA_BUDGETS {
         let prefix = format!("crates/{krate}/src/");
         let mut sites = Vec::new();
@@ -917,7 +737,7 @@ pub fn check_suppression_budget(files: &[SourceFile], findings: &mut Vec<Finding
             for p in f
                 .pragmas
                 .iter()
-                .filter(|p| p.rule.starts_with("det.") && rule_exists(&p.rule))
+                .filter(|p| budgeted(&p.rule) && rule_exists(&p.rule))
             {
                 sites.push(format!("{}:{} ({})", f.rel_path, p.line, p.rule));
             }
@@ -928,12 +748,13 @@ pub fn check_suppression_budget(files: &[SourceFile], findings: &mut Vec<Finding
                 path: format!("crates/{krate}/src/lib.rs"),
                 line: 1,
                 message: format!(
-                    "crate `{krate}` carries {} det.* suppressions against a frozen \
-                     budget of {budget} [{}] — admitting a new one means raising the \
-                     budget in edm-audit's DET_PRAGMA_BUDGETS, in the same change",
+                    "crate `{krate}` carries {} det.*/conc.*/unit.* suppressions against \
+                     a frozen budget of {budget} [{}] — admitting a new one means raising \
+                     the budget in edm-audit's DET_PRAGMA_BUDGETS, in the same change",
                     sites.len(),
                     sites.join(", ")
                 ),
+                chain: Vec::new(),
             });
         }
     }
@@ -964,5 +785,6 @@ pub fn check_forbid_unsafe(file: &SourceFile, findings: &mut Vec<Finding>) {
         path: file.rel_path.clone(),
         line: 1,
         message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+        chain: Vec::new(),
     });
 }

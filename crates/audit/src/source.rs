@@ -2,7 +2,9 @@
 //! belongs to, whether it is library / binary / test / bench / example
 //! code, and which line ranges sit inside `#[cfg(test)]` modules.
 
+use crate::ast::Ast;
 use crate::lexer::{lex, TokKind, Token};
+use crate::parse;
 use crate::pragma::{parse_pragmas, Pragma, PragmaError};
 
 /// How a file participates in the build — rules scope on this.
@@ -31,6 +33,8 @@ pub struct SourceFile {
     pub sig: Vec<Token>,
     pub pragmas: Vec<Pragma>,
     pub pragma_errors: Vec<PragmaError>,
+    /// Item-level AST over `sig` (total parse; see [`crate::parse`]).
+    pub ast: Ast,
     /// Line ranges (inclusive) of `#[cfg(test)] mod … { … }` bodies.
     cfg_test_ranges: Vec<(u32, u32)>,
 }
@@ -46,6 +50,7 @@ impl SourceFile {
             .copied()
             .collect();
         let cfg_test_ranges = cfg_test_ranges(&src, &sig);
+        let ast = parse::parse(&src, &sig);
         SourceFile {
             rel_path,
             crate_name,
@@ -54,6 +59,7 @@ impl SourceFile {
             sig,
             pragmas,
             pragma_errors,
+            ast,
             cfg_test_ranges,
         }
     }

@@ -1,0 +1,491 @@
+//! `det.taint` — interprocedural nondeterminism taint tracking.
+//!
+//! Sources: wall-clock reads (`Instant::now`, `SystemTime::now`),
+//! ambient RNG (`thread_rng`, `rand::random`, `from_entropy`, `OsRng`),
+//! process environment reads, thread identity, and iteration over
+//! unordered hash containers. Sinks: assignments to `self.*` fields in
+//! the simulation-state crates (plus `snap`) and arguments fed to the
+//! obs journal/recorder methods. A finding fires only when a source
+//! value *reaches* a sink, and carries the full source→sink chain.
+//!
+//! The analysis is a flow-insensitive-within-loops, two-pass transfer
+//! over each function's statement skeleton plus a monotone fixpoint
+//! over per-function summaries:
+//!
+//! - `returns_concrete` — the fn returns a value tainted by a source it
+//!   reaches itself (chain recorded);
+//! - `returns_params[i]` — the fn returns its `i`-th parameter's taint
+//!   (chain suffix recorded);
+//! - `param_sinks[i]` — the fn feeds its `i`-th parameter into a sink
+//!   (chain suffix ending at the sink).
+//!
+//! Chains are first-writer-wins, so the fixpoint is monotone and
+//! terminates. Resolution comes from [`crate::symgraph`]: unresolved
+//! calls propagate nothing — the deliberate bias is that *recognized*
+//! sources and sinks are matched by name pattern, while propagation
+//! only follows unique, workspace-local edges.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Call, Stmt, StmtKind};
+use crate::report::Finding;
+use crate::symgraph::SymGraph;
+
+/// Crates whose `self.*` fields count as sim-state sinks.
+const SINK_CRATES: &[&str] = &["ssd", "cluster", "core", "workload", "snap"];
+
+/// Recorder/journal methods whose arguments count as journal sinks.
+const RECORDER_SINKS: &[&str] = &[
+    "event",
+    "counter",
+    "gauge",
+    "latency",
+    "merge_histogram",
+    "set_now",
+];
+
+/// Hash-container iteration methods (unordered order source).
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+const MAX_CHAIN: usize = 8;
+
+type Chain = Vec<String>;
+
+/// A value's taint: possibly concretely tainted (chain from a source),
+/// possibly carrying taint of caller parameters (chain suffixes).
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Taint {
+    concrete: Option<Chain>,
+    params: BTreeMap<usize, Chain>,
+}
+
+impl Taint {
+    fn is_clean(&self) -> bool {
+        self.concrete.is_none() && self.params.is_empty()
+    }
+
+    /// First-writer-wins merge (monotone: chains never change once set).
+    fn merge(&mut self, other: &Taint) {
+        if self.concrete.is_none() {
+            self.concrete.clone_from(&other.concrete);
+        }
+        for (k, v) in &other.params {
+            self.params.entry(*k).or_insert_with(|| v.clone());
+        }
+    }
+
+    fn extend_chain(&self, step: String) -> Taint {
+        Taint {
+            concrete: self.concrete.as_ref().map(|c| push_step(c, &step)),
+            params: self
+                .params
+                .iter()
+                .map(|(k, c)| (*k, push_step(c, &step)))
+                .collect(),
+        }
+    }
+}
+
+fn push_step(chain: &Chain, step: &str) -> Chain {
+    let mut c = chain.clone();
+    if c.len() < MAX_CHAIN {
+        c.push(step.to_string());
+    }
+    c
+}
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Summary {
+    returns_concrete: Option<Chain>,
+    returns_params: BTreeMap<usize, Chain>,
+    /// param index → (chain suffix ending at the sink, sink line).
+    param_sinks: BTreeMap<usize, Chain>,
+}
+
+/// Runs the taint analysis over the whole workspace.
+pub fn check_taint(graph: &SymGraph<'_>, findings: &mut Vec<Finding>) {
+    let scope = graph.analyzable();
+    let mut summaries: Vec<Summary> = vec![Summary::default(); graph.fns.len()];
+    // Fixpoint over summaries (first-writer-wins chains ⇒ monotone).
+    for _round in 0..6 {
+        let mut changed = false;
+        for &i in &scope {
+            let (summary, _) = analyze_fn(graph, i, &summaries, false);
+            if summary != summaries[i] {
+                summaries[i] = summary;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Emission pass: report concrete-taint-reaches-sink findings.
+    for &i in &scope {
+        let (_, mut found) = analyze_fn(graph, i, &summaries, true);
+        findings.append(&mut found);
+    }
+}
+
+/// One transfer over fn `idx`'s statement skeleton. Two passes so taint
+/// introduced late in a loop body reaches reads earlier in it.
+fn analyze_fn(
+    graph: &SymGraph<'_>,
+    idx: usize,
+    summaries: &[Summary],
+    emit: bool,
+) -> (Summary, Vec<Finding>) {
+    let node = &graph.fns[idx];
+    let file = graph.file_of(idx);
+    let decl = node.ctx.decl;
+    let here = |line: u32| format!("{}:{}", file.rel_path, line);
+    let mut summary = Summary::default();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut env: BTreeMap<String, Taint> = BTreeMap::new();
+    for (i, p) in decl.params.iter().enumerate() {
+        if !p.name.is_empty() && p.name != "self" {
+            env.insert(
+                p.name.clone(),
+                Taint {
+                    concrete: None,
+                    params: BTreeMap::from([(i, Vec::new())]),
+                },
+            );
+        }
+    }
+    let hash_locals = hash_container_locals(decl);
+    let sink_crate = SINK_CRATES.contains(&file.crate_name.as_str());
+
+    for pass in 0..2 {
+        let emit_now = emit && pass == 1;
+        for stmt in &decl.body {
+            let mut value = Taint::default();
+            // Reads of tainted places.
+            for path in &stmt.idents {
+                if let Some(t) = lookup(&env, path) {
+                    value.merge(&t);
+                }
+            }
+            // Calls: sources, summaries, and sink arguments.
+            for call in &stmt.calls {
+                if let Some(desc) = source_desc(graph, idx, call, &hash_locals) {
+                    value.merge(&Taint {
+                        concrete: Some(vec![format!("{}: {desc}", here(call.line))]),
+                        params: BTreeMap::new(),
+                    });
+                }
+                let callee = graph.resolve(idx, call);
+                let arg_taints: Vec<Taint> = call
+                    .args
+                    .iter()
+                    .map(|paths| {
+                        let mut t = Taint::default();
+                        for p in paths {
+                            if let Some(x) = lookup(&env, p) {
+                                t.merge(&x);
+                            }
+                        }
+                        t
+                    })
+                    .collect();
+                if let Some(c) = callee {
+                    let cs = &summaries[c];
+                    let cname = &graph.fns[c].ctx.decl.name;
+                    // Return-taint from the callee itself.
+                    if let Some(chain) = &cs.returns_concrete {
+                        let step =
+                            format!("{}: tainted value returned by `{cname}()`", here(call.line));
+                        value.merge(&Taint {
+                            concrete: Some(push_step(chain, &step)),
+                            params: BTreeMap::new(),
+                        });
+                    }
+                    // Param pass-through and param-to-sink flows. The
+                    // callee indexes params including any `self`
+                    // receiver, which never appears in `call.args`.
+                    let skip = usize::from(
+                        call.method
+                            && graph.fns[c]
+                                .ctx
+                                .decl
+                                .params
+                                .first()
+                                .is_some_and(|p| p.name == "self"),
+                    );
+                    for (ai, at) in arg_taints.iter().enumerate() {
+                        if at.is_clean() {
+                            continue;
+                        }
+                        let pi = ai + skip;
+                        let into = format!(
+                            "{}: passes into `{cname}(…)` argument {}",
+                            here(call.line),
+                            ai + 1
+                        );
+                        if let Some(suffix) = cs.returns_params.get(&pi) {
+                            let mut ret = at.extend_chain(into.clone());
+                            ret = append_suffix(&ret, suffix);
+                            value.merge(&ret);
+                        }
+                        if let Some(suffix) = cs.param_sinks.get(&pi) {
+                            if let Some(chain) = &at.concrete {
+                                if emit_now {
+                                    let mut full = push_step(chain, &into);
+                                    for s in suffix {
+                                        if full.len() < MAX_CHAIN {
+                                            full.push(s.clone());
+                                        }
+                                    }
+                                    findings.push(sink_finding(file, call.line, full));
+                                }
+                            }
+                            for (k, chain) in &at.params {
+                                let mut full = push_step(chain, &into);
+                                for s in suffix {
+                                    if full.len() < MAX_CHAIN {
+                                        full.push(s.clone());
+                                    }
+                                }
+                                summary.param_sinks.entry(*k).or_insert(full);
+                            }
+                        }
+                    }
+                }
+                // Journal/recorder sink: tainted argument to a recorder
+                // method. Only for method calls — a free fn named
+                // `event` elsewhere is not the journal.
+                if call.method && RECORDER_SINKS.contains(&call.callee.as_str()) {
+                    let sink_step = format!(
+                        "{}: feeds the journal via `.{}(…)`",
+                        here(call.line),
+                        call.callee
+                    );
+                    for at in &arg_taints {
+                        if let Some(chain) = &at.concrete {
+                            if emit_now {
+                                findings.push(sink_finding(
+                                    file,
+                                    call.line,
+                                    push_step(chain, &sink_step),
+                                ));
+                            }
+                        }
+                        for (k, chain) in &at.params {
+                            summary
+                                .param_sinks
+                                .entry(*k)
+                                .or_insert_with(|| push_step(chain, &sink_step));
+                        }
+                    }
+                }
+            }
+            // Binding / sink effects of the statement itself.
+            match &stmt.kind {
+                StmtKind::Let { names } => {
+                    if !value.is_clean() {
+                        let step =
+                            format!("{}: bound to `{}`", here(stmt.line), names.join("`, `"));
+                        let bound = value.extend_chain(step);
+                        for n in names {
+                            env.entry(n.clone()).or_default().merge(&bound);
+                        }
+                    }
+                }
+                StmtKind::Assign { target } => {
+                    if !value.is_clean() {
+                        if sink_crate && target.starts_with("self.") {
+                            let sink_step = format!(
+                                "{}: assigned to sim-state field `{target}`",
+                                here(stmt.line)
+                            );
+                            if let Some(chain) = &value.concrete {
+                                if emit_now {
+                                    findings.push(sink_finding(
+                                        file,
+                                        stmt.line,
+                                        push_step(chain, &sink_step),
+                                    ));
+                                }
+                            }
+                            for (k, chain) in &value.params {
+                                summary
+                                    .param_sinks
+                                    .entry(*k)
+                                    .or_insert_with(|| push_step(chain, &sink_step));
+                            }
+                        } else {
+                            env.entry(target.clone()).or_default().merge(&value);
+                        }
+                    }
+                }
+                StmtKind::Return => {
+                    if !value.is_clean() {
+                        if summary.returns_concrete.is_none() {
+                            summary.returns_concrete.clone_from(&value.concrete);
+                        }
+                        for (k, c) in &value.params {
+                            summary
+                                .returns_params
+                                .entry(*k)
+                                .or_insert_with(|| c.clone());
+                        }
+                    }
+                }
+                StmtKind::Other => {
+                    // `for <pat> in <tainted>`: bind the loop pattern.
+                    if !value.is_clean() && first_token_is(file, stmt, "for") {
+                        let step = format!("{}: iterated in `for` loop", here(stmt.line));
+                        let bound = value.extend_chain(step);
+                        for p in &stmt.idents {
+                            let head = p.split('.').next().unwrap_or(p);
+                            env.entry(head.to_string()).or_default().merge(&bound);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    findings.sort();
+    findings.dedup();
+    (summary, findings)
+}
+
+fn sink_finding(file: &crate::source::SourceFile, line: u32, chain: Chain) -> Finding {
+    let src = chain.first().cloned().unwrap_or_default();
+    Finding {
+        rule: "det.taint",
+        path: file.rel_path.clone(),
+        line,
+        message: format!("nondeterministic value reaches a determinism sink (source: {src})"),
+        chain,
+    }
+}
+
+fn append_suffix(t: &Taint, suffix: &Chain) -> Taint {
+    let app = |c: &Chain| {
+        let mut out = c.clone();
+        for s in suffix {
+            if out.len() < MAX_CHAIN {
+                out.push(s.clone());
+            }
+        }
+        out
+    };
+    Taint {
+        concrete: t.concrete.as_ref().map(app),
+        params: t.params.iter().map(|(k, c)| (*k, app(c))).collect(),
+    }
+}
+
+/// Taint of a dotted read: exact key, a tainted container prefix, or a
+/// tainted member under the read path.
+fn lookup(env: &BTreeMap<String, Taint>, path: &str) -> Option<Taint> {
+    let mut out = Taint::default();
+    for (k, t) in env {
+        let related = k == path
+            || path
+                .strip_prefix(k.as_str())
+                .is_some_and(|r| r.starts_with('.'))
+            || k.strip_prefix(path).is_some_and(|r| r.starts_with('.'));
+        if related {
+            out.merge(t);
+        }
+    }
+    if out.is_clean() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Locals bound to hash containers in this fn: `let m = HashMap::new()`
+/// (callee path) or `let m: HashMap<…> = …` (the type name surfaces in
+/// the statement's ident paths).
+fn hash_container_locals(decl: &crate::ast::FnDecl) -> Vec<String> {
+    let mut out = Vec::new();
+    for stmt in &decl.body {
+        if let StmtKind::Let { names } = &stmt.kind {
+            let from_call = stmt
+                .calls
+                .iter()
+                .any(|c| c.callee.starts_with("HashMap::") || c.callee.starts_with("HashSet::"));
+            let from_ty = stmt.idents.iter().any(|p| p == "HashMap" || p == "HashSet");
+            if from_call || from_ty {
+                out.extend(names.iter().cloned());
+            }
+        }
+    }
+    out
+}
+
+/// Is `call` a nondeterminism source? Returns the chain-step text.
+fn source_desc(
+    graph: &SymGraph<'_>,
+    fn_idx: usize,
+    call: &Call,
+    hash_locals: &[String],
+) -> Option<String> {
+    let c = call.callee.as_str();
+    if (c.contains("Instant") || c.contains("SystemTime")) && c.ends_with("::now") {
+        return Some(format!("wall-clock read (`{c}()`)"));
+    }
+    if c.ends_with("thread_rng") || c.ends_with("from_entropy") || c.contains("OsRng") {
+        return Some(format!("ambient RNG (`{c}()`)"));
+    }
+    if c == "random" || c.ends_with("::random") {
+        return Some(format!("ambient RNG (`{c}()`)"));
+    }
+    if c.contains("env") {
+        let last = c.rsplit("::").next().unwrap_or(c);
+        if matches!(last, "var" | "var_os" | "vars" | "args" | "args_os") {
+            return Some(format!("process-environment read (`{c}()`)"));
+        }
+    }
+    if c.ends_with("thread::current")
+        || c == "available_parallelism"
+        || c.ends_with("::available_parallelism")
+    {
+        return Some(format!("thread/host identity (`{c}()`)"));
+    }
+    // Unordered iteration: `.iter()`-family on a known hash container.
+    if call.method && ITER_METHODS.contains(&c) {
+        if let Some(recv) = &call.recv {
+            let head = recv.split('.').next().unwrap_or(recv);
+            if hash_locals.iter().any(|l| l == head) {
+                return Some(format!("unordered iteration over hash container `{recv}`"));
+            }
+            if let Some(field) = recv.strip_prefix("self.") {
+                let node = &graph.fns[fn_idx];
+                let file = graph.file_of(fn_idx);
+                let field_head = field.split('.').next().unwrap_or(field);
+                if let Some(owner) = node.ctx.owner {
+                    if let Some(ty) = graph.field_type(&file.crate_name, owner, field_head) {
+                        if ty.contains("HashMap") || ty.contains("HashSet") {
+                            return Some(format!(
+                                "unordered iteration over hash container `{recv}`"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn first_token_is(file: &crate::source::SourceFile, stmt: &Stmt, kw: &str) -> bool {
+    file.sig
+        .get(stmt.lo)
+        .is_some_and(|t| t.text(&file.src) == kw)
+}

@@ -1,0 +1,354 @@
+//! `unit.time` / `unit.wear` — newtype-discipline checking without
+//! newtypes.
+//!
+//! Unit roles are inferred from names: `_us`/`_ms`/`_ns` suffixes are
+//! time units, `tick` names are wear ticks, `erase` names are erase
+//! counts, `_page(s)`/`ppn`/`lpn` and `_block(s)`/`pbn` are media
+//! indices, `_bytes` is capacity. The checker walks every statement's
+//! tokens and flags additive arithmetic (`+ - += -=`) and comparisons
+//! (`< <= > >= == !=`) whose two operands carry *different known*
+//! units, plus call arguments whose unit disagrees with the named
+//! parameter they bind to. Multiplication and division are exempt —
+//! rates and scaling legitimately mix units. Operands with no inferable
+//! unit never fire, so generics `<`/`>` punctuation is naturally inert.
+//!
+//! `unit.time` fires when either side is a time unit; `unit.wear`
+//! covers the rest (ticks/erases/pages/blocks/bytes cross-mixes).
+
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::symgraph::SymGraph;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    Micros,
+    Millis,
+    Nanos,
+    Ticks,
+    Erases,
+    Pages,
+    Blocks,
+    Bytes,
+}
+
+impl Unit {
+    fn name(self) -> &'static str {
+        match self {
+            Unit::Micros => "microseconds",
+            Unit::Millis => "milliseconds",
+            Unit::Nanos => "nanoseconds",
+            Unit::Ticks => "wear ticks",
+            Unit::Erases => "erase counts",
+            Unit::Pages => "page index/count",
+            Unit::Blocks => "block index/count",
+            Unit::Bytes => "bytes",
+        }
+    }
+
+    fn is_time(self) -> bool {
+        matches!(self, Unit::Micros | Unit::Millis | Unit::Nanos)
+    }
+}
+
+/// Infers a unit role from an identifier. Suffix rules run first so
+/// `wear_tick_us` is microseconds, not ticks.
+pub fn unit_of_name(name: &str) -> Option<Unit> {
+    let n = name.to_ascii_lowercase();
+    let n = n.as_str();
+    if n.ends_with("_us") || n == "us" || n == "now_us" || n == "t_us" {
+        return Some(Unit::Micros);
+    }
+    if n.ends_with("_ms") || n == "ms" {
+        return Some(Unit::Millis);
+    }
+    if n.ends_with("_ns") || n == "ns" {
+        return Some(Unit::Nanos);
+    }
+    if n.ends_with("_ticks") || n.ends_with("_tick") || n == "ticks" || n == "tick" {
+        return Some(Unit::Ticks);
+    }
+    if n.contains("erase") {
+        return Some(Unit::Erases);
+    }
+    if n.ends_with("_pages")
+        || n.ends_with("_page")
+        || n == "pages"
+        || n.ends_with("ppn")
+        || n.ends_with("lpn")
+    {
+        return Some(Unit::Pages);
+    }
+    if n.ends_with("_blocks") || n.ends_with("_block") || n == "blocks" || n.ends_with("pbn") {
+        return Some(Unit::Blocks);
+    }
+    if n.ends_with("_bytes") || n == "bytes" {
+        return Some(Unit::Bytes);
+    }
+    None
+}
+
+/// Unit of a dotted path / callee: its last segment's name.
+fn unit_of_path(path: &str) -> Option<Unit> {
+    let last = path.rsplit(['.', ':']).next().unwrap_or(path);
+    unit_of_name(last)
+}
+
+pub fn check_units(graph: &SymGraph<'_>, findings: &mut Vec<Finding>) {
+    for &i in &graph.analyzable() {
+        let decl = graph.fns[i].ctx.decl;
+        let file = graph.file_of(i);
+        for stmt in &decl.body {
+            check_stmt_ops(graph, i, stmt, findings);
+            // Call-argument vs parameter-name unit agreement. Only pure
+            // single-path arguments — arithmetic expressions are the
+            // operator check's job.
+            for call in &stmt.calls {
+                let Some(callee) = graph.resolve(i, call) else {
+                    continue;
+                };
+                let cdecl = graph.fns[callee].ctx.decl;
+                let skip = usize::from(
+                    call.method && cdecl.params.first().is_some_and(|p| p.name == "self"),
+                );
+                for (ai, arg) in call.args.iter().enumerate() {
+                    let [path] = arg.as_slice() else { continue };
+                    let Some(arg_unit) = unit_of_path(path) else {
+                        continue;
+                    };
+                    let Some(param) = cdecl.params.get(ai + skip) else {
+                        continue;
+                    };
+                    let Some(param_unit) = unit_of_name(&param.name) else {
+                        continue;
+                    };
+                    if arg_unit != param_unit {
+                        let rule = if arg_unit.is_time() || param_unit.is_time() {
+                            "unit.time"
+                        } else {
+                            "unit.wear"
+                        };
+                        findings.push(Finding {
+                            rule,
+                            path: file.rel_path.clone(),
+                            line: call.line,
+                            message: format!(
+                                "`{path}` ({}) passed to `{}`'s `{}` parameter ({})",
+                                arg_unit.name(),
+                                cdecl.name,
+                                param.name,
+                                param_unit.name()
+                            ),
+                            chain: vec![
+                                format!(
+                                    "{}:{}: argument `{path}` carries {}",
+                                    file.rel_path,
+                                    call.line,
+                                    arg_unit.name()
+                                ),
+                                format!(
+                                    "{}:{}: parameter `{}` of `{}` expects {}",
+                                    graph.file_of(callee).rel_path,
+                                    cdecl.line,
+                                    param.name,
+                                    cdecl.name,
+                                    param_unit.name()
+                                ),
+                            ],
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scans a statement's tokens for additive/comparison operators with
+/// unit-conflicting operands.
+fn check_stmt_ops(
+    graph: &SymGraph<'_>,
+    fn_idx: usize,
+    stmt: &crate::ast::Stmt,
+    findings: &mut Vec<Finding>,
+) {
+    let file = graph.file_of(fn_idx);
+    let text = |i: usize| file.sig.get(i).map_or("", |t| t.text(&file.src));
+    let glued = |i: usize| match (file.sig.get(i), file.sig.get(i + 1)) {
+        (Some(a), Some(b)) => a.end == b.start,
+        _ => false,
+    };
+    let mut i = stmt.lo;
+    while i < stmt.hi {
+        // Operator recognition with glued-pair disambiguation.
+        let (op, op_len) = match text(i) {
+            "+" | "-" if glued(i) && text(i + 1) == "=" => (text(i), 2),
+            "+" => ("+", 1),
+            "-" if !(glued(i) && text(i + 1) == ">") => ("-", 1),
+            "<" | ">" if glued(i) && text(i + 1) == "=" => (text(i), 2),
+            "<" => ("<", 1),
+            ">" => (">", 1),
+            "=" if glued(i) && text(i + 1) == "=" => ("==", 2),
+            "!" if glued(i) && text(i + 1) == "=" => ("!=", 2),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        // `=>` / `->` never reach here; `<<`/`>>` shifts: skip when the
+        // neighbor repeats the same angle.
+        if (op == "<" || op == ">")
+            && (text(i + 1) == text(i) || (i > stmt.lo && text(i - 1) == text(i)))
+        {
+            i += op_len.max(1);
+            continue;
+        }
+        let lhs = operand_back(file, stmt.lo, i);
+        let rhs = operand_fwd(file, i + op_len, stmt.hi);
+        if let (Some((l, l_call)), Some((r, r_call))) = (&lhs, &rhs) {
+            let lu = operand_unit(graph, fn_idx, l, *l_call);
+            let ru = operand_unit(graph, fn_idx, r, *r_call);
+            if let (Some(lu), Some(ru)) = (lu, ru) {
+                if lu != ru {
+                    let rule = if lu.is_time() || ru.is_time() {
+                        "unit.time"
+                    } else {
+                        "unit.wear"
+                    };
+                    findings.push(Finding {
+                        rule,
+                        path: file.rel_path.clone(),
+                        line: stmt.line,
+                        message: format!(
+                            "`{l}` ({}) {op} `{r}` ({}) mixes units",
+                            lu.name(),
+                            ru.name()
+                        ),
+                        chain: vec![
+                            format!(
+                                "{}:{}: left operand `{l}` carries {}",
+                                file.rel_path,
+                                stmt.line,
+                                lu.name()
+                            ),
+                            format!(
+                                "{}:{}: right operand `{r}` carries {}",
+                                file.rel_path,
+                                stmt.line,
+                                ru.name()
+                            ),
+                        ],
+                    });
+                }
+            }
+        }
+        i += op_len;
+    }
+}
+
+/// Unit of an operand. For call operands the callee's return type wins
+/// when it resolves to a workspace fn returning a named (non-primitive)
+/// type — a newtype like `DeviceTime` absorbs the unit, so `read_pages()
+/// + erase_blocks(1)` on a latency model is not a unit mix. Unresolved
+/// or primitive-returning calls fall back to name inference, keeping
+/// `now_us()`-style signature propagation.
+fn operand_unit(graph: &SymGraph<'_>, fn_idx: usize, path: &str, is_call: bool) -> Option<Unit> {
+    if is_call {
+        let name = path.rsplit('.').next().unwrap_or(path);
+        let method = path.contains('.');
+        if let Some(callee) = graph.resolve_simple(fn_idx, name, method) {
+            match graph.fns[callee].ctx.decl.ret.as_deref() {
+                Some(t) if !is_primitive_ty(t) => return None,
+                None => return None,
+                _ => {}
+            }
+        }
+        return unit_of_name(name);
+    }
+    unit_of_path(path)
+}
+
+fn is_primitive_ty(t: &str) -> bool {
+    matches!(
+        t.trim(),
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+            | "f32"
+            | "f64"
+    )
+}
+
+/// The dotted path (or call name) ending just before token `op`;
+/// `true` when the operand is a call.
+fn operand_back(file: &crate::source::SourceFile, lo: usize, op: usize) -> Option<(String, bool)> {
+    let text = |i: usize| file.sig.get(i).map_or("", |t| t.text(&file.src));
+    let kind = |i: usize| file.sig.get(i).map(|t| t.kind);
+    let mut i = op.checked_sub(1)?;
+    // `foo()` / `foo.bar()` → use the callee name.
+    let mut is_call = false;
+    if text(i) == ")" {
+        let mut depth = 0i64;
+        loop {
+            match text(i) {
+                ")" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i = i.checked_sub(1)?;
+            if i < lo {
+                return None;
+            }
+        }
+        i = i.checked_sub(1)?;
+        is_call = true;
+    }
+    if i < lo || kind(i) != Some(TokKind::Ident) {
+        return None;
+    }
+    let mut parts = vec![text(i).to_string()];
+    while i >= lo + 2 && text(i - 1) == "." && kind(i - 2) == Some(TokKind::Ident) {
+        i -= 2;
+        parts.push(text(i).to_string());
+    }
+    parts.reverse();
+    Some((parts.join("."), is_call))
+}
+
+/// The dotted path (or call name) starting at token `at`; `true` when
+/// the operand is a call.
+fn operand_fwd(file: &crate::source::SourceFile, at: usize, hi: usize) -> Option<(String, bool)> {
+    let text = |i: usize| file.sig.get(i).map_or("", |t| t.text(&file.src));
+    let kind = |i: usize| file.sig.get(i).map(|t| t.kind);
+    let mut i = at;
+    while i < hi && matches!(text(i), "&" | "*" | "mut") {
+        i += 1;
+    }
+    if kind(i) != Some(TokKind::Ident) {
+        return None;
+    }
+    // `Path::…` operands (enum consts, assoc fns) carry no unit.
+    if text(i + 1) == ":" {
+        return None;
+    }
+    let mut parts = vec![text(i).to_string()];
+    while text(i + 1) == "."
+        && (kind(i + 2) == Some(TokKind::Ident) || kind(i + 2) == Some(TokKind::Int))
+        && i + 2 < hi
+    {
+        i += 2;
+        parts.push(text(i).to_string());
+    }
+    Some((parts.join("."), text(i + 1) == "("))
+}

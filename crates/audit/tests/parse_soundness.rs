@@ -1,0 +1,192 @@
+//! Parser soundness: the item-level parser is *total* and its spans
+//! round-trip. Over every `.rs` file in this workspace — and over
+//! generated token soup — the top-level item ranges must tile
+//! `[0, sig.len())` exactly (every significant token attributed to
+//! exactly one item, in order, no overlap), with nested module items
+//! staying inside their parent and pairwise disjoint.
+
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+
+use edm_audit::ast::{Item, ItemKind};
+use edm_audit::{audit_sources, SourceFile};
+
+/// Asserts the span invariants for one parsed file.
+fn assert_spans_sound(file: &SourceFile) {
+    let n = file.sig.len();
+    let items = &file.ast.items;
+    if n == 0 {
+        assert!(items.is_empty(), "{}: items without tokens", file.rel_path);
+        return;
+    }
+    assert!(!items.is_empty(), "{}: tokens without items", file.rel_path);
+    // Top-level tiling: contiguous cover of the whole token stream.
+    let mut cursor = 0usize;
+    for item in items {
+        assert_eq!(
+            item.lo, cursor,
+            "{}: gap or overlap before item at token {cursor}",
+            file.rel_path
+        );
+        assert!(
+            item.hi > item.lo,
+            "{}: empty item span at token {}",
+            file.rel_path,
+            item.lo
+        );
+        cursor = item.hi;
+    }
+    assert_eq!(cursor, n, "{}: trailing tokens unattributed", file.rel_path);
+    for item in items {
+        assert_nested_sound(file, item);
+    }
+}
+
+/// Module children sit strictly inside the parent span, in order,
+/// without overlapping each other.
+fn assert_nested_sound(file: &SourceFile, item: &Item) {
+    if let ItemKind::Mod(m) = &item.kind {
+        let mut cursor = item.lo;
+        for child in &m.items {
+            assert!(
+                child.lo >= cursor && child.hi > child.lo && child.hi <= item.hi,
+                "{}: mod `{}` child span {}..{} escapes parent {}..{}",
+                file.rel_path,
+                m.name,
+                child.lo,
+                child.hi,
+                item.lo,
+                item.hi
+            );
+            cursor = child.hi;
+            assert_nested_sound(file, child);
+        }
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Span round-trip over the real workspace: every file this repo
+/// builds must parse totally.
+#[test]
+fn workspace_item_spans_partition_every_file() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    assert!(
+        files.len() > 50,
+        "workspace walk found only {} files — wrong root?",
+        files.len()
+    );
+    for path in files {
+        let src = std::fs::read_to_string(&path).expect("readable source");
+        let rel = path.strip_prefix(&root).unwrap_or(&path);
+        let file = SourceFile::new(rel.to_string_lossy().replace('\\', "/"), src);
+        assert_spans_sound(&file);
+    }
+}
+
+/// The parser recognizes real items in the workspace, it doesn't just
+/// bucket everything as `Other("unparsed")`.
+#[test]
+fn workspace_parse_recognizes_items() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files);
+    let (mut fns, mut structs, mut unparsed, mut total) = (0usize, 0usize, 0usize, 0usize);
+    for path in files {
+        let src = std::fs::read_to_string(&path).expect("readable source");
+        let file = SourceFile::new(path.to_string_lossy().into_owned(), src);
+        fns += file.ast.fns().len();
+        structs += file.ast.structs().len();
+        for item in &file.ast.items {
+            total += 1;
+            if matches!(item.kind, ItemKind::Other("unparsed")) {
+                unparsed += 1;
+            }
+        }
+    }
+    assert!(fns > 500, "only {fns} fns parsed across the workspace");
+    assert!(structs > 100, "only {structs} structs parsed");
+    // Unparsed fallback items must stay a rare escape hatch.
+    assert!(
+        unparsed * 50 <= total,
+        "{unparsed}/{total} top-level items fell back to unparsed"
+    );
+}
+
+/// Item-shaped fragments plus deliberate garbage: the parser must stay
+/// total and span-sound on any interleaving.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("fn f(a: u64, b_us: u64) -> u64 { let x = a + b_us; x }".to_string()),
+        Just("pub struct S { pub a: u64, b: Mutex<u64> }".to_string()),
+        Just("impl S { fn m(&self) -> u64 { self.a } }".to_string()),
+        Just("use std::collections::HashMap;".to_string()),
+        Just("#[derive(Debug, Clone)]".to_string()),
+        Just("enum E { A, B = 3, C(u64) }".to_string()),
+        Just("mod inner { pub fn g() {} }".to_string()),
+        Just("#[cfg(test)] mod tests { #[test] fn t() { assert!(true); } }".to_string()),
+        Just("trait T { fn t(&self) -> u64; }".to_string()),
+        Just("pub const X: u64 = 1;".to_string()),
+        Just("static Y: &str = \"s\";".to_string()),
+        Just("type Alias<T> = std::sync::Mutex<T>;".to_string()),
+        Just("macro_rules! m { () => {} }".to_string()),
+        Just(
+            "impl Iterator for S { type Item = u64; fn next(&mut self) -> Option<u64> { None } }"
+                .to_string()
+        ),
+        // Garbage the fallback path must survive.
+        Just("fn".to_string()),
+        Just("impl {".to_string()),
+        Just("} }".to_string()),
+        Just(") ; (".to_string()),
+        Just("-> <T as U>::V".to_string()),
+        Just("#![allow(dead_code)]".to_string()),
+        Just("::".to_string()),
+        Just("let stray = 1;".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn generated_sources_parse_totally(parts in prop::collection::vec(fragment(), 0..24)) {
+        let src = parts.join("\n");
+        let file = SourceFile::new("crates/cluster/src/lib.rs".to_string(), src.clone());
+        assert_spans_sound(&file);
+        // And the whole engine — semantic passes included — must not
+        // panic on whatever the parser produced.
+        let out = audit_sources(vec![("crates/cluster/src/lib.rs".to_string(), src)]);
+        let _ = out.render_text();
+        let _ = out.render_json();
+    }
+}

@@ -1,0 +1,460 @@
+//! Engine tests for the semantic rule families (det.taint,
+//! conc.lock_order, conc.shared_state, unit.time, unit.wear): each
+//! seeded violation from the acceptance fixtures is rejected with a
+//! chain-bearing finding, and the matching clean shapes stay silent.
+
+use edm_audit::{audit_sources, AuditOutcome, Finding};
+
+fn audit(files: &[(&str, &str)]) -> AuditOutcome {
+    audit_sources(
+        files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect(),
+    )
+}
+
+fn rules_of(outcome: &AuditOutcome) -> Vec<&str> {
+    outcome.findings.iter().map(|f| f.rule).collect()
+}
+
+fn findings_for<'a>(outcome: &'a AuditOutcome, rule: &str) -> Vec<&'a Finding> {
+    outcome.findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+// ---------------------------------------------------------------- det.taint
+
+#[test]
+fn wallclock_assigned_to_sim_state_field_fires_with_chain() {
+    let src = "\
+#![forbid(unsafe_code)]
+pub struct Engine {
+    pub t_us: u64,
+}
+impl Engine {
+    pub fn stamp(&mut self) {
+        let now = std::time::Instant::now();
+        self.t_us = now;
+    }
+}
+";
+    let out = audit(&[("crates/cluster/src/lib.rs", src)]);
+    let taints = findings_for(&out, "det.taint");
+    assert_eq!(taints.len(), 1, "{out:?}");
+    let f = taints[0];
+    assert_eq!(f.line, 8);
+    assert!(f
+        .message
+        .contains("nondeterministic value reaches a determinism sink"));
+    // Full source→sink chain: source, binding, sink.
+    assert!(f.chain.len() >= 3, "{:?}", f.chain);
+    assert!(f.chain[0].contains("wall-clock read"), "{:?}", f.chain);
+    assert!(
+        f.chain
+            .last()
+            .unwrap()
+            .contains("sim-state field `self.t_us`"),
+        "{:?}",
+        f.chain
+    );
+    // The chain is rendered in both report formats.
+    assert!(out.render_text().contains("-> "));
+    assert!(out.render_json().contains("\"chain\""));
+}
+
+#[test]
+fn taint_flows_interprocedurally_through_helper_and_setter() {
+    // Source in a free fn, returned; routed through a setter whose
+    // parameter feeds the sink. Requires both fn summaries to converge.
+    let src = "\
+#![forbid(unsafe_code)]
+pub struct Engine {
+    pub t_us: u64,
+}
+fn wall_us() -> u64 {
+    let t = std::time::Instant::now();
+    let us = t.elapsed().as_micros() as u64;
+    us
+}
+impl Engine {
+    pub fn set_time(&mut self, t: u64) {
+        self.t_us = t;
+    }
+    pub fn step(&mut self) {
+        let w = wall_us();
+        self.set_time(w);
+    }
+}
+";
+    let out = audit(&[("crates/cluster/src/lib.rs", src)]);
+    let taints = findings_for(&out, "det.taint");
+    assert_eq!(taints.len(), 1, "{out:?}");
+    let f = taints[0];
+    // Reported at the call into the setter, inside `step`.
+    assert_eq!(f.line, 16, "{f:?}");
+    assert!(f.chain[0].contains("wall-clock read"), "{:?}", f.chain);
+    let joined = f.chain.join("\n");
+    assert!(joined.contains("returned by `wall_us()`"), "{joined}");
+    assert!(joined.contains("passes into `set_time(…)`"), "{joined}");
+    assert!(joined.contains("sim-state field `self.t_us`"), "{joined}");
+}
+
+#[test]
+fn rng_feeding_recorder_method_fires_journal_sink() {
+    let src = "\
+#![forbid(unsafe_code)]
+pub struct Recorder;
+pub fn record(rec: &mut Recorder) {
+    let seed = rand::thread_rng();
+    rec.event(seed);
+}
+";
+    let out = audit(&[("crates/obs/src/lib.rs", src)]);
+    let taints = findings_for(&out, "det.taint");
+    assert_eq!(taints.len(), 1, "{out:?}");
+    assert!(
+        taints[0].chain[0].contains("ambient RNG"),
+        "{:?}",
+        taints[0].chain
+    );
+    assert!(
+        taints[0]
+            .chain
+            .last()
+            .unwrap()
+            .contains("feeds the journal via `.event(…)`"),
+        "{:?}",
+        taints[0].chain
+    );
+}
+
+#[test]
+fn deterministic_parameter_into_sim_state_is_clean() {
+    let src = "\
+#![forbid(unsafe_code)]
+pub struct Engine {
+    pub t_us: u64,
+}
+impl Engine {
+    pub fn advance(&mut self, dt_us: u64) {
+        self.t_us = dt_us;
+    }
+}
+";
+    let out = audit(&[("crates/cluster/src/lib.rs", src)]);
+    assert!(out.is_clean(), "{out:?}");
+}
+
+// ---------------------------------------------------------- conc.lock_order
+
+#[test]
+fn reversed_lock_pair_fires_both_witnesses_with_chains() {
+    let src = "\
+#![forbid(unsafe_code)]
+use std::sync::Mutex;
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock().expect(\"a\");
+        let gb = self.b.lock().expect(\"b\");
+        *ga + *gb
+    }
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock().expect(\"b\");
+        let ga = self.a.lock().expect(\"a\");
+        *ga + *gb
+    }
+}
+";
+    let out = audit(&[("crates/serve/src/lib.rs", src)]);
+    let orders = findings_for(&out, "conc.lock_order");
+    // One finding per witness site — both directions of the cycle.
+    assert_eq!(orders.len(), 2, "{out:?}");
+    for f in &orders {
+        assert!(f.message.contains("inconsistent lock order"), "{f:?}");
+        assert_eq!(f.chain.len(), 2, "{:?}", f.chain);
+        assert!(
+            f.chain
+                .iter()
+                .any(|s| s.contains("`Pair::a` then `Pair::b`")),
+            "{:?}",
+            f.chain
+        );
+        assert!(
+            f.chain
+                .iter()
+                .any(|s| s.contains("`Pair::b` then `Pair::a`")),
+            "{:?}",
+            f.chain
+        );
+    }
+    let lines: Vec<u32> = orders.iter().map(|f| f.line).collect();
+    assert!(lines.contains(&10) && lines.contains(&15), "{lines:?}");
+}
+
+#[test]
+fn consistent_lock_order_is_silent() {
+    let src = "\
+#![forbid(unsafe_code)]
+use std::sync::Mutex;
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+impl Pair {
+    pub fn one(&self) -> u64 {
+        let ga = self.a.lock().expect(\"a\");
+        let gb = self.b.lock().expect(\"b\");
+        *ga + *gb
+    }
+    pub fn two(&self) -> u64 {
+        let ga = self.a.lock().expect(\"a\");
+        let gb = self.b.lock().expect(\"b\");
+        *ga * *gb
+    }
+}
+";
+    let out = audit(&[("crates/serve/src/lib.rs", src)]);
+    assert!(findings_for(&out, "conc.lock_order").is_empty(), "{out:?}");
+}
+
+#[test]
+fn blocking_recv_under_live_guard_fires() {
+    let src = "\
+#![forbid(unsafe_code)]
+use std::sync::Mutex;
+pub struct Q {
+    inner: Mutex<u64>,
+}
+impl Q {
+    pub fn drain(&self, rx: &std::sync::mpsc::Receiver<u64>) -> u64 {
+        let g = self.inner.lock().expect(\"inner\");
+        let v = rx.recv().unwrap_or(0);
+        *g + v
+    }
+}
+";
+    let out = audit(&[("crates/serve/src/lib.rs", src)]);
+    let orders = findings_for(&out, "conc.lock_order");
+    assert_eq!(orders.len(), 1, "{out:?}");
+    let f = orders[0];
+    assert!(f.message.contains("held across blocking call"), "{f:?}");
+    assert_eq!(f.line, 9);
+    assert!(f.chain[0].contains("acquires `Q::inner`"), "{:?}", f.chain);
+    assert!(f.chain[1].contains("blocks on"), "{:?}", f.chain);
+}
+
+#[test]
+fn lock_alias_type_is_recognized() {
+    // serve-style `type Lock<T> = Mutex<T>` — fields of the alias type
+    // still count as locks for ordering.
+    let src = "\
+#![forbid(unsafe_code)]
+use std::sync::Mutex;
+type Lock<T> = Mutex<T>;
+pub struct Pair {
+    a: Lock<u64>,
+    b: Lock<u64>,
+}
+impl Pair {
+    pub fn forward(&self) {
+        let ga = self.a.lock().expect(\"a\");
+        let gb = self.b.lock().expect(\"b\");
+        drop((ga, gb));
+    }
+    pub fn backward(&self) {
+        let gb = self.b.lock().expect(\"b\");
+        let ga = self.a.lock().expect(\"a\");
+        drop((ga, gb));
+    }
+}
+";
+    let out = audit(&[("crates/serve/src/lib.rs", src)]);
+    assert_eq!(findings_for(&out, "conc.lock_order").len(), 2, "{out:?}");
+}
+
+// -------------------------------------------------------- conc.shared_state
+
+#[test]
+fn rc_local_captured_by_spawn_fires() {
+    let src = "\
+#![forbid(unsafe_code)]
+pub fn share() {
+    let shared = std::rc::Rc::new(0u64);
+    std::thread::spawn(move || {
+        let _ = shared.clone();
+    });
+}
+";
+    let out = audit(&[("crates/serve/src/lib.rs", src)]);
+    let shared = findings_for(&out, "conc.shared_state");
+    assert_eq!(shared.len(), 1, "{out:?}");
+    assert!(
+        shared[0].message.contains("non-Sync `Rc` value `shared`"),
+        "{:?}",
+        shared[0]
+    );
+    assert!(!shared[0].chain.is_empty());
+}
+
+#[test]
+fn refcell_field_captured_by_spawn_fires() {
+    let src = "\
+#![forbid(unsafe_code)]
+pub struct W {
+    cache: std::cell::RefCell<u64>,
+}
+impl W {
+    pub fn go(&self) {
+        std::thread::spawn(move || {
+            let _ = self.cache.borrow();
+        });
+    }
+}
+";
+    let out = audit(&[("crates/serve/src/lib.rs", src)]);
+    let shared = findings_for(&out, "conc.shared_state");
+    assert_eq!(shared.len(), 1, "{out:?}");
+    assert!(shared[0].message.contains("`W::cache`"), "{:?}", shared[0]);
+}
+
+#[test]
+fn arc_local_captured_by_spawn_is_clean() {
+    let src = "\
+#![forbid(unsafe_code)]
+pub fn share() {
+    let shared = std::sync::Arc::new(0u64);
+    std::thread::spawn(move || {
+        let _ = shared.clone();
+    });
+}
+";
+    let out = audit(&[("crates/serve/src/lib.rs", src)]);
+    assert!(
+        findings_for(&out, "conc.shared_state").is_empty(),
+        "{out:?}"
+    );
+}
+
+// ------------------------------------------------------- unit.time / wear
+
+#[test]
+fn time_plus_ticks_expression_fires_unit_time() {
+    let src = "\
+#![forbid(unsafe_code)]
+pub fn deadline(t_us: u64, wear_ticks: u64) -> u64 {
+    t_us + wear_ticks
+}
+";
+    let out = audit(&[("crates/core/src/lib.rs", src)]);
+    assert_eq!(rules_of(&out), vec!["unit.time"], "{out:?}");
+    let f = &out.findings[0];
+    assert_eq!(f.line, 3);
+    assert!(f.message.contains("microseconds"), "{f:?}");
+    assert!(f.message.contains("wear ticks"), "{f:?}");
+    assert_eq!(f.chain.len(), 2, "{:?}", f.chain);
+}
+
+#[test]
+fn ticks_argument_to_microseconds_parameter_fires() {
+    let src = "\
+#![forbid(unsafe_code)]
+fn advance(now_us: u64) -> u64 {
+    now_us
+}
+pub fn drive(ticks: u64) -> u64 {
+    advance(ticks)
+}
+";
+    let out = audit(&[("crates/core/src/lib.rs", src)]);
+    assert_eq!(rules_of(&out), vec!["unit.time"], "{out:?}");
+    let f = &out.findings[0];
+    assert!(f.message.contains("`ticks`"), "{f:?}");
+    assert!(f.message.contains("`now_us` parameter"), "{f:?}");
+    // Chain points at both the call site and the parameter declaration.
+    assert!(
+        f.chain[1].contains("parameter `now_us` of `advance`"),
+        "{:?}",
+        f.chain
+    );
+}
+
+#[test]
+fn erases_vs_pages_comparison_fires_unit_wear() {
+    let src = "\
+#![forbid(unsafe_code)]
+pub fn hot(total_erases: u64, hot_pages: u64) -> bool {
+    total_erases > hot_pages
+}
+";
+    let out = audit(&[("crates/ssd/src/lib.rs", src)]);
+    assert_eq!(rules_of(&out), vec!["unit.wear"], "{out:?}");
+}
+
+#[test]
+fn same_unit_arithmetic_and_scaling_are_clean() {
+    let src = "\
+#![forbid(unsafe_code)]
+pub fn advance(t_us: u64, dt_us: u64) -> u64 {
+    t_us + dt_us
+}
+pub fn scale(t_us: u64, ticks: u64) -> u64 {
+    t_us * ticks
+}
+";
+    let out = audit(&[("crates/core/src/lib.rs", src)]);
+    assert!(out.is_clean(), "{out:?}");
+}
+
+#[test]
+fn newtype_returning_call_absorbs_unit() {
+    // `read_pages() + erase_blocks()` both return a named latency type:
+    // the names carry units but the values do not.
+    let src = "\
+#![forbid(unsafe_code)]
+pub struct DeviceTime(pub u64);
+pub struct Model;
+impl Model {
+    fn read_pages(&self, n: u64) -> DeviceTime {
+        DeviceTime(n)
+    }
+    fn erase_blocks(&self, n: u64) -> DeviceTime {
+        DeviceTime(n)
+    }
+    pub fn gc_pass(&self, valid: u64) -> u64 {
+        let t = self.read_pages(valid).0 + self.erase_blocks(1).0;
+        t
+    }
+}
+";
+    let out = audit(&[("crates/ssd/src/lib.rs", src)]);
+    assert!(
+        findings_for(&out, "unit.wear").is_empty() && findings_for(&out, "unit.time").is_empty(),
+        "{out:?}"
+    );
+}
+
+// ----------------------------------------------------- suppression behavior
+
+#[test]
+fn semantic_findings_are_pragma_suppressible_and_budgeted() {
+    let src = "\
+#![forbid(unsafe_code)]
+pub fn deadline(t_us: u64, wear_ticks: u64) -> u64 {
+    // edm-audit: allow(unit.time, \"deadline is a dimensionless score here\")
+    t_us + wear_ticks
+}
+";
+    // workload has a det.*/conc.*/unit.* budget of 1: exactly consumed.
+    let out = audit(&[("crates/workload/src/lib.rs", src)]);
+    assert!(out.is_clean(), "{out:?}");
+    assert_eq!(out.suppressed.len(), 1);
+    assert_eq!(out.suppressed[0].finding.rule, "unit.time");
+
+    // The same pragma in a zero-budget crate blows the budget.
+    let out = audit(&[("crates/core/src/lib.rs", src)]);
+    assert_eq!(rules_of(&out), vec!["det.suppression_budget"], "{out:?}");
+}

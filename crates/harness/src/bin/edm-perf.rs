@@ -467,6 +467,45 @@ fn run_audit_cell(reps: u32, results: &mut Vec<BenchCell>) {
     });
 }
 
+/// Times only the auditor's semantic layer — symbol-graph construction
+/// plus the interprocedural passes (det.taint fixpoint, lock-order
+/// simulation, unit inference) — over the pre-loaded workspace sources.
+/// Splitting this from `audit_workspace` keeps the cost of the new
+/// analyses visible separately from lexing/parsing/rule I/O.
+/// `ops_per_sec` is files analyzed per second.
+fn run_audit_semantic_cell(reps: u32, results: &mut Vec<BenchCell>) {
+    let cwd = std::env::current_dir().expect("cwd");
+    let root = edm_audit::find_workspace_root(&cwd).expect("workspace root above cwd");
+    // Loading (lex + parse) happens once, outside the timed region.
+    let files = edm_audit::load_workspace_sources(&root).expect("workspace sources");
+    let mut wall = f64::INFINITY;
+    for _ in 0..reps {
+        #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
+        let started = Instant::now();
+        let findings = edm_audit::semantic_findings(&files);
+        wall = wall.min(started.elapsed().as_secs_f64());
+        // Raw findings here are pre-suppression; the workspace budget
+        // allows a handful, but an explosion means a rule regressed.
+        assert!(
+            findings.len() < 50,
+            "semantic pass exploded to {} raw findings",
+            findings.len()
+        );
+    }
+    let fps = files.len() as f64 / wall;
+    println!(
+        "audit_semantic: {:.3} ms for {} files ({fps:.0} files/s)",
+        wall * 1e3,
+        files.len()
+    );
+    results.push(BenchCell {
+        name: "audit_semantic".into(),
+        wall_ms: wall * 1e3,
+        ops_per_sec: fps,
+        erases: 0,
+    });
+}
+
 /// Times the edm-serve ingest path: the daemon's `LiveWorld` fed the
 /// dumped op stream of the fuzz-corpus live scenario, line by line,
 /// through the same `apply_line` entry point the HTTP daemon drives —
@@ -593,6 +632,7 @@ fn main() {
         run_snapshot_cells(0.001, 3, &mut results);
         run_serve_ingest_cell(0.002, 3, &mut results);
         run_audit_cell(3, &mut results);
+        run_audit_semantic_cell(3, &mut results);
         run_spec_cell(3, &mut results);
     } else {
         // The 0.95 floor is a regression guard, not the measurement: the
@@ -607,6 +647,7 @@ fn main() {
         run_snapshot_cells(0.005, 7, &mut results);
         run_serve_ingest_cell(0.01, 5, &mut results);
         run_audit_cell(7, &mut results);
+        run_audit_semantic_cell(7, &mut results);
         run_spec_cell(7, &mut results);
     }
     // Merge-preserving: cells owned by other tools (edm-fuzz's

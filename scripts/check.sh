@@ -15,13 +15,15 @@
 #   check.sh spec    edm-spec conformance replay of smoke + corpus journals
 #   check.sh serve   edm-serve daemon: ingest pipeline, kill/resume, replay digest
 #   check.sh fuzz    edm-fuzz smoke batch (+ fuzz_throughput bench cell)
+#   check.sh tsan    ThreadSanitizer lane over shard + serve tests (advisory;
+#                    skips cleanly without a nightly toolchain + rust-src)
 #
 # EDM_CHECK_QUICK=1 shrinks the expensive steps (test -> workspace lib
 # tests only, smoke/scale/spec/fuzz -> skipped) for local edit loops.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STEPS="fmt lint audit build test smoke scale spec serve fuzz"
+STEPS="fmt lint audit build test smoke scale spec serve fuzz tsan"
 QUICK="${EDM_CHECK_QUICK:-0}"
 
 # Temp dirs live in an array cleaned by a single EXIT trap, so any number
@@ -417,6 +419,42 @@ step_fuzz() {
     ./target/release/edm-fuzz --bench
 }
 
+step_tsan() {
+    if [ "$QUICK" = "1" ]; then
+        echo "==> tsan skipped (EDM_CHECK_QUICK=1)"
+        return 0
+    fi
+    echo "==> tsan (nightly -Zsanitizer=thread over edm-cluster + edm-serve tests)"
+    # ThreadSanitizer instruments std itself, so it needs a nightly
+    # toolchain with the rust-src component (-Zbuild-std). The lane is
+    # advisory and environment-gated: machines without that toolchain
+    # skip cleanly instead of failing the gate. The blocking layer for
+    # concurrency bugs stays edm-audit's conc.* static rules; this lane
+    # catches the dynamic races those can't see.
+    if ! command -v rustup > /dev/null 2>&1; then
+        echo "tsan: rustup not available, skipping"
+        return 0
+    fi
+    if ! rustup toolchain list 2> /dev/null | grep -q '^nightly'; then
+        echo "tsan: no nightly toolchain installed, skipping"
+        return 0
+    fi
+    if ! rustup component list --toolchain nightly --installed 2> /dev/null \
+        | grep -q '^rust-src'; then
+        echo "tsan: nightly rust-src missing (needed for -Zbuild-std), skipping"
+        return 0
+    fi
+    local host
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    # Only the crates with real thread concurrency: the group-sharded
+    # engine (scoped-thread shard execution) and the serve daemon
+    # (listener + worker + journal threads).
+    RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -q -Zbuild-std --target "$host" \
+        -p edm-cluster -p edm-serve
+    echo "tsan: shard + serve test suites clean under ThreadSanitizer"
+}
+
 run_step() {
     case "$1" in
         fmt)   step_fmt ;;
@@ -429,6 +467,7 @@ run_step() {
         spec)  step_spec ;;
         serve) step_serve ;;
         fuzz)  step_fuzz ;;
+        tsan)  step_tsan ;;
         all)
             for s in $STEPS; do
                 run_step "$s"
