@@ -711,6 +711,7 @@ const DET_PRAGMA_BUDGETS: &[(&str, usize)] = &[
     ("ssd", 0),
     ("cluster", 3),
     ("core", 0),
+    ("model", 0),
     ("workload", 1),
     ("snap", 0),
     ("obs", 0),

@@ -6,6 +6,37 @@ use crate::alg1::Alg1Config;
 use crate::temperature::AccessTracker;
 use crate::wear_model::PAPER_SIGMA;
 
+/// Which engine vets a plan before the policy publishes it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Assessor {
+    /// The one-window projection loop over every object footprint — the
+    /// reference semantics (default).
+    #[default]
+    Projection,
+    /// The closed-form mean-field fast path (`edm-model`): incremental
+    /// O(1)-per-trimmed-move evaluation, with the published plan still
+    /// reference-checked so it can never disagree with `Projection` on
+    /// whether a plan improves balance.
+    Model,
+}
+
+impl Assessor {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Assessor::Projection => "projection",
+            Assessor::Model => "model",
+        }
+    }
+
+    pub fn from_label(label: &str) -> Option<Assessor> {
+        match label {
+            "projection" => Some(Assessor::Projection),
+            "model" => Some(Assessor::Model),
+            _ => None,
+        }
+    }
+}
+
 /// Tunables shared by EDM-HDF and EDM-CDF.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EdmConfig {
@@ -32,6 +63,9 @@ pub struct EdmConfig {
     /// Cap on tracked object entries — §IV's memory reduction ("we only
     /// cache the k hottest objects in memory"). `None` tracks everything.
     pub tracker_capacity: Option<usize>,
+    /// Plan-vetting engine (reference projection loop vs the `edm-model`
+    /// closed-form fast path).
+    pub assessor: Assessor,
 }
 
 impl Default for EdmConfig {
@@ -45,6 +79,7 @@ impl Default for EdmConfig {
             alg1: Alg1Config::default(),
             dest_free_reserve: 0.05,
             tracker_capacity: None,
+            assessor: Assessor::Projection,
         }
     }
 }
@@ -85,6 +120,15 @@ mod tests {
         assert_eq!(c.alg1.iterations, 500);
         assert!((c.alg1.eps_step - 0.001).abs() < 1e-12);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn assessor_labels_round_trip() {
+        assert_eq!(EdmConfig::default().assessor, Assessor::Projection);
+        for a in [Assessor::Projection, Assessor::Model] {
+            assert_eq!(Assessor::from_label(a.label()), Some(a));
+        }
+        assert_eq!(Assessor::from_label("simulator"), None);
     }
 
     #[test]

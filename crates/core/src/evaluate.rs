@@ -108,23 +108,26 @@ pub fn trim_to_improvement(
     plan
 }
 
-/// Assesses `plan` against `view`, using `tracker` for per-object write
-/// footprints (the same estimates the policies plan with).
-pub fn assess_plan(
-    view: &ClusterView,
-    plan: &[MoveAction],
-    tracker: &AccessTracker,
-    model: &WearModel,
-) -> PlanAssessment {
+/// Per-device projection inputs shared by the reference assessment and
+/// the `edm-model` fast path: write counts, capacities, live bytes, next
+/// window write rates, and each object's (size, write pages) footprint.
+struct ProjectionInputs {
+    wc: Vec<f64>,
+    capacity: Vec<f64>,
+    live_bytes: Vec<f64>,
+    rate: Vec<f64>,
+    footprint: HashMap<ObjectId, (u64, u64)>,
+}
+
+fn projection_inputs(view: &ClusterView, tracker: &AccessTracker) -> ProjectionInputs {
     let n = view.osds.len();
-    let wc: Vec<f64> = view.osds.iter().map(|o| o.wc_pages as f64).collect();
-    let capacity: Vec<f64> = view.osds.iter().map(|o| o.capacity_bytes as f64).collect();
-    let mut live_bytes: Vec<f64> = view
+    let wc = view.osds.iter().map(|o| o.wc_pages as f64).collect();
+    let capacity = view.osds.iter().map(|o| o.capacity_bytes as f64).collect();
+    let live_bytes = view
         .osds
         .iter()
         .map(|o| o.utilization * o.capacity_bytes as f64)
         .collect();
-
     // Per-device write rate for the next window, and each object's
     // (size, window write pages) footprint for applying the moves.
     let mut rate = vec![0.0f64; n];
@@ -134,6 +137,128 @@ pub fn assess_plan(
         rate[o.osd.0 as usize] += pages as f64;
         footprint.insert(o.object, (o.size_bytes, pages));
     }
+    ProjectionInputs {
+        wc,
+        capacity,
+        live_bytes,
+        rate,
+        footprint,
+    }
+}
+
+/// Drop-in replacement for [`trim_to_improvement`] backed by the
+/// closed-form mean-field model (`edm-model`), selected with
+/// [`crate::config::Assessor::Model`].
+///
+/// The reference loop re-projects every device for every candidate plan
+/// length — O(plan² + plan·cluster). Here each device's projected erase
+/// count comes from the analytic model once, running sums of the first
+/// two moments are maintained incrementally, and undoing a trailing move
+/// touches exactly two devices — O(1) per trimmed move after the O(n)
+/// setup.
+///
+/// The published plan is still vetted by the reference projection before
+/// being returned: if the two engines ever disagree on "does this plan
+/// improve balance", the reference wins and the reference trim runs —
+/// so this function can never publish a plan [`trim_to_improvement`]
+/// would reject, regardless of how the analytic curves drift from the
+/// projection's.
+pub fn trim_to_improvement_model(
+    view: &ClusterView,
+    plan: Vec<MoveAction>,
+    tracker: &AccessTracker,
+    model: &WearModel,
+) -> Vec<MoveAction> {
+    if plan.is_empty() {
+        return plan;
+    }
+    let n = view.osds.len();
+    let mf = edm_model::MeanFieldModel::with_gc(
+        model.pages_per_block,
+        model.sigma,
+        edm_model::GcPolicy::Greedy,
+    );
+    let mut inp = projection_inputs(view, tracker);
+
+    let project_one = |inp: &ProjectionInputs, i: usize| -> f64 {
+        mf.erase_count(
+            inp.wc[i] + inp.rate[i].max(0.0),
+            (inp.live_bytes[i] / inp.capacity[i]).clamp(0.0, 1.0),
+        )
+    };
+    let rsd_of = |sum: f64, sumsq: f64| -> f64 {
+        let mean = sum / n as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        (sumsq / n as f64 - mean * mean).max(0.0).sqrt() / mean
+    };
+
+    let erases_before: Vec<f64> = (0..n).map(|i| project_one(&inp, i)).collect();
+    let rsd_before = rsd_of(
+        erases_before.iter().sum(),
+        erases_before.iter().map(|e| e * e).sum(),
+    );
+
+    // Apply the whole plan, then project once and walk backwards.
+    for m in &plan {
+        let (size, pages) = inp.footprint.get(&m.object).copied().unwrap_or((0, 0));
+        let (s, d) = (m.source.0 as usize, m.dest.0 as usize);
+        inp.rate[s] -= pages as f64;
+        inp.rate[d] += pages as f64;
+        inp.live_bytes[s] -= size as f64;
+        inp.live_bytes[d] += size as f64;
+    }
+    let mut erases: Vec<f64> = (0..n).map(|i| project_one(&inp, i)).collect();
+    let mut sum: f64 = erases.iter().sum();
+    let mut sumsq: f64 = erases.iter().map(|e| e * e).sum();
+
+    let mut trimmed = plan;
+    while rsd_of(sum, sumsq) > rsd_before + 1e-9 {
+        let Some(m) = trimmed.pop() else {
+            break;
+        };
+        // Undo the move: only its two endpoints re-project.
+        let (size, pages) = inp.footprint.get(&m.object).copied().unwrap_or((0, 0));
+        let (s, d) = (m.source.0 as usize, m.dest.0 as usize);
+        inp.rate[s] += pages as f64;
+        inp.rate[d] -= pages as f64;
+        inp.live_bytes[s] += size as f64;
+        inp.live_bytes[d] -= size as f64;
+        for i in [s, d] {
+            let fresh = project_one(&inp, i);
+            sum += fresh - erases[i];
+            sumsq += fresh * fresh - erases[i] * erases[i];
+            erases[i] = fresh;
+        }
+    }
+
+    // Reference guardrail: the journaled invariant (`rsd_after <=
+    // rsd_before + 1e-9` under the projection) must hold for whatever we
+    // publish, so the reference engine has the last word.
+    if assess_plan(view, &trimmed, tracker, model).is_improvement() {
+        trimmed
+    } else {
+        trim_to_improvement(view, trimmed, tracker, model)
+    }
+}
+
+/// Assesses `plan` against `view`, using `tracker` for per-object write
+/// footprints (the same estimates the policies plan with).
+pub fn assess_plan(
+    view: &ClusterView,
+    plan: &[MoveAction],
+    tracker: &AccessTracker,
+    model: &WearModel,
+) -> PlanAssessment {
+    let n = view.osds.len();
+    let ProjectionInputs {
+        wc,
+        capacity,
+        mut live_bytes,
+        mut rate,
+        footprint,
+    } = projection_inputs(view, tracker);
 
     let project = |rate: &[f64], live: &[f64]| -> Vec<f64> {
         (0..n)
@@ -330,6 +455,49 @@ mod tests {
         assert_eq!(trimmed, vec![good]);
         // ...and the empty plan is a fixed point.
         assert!(trim_to_improvement(&v, Vec::new(), &t, &model).is_empty());
+    }
+
+    #[test]
+    fn model_trim_agrees_with_the_reference() {
+        // Same fixture as trim_drops_overshooting_tail_moves: the fast
+        // path must keep the good move, drop the overshooting tail, and
+        // never publish anything the projection reference rejects.
+        let mut v = view();
+        for (osd, wc) in v.osds.iter_mut().zip([30_000u64, 28_000, 22_000, 28_000]) {
+            osd.wc_pages = wc;
+        }
+        v.objects[1].size_bytes = 380 << 20;
+        let model = WearModel::paper(32);
+        let mut t = AccessTracker::new(60_000_000);
+        for _ in 0..40 {
+            t.record(AccessEvent {
+                now_us: 500,
+                object: ObjectId(1),
+                kind: AccessKind::Write,
+                pages: 100,
+            });
+        }
+        let good = MoveAction {
+            object: ObjectId(1),
+            source: OsdId(0),
+            dest: OsdId(2),
+        };
+        let overshoot = MoveAction {
+            object: ObjectId(2),
+            source: OsdId(0),
+            dest: OsdId(2),
+        };
+        for plan in [
+            vec![good, overshoot],
+            vec![good],
+            vec![overshoot],
+            Vec::new(),
+        ] {
+            let fast = trim_to_improvement_model(&v, plan.clone(), &t, &model);
+            let reference = trim_to_improvement(&v, plan, &t, &model);
+            assert_eq!(fast, reference);
+            assert!(assess_plan(&v, &fast, &t, &model).is_improvement());
+        }
     }
 
     /// The EDM policies' plans must always assess as improvements on the

@@ -49,8 +49,8 @@ pub mod trigger;
 pub mod wear_model;
 
 pub use alg1::{calculate_cdf, calculate_hdf, Alg1Config, MovementAmounts};
-pub use config::EdmConfig;
-pub use evaluate::{assess_plan, PlanAssessment};
+pub use config::{Assessor, EdmConfig};
+pub use evaluate::{assess_plan, trim_to_improvement_model, PlanAssessment};
 pub use lifetime::{DeviceLifetime, EnduranceSpec, Staggering};
 pub use policy::{Cmt, CmtConfig, EdmCdf, EdmHdf};
 pub use temperature::{AccessTracker, ObjectHeat};

@@ -10,8 +10,8 @@ use edm_cluster::{AccessEvent, ClusterView, Migrator, MoveAction};
 use edm_snap::{SnapReader, SnapWriter, Snapshot};
 
 use crate::alg1::calculate_hdf;
-use crate::config::EdmConfig;
-use crate::evaluate::{assess_plan_obs, trim_to_improvement};
+use crate::config::{Assessor, EdmConfig};
+use crate::evaluate::{assess_plan_obs, trim_to_improvement, trim_to_improvement_model};
 use crate::plan::{dest_budget_bytes, distribute, Destination, Selected};
 use crate::policy::{emit_plan_chosen, emit_wear_inputs, members_by_group};
 use crate::temperature::AccessTracker;
@@ -185,7 +185,10 @@ impl Migrator for EdmHdf {
         }
         // Whole-object selection can overshoot Algorithm 1's demand; never
         // publish a plan the model predicts makes the imbalance worse.
-        let plan = trim_to_improvement(view, plan, &self.tracker, &model);
+        let plan = match self.cfg.assessor {
+            Assessor::Projection => trim_to_improvement(view, plan, &self.tracker, &model),
+            Assessor::Model => trim_to_improvement_model(view, plan, &self.tracker, &model),
+        };
         emit_plan_chosen("EDM-HDF", view, &plan, obs);
         if obs.events_on() {
             assess_plan_obs(view, &plan, &self.tracker, &model, obs);

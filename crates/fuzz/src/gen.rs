@@ -8,7 +8,7 @@
 //! lands in well under a second.
 
 use edm_cluster::{ClientAffinity, FailureSpec, MigrationSchedule, OsdId};
-use edm_core::POLICY_NAMES;
+use edm_core::{Assessor, POLICY_NAMES};
 use edm_harness::Scenario;
 use edm_workload::harvard::TRACE_NAMES;
 
@@ -57,6 +57,13 @@ pub fn generate(rng: &mut Rng) -> Scenario {
     };
     if let Some(&l) = rng.pick(&LAMBDAS) {
         s.lambda = l;
+    }
+    // A share of draws plan with the analytic mean-field assessor
+    // (edm-model) instead of the projection loop, so the fast path's
+    // guardrail — never publish a plan the projection rejects — is
+    // fuzzed directly as well as via the `model_assessor` oracle.
+    if rng.below(4) == 0 {
+        s.assessor = Assessor::Model;
     }
     s.force = rng.coin();
     s.client_concurrency = if rng.coin() {
@@ -153,6 +160,8 @@ mod tests {
             .iter()
             .any(|s| s.schedule == MigrationSchedule::EveryTick));
         assert!(scenarios.iter().any(|s| s.trace == "random"));
+        assert!(scenarios.iter().any(|s| s.assessor == Assessor::Model));
+        assert!(scenarios.iter().any(|s| s.assessor == Assessor::Projection));
         // The datacenter shape must come up: stride > 1 with component
         // affinity and worker shards, so the parallel engine is fuzzed.
         assert!(scenarios

@@ -14,6 +14,7 @@
 //! | `shard_digest`       | group-sharded replay digest identical to sequential     |
 //! | `journal_identity`   | group-sharded journal byte-identical to sequential      |
 //! | `spec_conformance`   | every journaled event is a legal edm-spec transition    |
+//! | `model_assessor`     | mean-field fast path never publishes a worsening plan   |
 //!
 //! All checks are pure functions of the scenario (the only randomness —
 //! which checkpoint to resume from — is seeded from the scenario text),
@@ -127,7 +128,54 @@ fn check_scenario_impl(s: &Scenario, work_dir: &Path) -> Result<OracleStats, Ora
 
     check_shard_digest(s)?;
 
+    check_model_assessor(s)?;
+
     Ok(stats)
+}
+
+/// Oracle `model_assessor`: re-run the scenario with the analytic
+/// mean-field plan assessor (`edm-model`) in place of the projection
+/// loop. The fast path's contract is that it never publishes a plan the
+/// projection reference rejects — its trim ends with a reference
+/// `assess_plan` guardrail — so under the model assessor every journaled
+/// `PlanAssessment` must still predict a non-worsening RSD and the
+/// end-state cluster must satisfy its structural invariants. Skipped for
+/// CMT, which has no plan assessor, and when the drawn scenario already
+/// ran the model path through the main battery.
+fn check_model_assessor(s: &Scenario) -> Result<(), OracleFailure> {
+    if s.policy == "CMT" || s.assessor == edm_core::Assessor::Model {
+        return Ok(());
+    }
+    let mut m = s.clone();
+    m.assessor = edm_core::Assessor::Model;
+    let mut rec = MemoryRecorder::new(ObsLevel::Events);
+    let (report, cluster) = m
+        .run_with_obs_keep(&mut rec)
+        .map_err(|e| fail("model_assessor", format!("model-assessor run failed: {e}")))?;
+    for entry in rec.journal() {
+        if let Event::PlanAssessment {
+            rsd_before,
+            rsd_after,
+            ..
+        } = &entry.event
+        {
+            if rsd_after.is_nan() || *rsd_after > *rsd_before + 1e-9 {
+                return Err(fail(
+                    "model_assessor",
+                    format!(
+                        "t={}us model-assessed plan worsens RSD: {rsd_before:.6} -> \
+                         {rsd_after:.6} — the fast path published a plan the projection \
+                         reference must have rejected",
+                        entry.t_us
+                    ),
+                ));
+            }
+        }
+    }
+    cluster
+        .check_invariants(&report.failed_osds, true)
+        .map_err(|e| fail("model_assessor", format!("end-state cluster: {e}")))?;
+    Ok(())
 }
 
 /// Oracle `spec_conformance`: the event journal of the obs run must be

@@ -12,10 +12,13 @@
 //!              then available cores)
 //! ```
 
+use std::path::Path;
+
 use edm_cluster::MigrationSchedule;
+use edm_harness::bench::{write_cells, BenchCell};
 use edm_harness::experiments::{
-    ablate, failure, fig1, fig3, fig56, fig7, fig8, reliability, scale, table1, wearout,
-    EXPERIMENT_IDS,
+    ablate, failure, fig1, fig3, fig56, fig7, fig8, model_diff, reliability, scale, table1,
+    wearout, EXPERIMENT_IDS,
 };
 use edm_harness::runner::RunConfig;
 
@@ -83,7 +86,51 @@ fn parse_args() -> Args {
     }
 }
 
-fn run_one(id: &str, cfg: &RunConfig, osds: &[u32]) {
+/// Runs the model-vs-simulator differential gate: renders the corpus
+/// comparison, records the `model_*` bench cells, and reports whether
+/// every scenario stayed within the committed tolerances.
+fn run_model_diff() -> bool {
+    let tolerances = match model_diff::Tolerances::load(Path::new("scripts/model_tolerances.json"))
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("model-diff: {e}");
+            return false;
+        }
+    };
+    let result = match model_diff::run(Path::new("fuzz/corpus"), tolerances) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("model-diff: {e}");
+            return false;
+        }
+    };
+    println!("{}", model_diff::render(&result));
+    let (closed_wall_s, preds_per_sec) = model_diff::closed_form_bench(5_000);
+    let cells = [
+        // Corpus differential: scenarios diffed per second of wall time.
+        BenchCell {
+            name: "model_diff_corpus".into(),
+            wall_ms: result.wall_s * 1e3,
+            ops_per_sec: result.diffs.len() as f64 / result.wall_s.max(1e-9),
+            erases: result.diffs.iter().map(|d| d.sim_erases).sum(),
+        },
+        // Closed-form evaluation alone: 64-OSD cluster predictions/s.
+        BenchCell {
+            name: "model_closed_form".into(),
+            wall_ms: closed_wall_s * 1e3,
+            ops_per_sec: preds_per_sec,
+            erases: 0,
+        },
+    ];
+    if let Err(e) = write_cells("BENCH_edm.json", &cells) {
+        eprintln!("model-diff: writing BENCH_edm.json failed: {e}");
+        return false;
+    }
+    result.passed()
+}
+
+fn run_one(id: &str, cfg: &RunConfig, osds: &[u32]) -> bool {
     match id {
         "table1" => println!("{}", table1::render(&table1::run(cfg.scale))),
         "fig1" => println!("{}", fig1::render(&fig1::run(cfg, osds[0].min(8)))),
@@ -180,28 +227,34 @@ fn run_one(id: &str, cfg: &RunConfig, osds: &[u32]) {
                 ablate::render_groups(&ablate::group_sweep(cfg, osds[0], &groups))
             );
         }
+        "model-diff" => return run_model_diff(),
         other => {
             eprintln!("unknown experiment {other:?}");
             usage();
         }
     }
+    true
 }
 
 fn main() {
     let args = parse_args();
     #[allow(clippy::disallowed_methods)] // wall-clock timing at the process boundary
     let started = std::time::Instant::now();
+    let mut ok = true;
     if args.experiment == "all" {
         for id in EXPERIMENT_IDS {
             eprintln!("== {id} ==");
-            run_one(id, &args.cfg, &args.osds);
+            ok &= run_one(id, &args.cfg, &args.osds);
         }
     } else {
-        run_one(&args.experiment, &args.cfg, &args.osds);
+        ok = run_one(&args.experiment, &args.cfg, &args.osds);
     }
     eprintln!(
         "(scale {:.3}, wall time {:.1}s)",
         args.cfg.scale,
         started.elapsed().as_secs_f64()
     );
+    if !ok {
+        std::process::exit(1);
+    }
 }

@@ -10,13 +10,14 @@ pub mod fig3;
 pub mod fig56;
 pub mod fig7;
 pub mod fig8;
+pub mod model_diff;
 pub mod reliability;
 pub mod scale;
 pub mod table1;
 pub mod wearout;
 
 /// The canonical experiment ids accepted by `edm-exp`.
-pub const EXPERIMENT_IDS: [&str; 17] = [
+pub const EXPERIMENT_IDS: [&str; 18] = [
     "table1",
     "fig1",
     "fig3",
@@ -34,4 +35,5 @@ pub const EXPERIMENT_IDS: [&str; 17] = [
     "ablate-continuous",
     "ablate-decay",
     "ablate-gc",
+    "model-diff",
 ];

@@ -1,0 +1,114 @@
+//! Divergence measures between a simulated and a predicted erase
+//! distribution — the quantitative half of the differential gate.
+//!
+//! Both sides are per-OSD vectors indexed the same way, so the measures
+//! here compare paired samples rather than unordered empirical CDFs: the
+//! KS statistic is the maximum gap between the two cumulative share
+//! curves walked in OSD order, which detects mass shifted between
+//! devices even when totals agree.
+
+/// Scales a non-negative vector to sum to 1. A zero (or empty) vector
+/// comes back as all zeros rather than NaN so callers can gate on
+/// degenerate runs explicitly.
+pub fn normalize(values: &[f64]) -> Vec<f64> {
+    let total: f64 = values.iter().sum();
+    if total <= 0.0 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| v / total).collect()
+}
+
+/// Kolmogorov–Smirnov statistic between two paired distributions: the
+/// maximum absolute difference of their cumulative sums, walked in index
+/// order. Inputs are normalized first, so absolute scale drops out and
+/// only the *shape* of the wear distribution is compared.
+pub fn ks_statistic(observed: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(
+        observed.len(),
+        predicted.len(),
+        "KS statistic needs paired per-OSD vectors"
+    );
+    let obs = normalize(observed);
+    let pred = normalize(predicted);
+    let mut cum_obs = 0.0;
+    let mut cum_pred = 0.0;
+    let mut worst: f64 = 0.0;
+    for (o, p) in obs.iter().zip(pred.iter()) {
+        cum_obs += o;
+        cum_pred += p;
+        worst = worst.max((cum_obs - cum_pred).abs());
+    }
+    worst
+}
+
+/// Relative error of a prediction against an observation, symmetric in
+/// scale: `|obs − pred| / max(|obs|, floor)`. The floor guards the
+/// all-idle case where an OSD saw no erases at all.
+pub fn rel_error(observed: f64, predicted: f64, floor: f64) -> f64 {
+    assert!(floor > 0.0, "relative-error floor must be positive");
+    (observed - predicted).abs() / observed.abs().max(floor)
+}
+
+/// Largest paired relative error across two per-OSD vectors.
+pub fn max_rel_error(observed: &[f64], predicted: &[f64], floor: f64) -> f64 {
+    assert_eq!(
+        observed.len(),
+        predicted.len(),
+        "relative error needs paired per-OSD vectors"
+    );
+    observed
+        .iter()
+        .zip(predicted.iter())
+        .map(|(&o, &p)| rel_error(o, p, floor))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let n = normalize(&[1.0, 3.0, 4.0]);
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((n[1] - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_of_zeros_is_zeros() {
+        assert_eq!(normalize(&[0.0, 0.0]), vec![0.0, 0.0]);
+        assert_eq!(normalize(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn ks_zero_for_identical_shapes() {
+        // Same shape at different scales: KS compares shares only.
+        let a = [2.0, 4.0, 6.0];
+        let b = [1.0, 2.0, 3.0];
+        assert!(ks_statistic(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn ks_catches_shifted_mass() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [0.6, 0.4];
+        let d = [0.5, 0.5];
+        assert!((ks_statistic(&c, &d) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_error_floors_small_observations() {
+        assert!((rel_error(100.0, 90.0, 1.0) - 0.1).abs() < 1e-12);
+        // Observed 0: error is measured against the floor, not infinity.
+        assert!((rel_error(0.0, 0.5, 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_rel_error_picks_the_worst_pair() {
+        let obs = [100.0, 200.0, 50.0];
+        let pred = [101.0, 150.0, 50.0];
+        assert!((max_rel_error(&obs, &pred, 1.0) - 0.25).abs() < 1e-12);
+    }
+}

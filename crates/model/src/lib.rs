@@ -1,0 +1,35 @@
+#![forbid(unsafe_code)]
+//! # edm-model — analytic mean-field wear model
+//!
+//! A fast, closed-form counterpart to the event-driven simulator, in the
+//! spirit of Li/Lee/Lui's stochastic modeling of large-scale SSD systems:
+//! per-device erase counts, garbage-collection cost, and cluster-level
+//! wear imbalance are predicted from a handful of aggregates (host write
+//! volume, write rate, disk utilization, over-provisioning, GC policy)
+//! instead of being measured by replaying every request.
+//!
+//! The crate serves two roles:
+//!
+//! * **Scale-out planner** — `O(1)` per-device evaluation lets a planner
+//!   assess a migration plan against thousands of devices without the
+//!   one-window projection loop (see `edm-core`'s `ModelAssessor`).
+//! * **Standing differential oracle** — `edm-exp model-diff` runs the
+//!   same parameters through simulator and model and gates CI on their
+//!   divergence ([`divergence`]), so every future engine refactor is
+//!   checked against an independent quantitative prediction.
+//!
+//! Independence is deliberate: this crate re-derives the victim-ratio
+//! inversion from scratch and shares no code with `edm-core`'s
+//! [`WearModel`](https://en.wikipedia.org/wiki/Flash_memory) twin — a bug
+//! would have to be reinvented twice to escape the differential gate.
+//!
+//! See `DESIGN.md` §15 for the equations, assumptions, and where model
+//! and simulator are *expected* to diverge.
+
+pub mod cluster;
+pub mod divergence;
+pub mod meanfield;
+
+pub use cluster::{ClusterPrediction, OsdLoad, RsdCurve, Trajectory};
+pub use divergence::{ks_statistic, max_rel_error, normalize, rel_error};
+pub use meanfield::{GcPolicy, MeanFieldModel, MODEL_SIGMA};

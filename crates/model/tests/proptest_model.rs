@@ -1,0 +1,95 @@
+//! Property-based tests of the closed-form invariants the analytic model
+//! promises its consumers: distributions are proper, the modeled leveling
+//! drives RSD down monotonically, and erase counts respect the write
+//! amplification identity.
+
+use edm_model::{GcPolicy, MeanFieldModel, OsdLoad, Trajectory};
+use proptest::prelude::*;
+
+fn load_strategy() -> impl Strategy<Value = OsdLoad> {
+    (0.0f64..5_000.0, 1.0f64..100_000.0, 0.05f64..0.98).prop_map(|(erases, write_rate, u)| {
+        OsdLoad {
+            erases,
+            write_rate,
+            utilization: u,
+        }
+    })
+}
+
+fn gc_strategy() -> impl Strategy<Value = GcPolicy> {
+    prop_oneof![Just(GcPolicy::Greedy), Just(GcPolicy::Fifo)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The predicted erase distribution is a proper distribution at any
+    /// point along the trajectory: every share in [0, 1], summing to 1.
+    #[test]
+    fn distribution_sums_to_one(
+        loads in prop::collection::vec(load_strategy(), 1..24),
+        gc in gc_strategy(),
+        sigma in 0.0f64..0.4,
+        t in 0.0f64..1_000.0,
+    ) {
+        let model = MeanFieldModel::with_gc(32, sigma, gc);
+        let traj = Trajectory::new(&model, &loads);
+        for dist in [traj.distribution_at(t), traj.steady_distribution()] {
+            let total: f64 = dist.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+            for share in dist {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&share));
+            }
+        }
+    }
+
+    /// Modeled leveling — every device erasing at the same rate — can
+    /// only shrink the cluster RSD as wear accumulates: the curve is
+    /// monotone non-increasing in time.
+    #[test]
+    fn rsd_monotone_under_modeled_leveling(
+        bases in prop::collection::vec(0.0f64..10_000.0, 2..24),
+        shared_rate in 0.1f64..500.0,
+        times in prop::collection::vec(0.0f64..100_000.0, 2..16),
+    ) {
+        let n = bases.len();
+        let traj = Trajectory {
+            base: bases,
+            rate: vec![shared_rate; n],
+        };
+        let curve = traj.rsd();
+        let mut sorted = times;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let mut prev = f64::INFINITY;
+        for t in sorted {
+            let r = curve.rsd_at(t);
+            prop_assert!(r <= prev + 1e-9, "RSD rose to {r} from {prev} at t = {t}");
+            prev = r;
+        }
+    }
+
+    /// Write amplification identity: predicted erases times pages per
+    /// block equal host writes times WA — GC relocations are accounted
+    /// exactly once, for either GC policy.
+    #[test]
+    fn erase_mean_matches_wa_identity(
+        wc in 0.0f64..1e9,
+        u in 0.0f64..1.0,
+        np in prop_oneof![Just(16u32), Just(32u32), Just(64u32), Just(256u32)],
+        gc in gc_strategy(),
+        sigma in 0.0f64..0.4,
+    ) {
+        let model = MeanFieldModel::with_gc(np, sigma, gc);
+        let erases = model.erase_count(wc, u);
+        let physical = wc * model.write_amplification(u);
+        prop_assert!(
+            (erases * np as f64 - physical).abs() <= 1e-9 * physical.max(1.0),
+            "erases·Np = {} vs Wc·WA = {physical}",
+            erases * np as f64
+        );
+        // And the identity survives aggregation: summing erases over a
+        // cluster equals summing amplified writes over it.
+        let mean_gc_rate = model.gc_rate(u);
+        prop_assert!((mean_gc_rate * wc - erases).abs() <= 1e-9 * erases.max(1.0));
+    }
+}

@@ -26,7 +26,7 @@ use edm_cluster::{
     resume_trace_obs, run_trace_obs_keep, CheckpointConfig, ClientAffinity, Cluster, ClusterConfig,
     FailureSpec, MigrationSchedule, Migrator, OsdId, RunReport, SimOptions, SnapManifest,
 };
-use edm_core::{Cmt, CmtConfig, EdmCdf, EdmConfig, EdmHdf};
+use edm_core::{Assessor, Cmt, CmtConfig, EdmCdf, EdmConfig, EdmHdf};
 use edm_snap::{SnapError, SnapReader, SnapWriter, SnapshotFile};
 use edm_workload::harvard;
 use edm_workload::synth::synthesize;
@@ -59,6 +59,9 @@ pub struct Scenario {
     /// group-sharded execution applicable to the hash-placed workloads
     /// (stride 1, the default, leaves the trace untouched).
     pub stride: u64,
+    /// Plan-vetting engine for the EDM policies: the reference projection
+    /// loop (default) or the `edm-model` closed-form fast path.
+    pub assessor: Assessor,
 }
 
 impl Default for Scenario {
@@ -78,6 +81,7 @@ impl Default for Scenario {
             shards: 0,
             affinity: ClientAffinity::User,
             stride: 1,
+            assessor: Assessor::Projection,
         }
     }
 }
@@ -173,6 +177,15 @@ impl Scenario {
                         }
                     }
                 }
+                "assessor" => {
+                    let label = next("assessor")?;
+                    s.assessor = Assessor::from_label(label).ok_or_else(|| {
+                        format!(
+                            "line {}: unknown assessor {label:?} (projection | model)",
+                            no + 1
+                        )
+                    })?
+                }
                 "stride" => {
                     s.stride = next("stride")?
                         .parse()
@@ -214,6 +227,7 @@ impl Scenario {
         let edm = EdmConfig {
             lambda: self.lambda,
             force: self.force,
+            assessor: self.assessor,
             ..EdmConfig::default()
         };
         Ok(match self.policy.as_str() {
@@ -265,6 +279,9 @@ impl Scenario {
         }
         if self.stride != 1 {
             out.push_str(&format!("stride {}\n", self.stride));
+        }
+        if self.assessor != Assessor::Projection {
+            out.push_str(&format!("assessor {}\n", self.assessor.label()));
         }
         for f in &self.failures {
             out.push_str(&format!("fail {} {}", f.at_us, f.osd.0));
@@ -639,5 +656,36 @@ mod tests {
         assert!(!text.contains("affinity"));
         assert!(!text.contains("stride"));
         assert_eq!(Scenario::parse(&text).unwrap(), d);
+    }
+
+    #[test]
+    fn assessor_key_parses_and_round_trips() {
+        let s = Scenario::parse("assessor model\n").unwrap();
+        assert_eq!(s.assessor, Assessor::Model);
+        assert_eq!(Scenario::parse(&s.to_text()).unwrap(), s);
+        let s = Scenario::parse("assessor projection\n").unwrap();
+        assert_eq!(s.assessor, Assessor::Projection);
+        assert!(Scenario::parse("assessor simulator\n").is_err());
+        // The default stays off the wire for old-checkpoint stability.
+        assert!(!Scenario::default().to_text().contains("assessor"));
+    }
+
+    /// The closed-form assessor is a pure plan-vetting swap: on a run
+    /// where the reference and model engines agree on every published
+    /// plan, the cluster report is identical.
+    #[test]
+    fn model_assessor_matches_projection_end_to_end() {
+        let base = "trace home02\nscale 0.002\nosds 8\ngroups 4\npolicy EDM-HDF\n";
+        let reference = Scenario::parse(base).unwrap().run().unwrap();
+        let fast = Scenario::parse(&format!("{base}assessor model\n"))
+            .unwrap()
+            .run()
+            .unwrap();
+        for (a, b) in reference.per_osd.iter().zip(fast.per_osd.iter()) {
+            assert_eq!(a.erase_count, b.erase_count);
+            assert_eq!(a.write_pages, b.write_pages);
+            assert_eq!(a.gc_page_moves, b.gc_page_moves);
+        }
+        assert_eq!(reference.completed_ops, fast.completed_ops);
     }
 }

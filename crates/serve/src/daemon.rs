@@ -230,6 +230,7 @@ fn publish_ingest(
         nodes: views::render_nodes(world.cluster(), world.now_us()),
         plan: views::render_plan(rec.journal()),
         stats: views::render_live_stats(&stats, world.now_us(), world.cluster()),
+        model: views::render_model(world.cluster(), world.now_us()),
         metrics: render_prometheus(rec.inner()),
         done,
     });
@@ -419,6 +420,7 @@ fn run_replay_session(
         nodes: views::render_nodes(&cluster, report.duration_us),
         plan: views::render_plan(rec.journal()),
         stats: views::render_replay_final(&render_report(&report), digest),
+        model: views::render_model(&cluster, report.duration_us),
         metrics: render_prometheus(rec.inner()),
         done: true,
     });
@@ -462,6 +464,7 @@ fn publish_replay(
         nodes: views::render_nodes(live.cluster(), live.now_us()),
         plan: views::render_plan(rec.journal()),
         stats: views::render_replay_progress(live.now_us(), live.completed_ops(), live.total_ops()),
+        model: views::render_model(live.cluster(), live.now_us()),
         metrics: render_prometheus(rec.inner()),
         done,
     });

@@ -83,6 +83,7 @@ fn respond(w: &mut TcpStream, request: &Request, ctrl: &Ctrl) {
         ("GET", "/nodes") => json(w, &ctrl.published().nodes),
         ("GET", "/plan") => json(w, &ctrl.published().plan),
         ("GET", "/stats") => json(w, &ctrl.published().stats),
+        ("GET", "/model") => json(w, &ctrl.published().model),
         ("GET", "/metrics") => write_response(
             w,
             200,
@@ -115,8 +116,8 @@ fn respond(w: &mut TcpStream, request: &Request, ctrl: &Ctrl) {
         // Known paths with the wrong verb are 405, the rest 404.
         (
             _,
-            "/healthz" | "/nodes" | "/plan" | "/stats" | "/metrics" | "/ingest" | "/pause"
-            | "/resume" | "/checkpoint" | "/shutdown",
+            "/healthz" | "/nodes" | "/plan" | "/stats" | "/model" | "/metrics" | "/ingest"
+            | "/pause" | "/resume" | "/checkpoint" | "/shutdown",
         ) => write_response(w, 405, "text/plain", status_text(405).as_bytes()),
         _ => write_response(w, 404, "text/plain", status_text(404).as_bytes()),
     };

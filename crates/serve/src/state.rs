@@ -41,6 +41,8 @@ pub struct Published {
     pub nodes: String,
     pub plan: String,
     pub stats: String,
+    /// Analytic mean-field assessment of the live cluster (`/model`).
+    pub model: String,
     pub metrics: String,
     /// The session finished (trace replay complete, or ingest stream
     /// ended and drained).

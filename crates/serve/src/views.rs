@@ -210,6 +210,83 @@ pub fn render_replay_final(report_text: &str, digest: u64) -> String {
     out
 }
 
+/// `/model`: the analytic mean-field assessment of the live cluster
+/// (`edm-model`), rendered from the same view the policies plan with.
+/// Per OSD it reports the measured erase count next to the closed-form
+/// prediction from that device's own write volume and utilization, so
+/// live divergence between the daemon's physics and the model is
+/// directly visible — the serving-side counterpart of the
+/// `edm-exp model-diff` CI gate.
+pub fn render_model(cluster: &Cluster, now_us: u64) -> String {
+    let view = cluster.view(now_us);
+    let model = edm_model::MeanFieldModel::with_gc(
+        view.pages_per_block,
+        edm_model::MODEL_SIGMA,
+        edm_model::GcPolicy::Greedy,
+    );
+    // Cumulative host page writes, not the view's windowed `wc_pages`
+    // (that counter resets at every wear tick and would predict near
+    // zero right after one) — the prediction must cover the same span
+    // as the measured erase counts it is shown against.
+    let loads: Vec<edm_model::OsdLoad> = view
+        .osds
+        .iter()
+        .map(|o| edm_model::OsdLoad {
+            erases: 0.0,
+            write_rate: cluster.osd(o.osd).ssd().wear().host_page_writes as f64,
+            utilization: o.utilization,
+        })
+        .collect();
+    let prediction = edm_model::ClusterPrediction::predict(&model, &loads);
+
+    let mut out = String::from("{");
+    field_u64(&mut out, "now_us", now_us);
+    field_str(&mut out, "model", "mean-field");
+    field_str(&mut out, "gc", model.gc.label());
+    field_f64(&mut out, "sigma", model.sigma);
+    field_f64(&mut out, "gc_rate", prediction.gc_rate);
+    field_f64(&mut out, "rsd_model", prediction.rsd);
+    field_f64(
+        &mut out,
+        "rsd_measured",
+        edm_cluster::metrics::rsd(view.osds.iter().map(|o| o.measured_erases as f64)),
+    );
+    let mut osds = String::from("[");
+    for (i, osd) in view.osds.iter().enumerate() {
+        if !osds.ends_with('[') {
+            osds.push(',');
+        }
+        let mut n = String::from("{");
+        field_u64(&mut n, "osd", osd.osd.0 as u64);
+        field_u64(&mut n, "erases_measured", osd.measured_erases);
+        field_f64(
+            &mut n,
+            "erases_model",
+            prediction.erases.get(i).copied().unwrap_or(0.0),
+        );
+        field_f64(
+            &mut n,
+            "write_amplification",
+            prediction
+                .write_amplification
+                .get(i)
+                .copied()
+                .unwrap_or(1.0),
+        );
+        field_f64(
+            &mut n,
+            "share",
+            prediction.shares.get(i).copied().unwrap_or(0.0),
+        );
+        n.push('}');
+        osds.push_str(&n);
+    }
+    osds.push(']');
+    field_raw(&mut out, "osds", &osds);
+    out.push('}');
+    out
+}
+
 /// Aggregate erase count, for the quick health line the daemon logs.
 pub fn total_erases(cluster: &Cluster) -> u64 {
     (0..cluster.config.osds)
@@ -292,6 +369,43 @@ mod tests {
         let v = json::parse(&render_plan(&[])).unwrap();
         assert_eq!(v.get("evaluations").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("trigger"), Some(&json::JsonValue::Null));
+    }
+
+    #[test]
+    fn model_view_is_valid_json_with_per_osd_predictions() {
+        use crate::ingest::LiveWorld;
+        use edm_cluster::MigrationSchedule;
+        use edm_scenario::Scenario;
+        let scenario = Scenario {
+            trace: "random".into(),
+            scale: 0.002,
+            osds: 8,
+            groups: 4,
+            schedule: MigrationSchedule::EveryTick,
+            ..Scenario::default()
+        };
+        let mut world = LiveWorld::new(scenario).unwrap();
+        let mut obs = edm_obs::MemoryRecorder::new(edm_obs::ObsLevel::Off);
+        for file in 0..4u64 {
+            let outcome = world.apply_line(&format!("w {file} 0 65536"), &mut obs);
+            assert!(
+                matches!(outcome, crate::ingest::ApplyOutcome::Applied { .. }),
+                "write rejected: {outcome:?}"
+            );
+        }
+        let v = json::parse(&render_model(world.cluster(), world.now_us())).unwrap();
+        assert_eq!(v.get("model").unwrap().as_str(), Some("mean-field"));
+        assert_eq!(v.get("gc").unwrap().as_str(), Some("greedy"));
+        let osds = v.get("osds").unwrap().as_arr().unwrap();
+        assert_eq!(osds.len(), 8);
+        for osd in osds {
+            let wa = osd.get("write_amplification").unwrap().as_f64().unwrap();
+            assert!(wa >= 1.0, "WA below physical floor: {wa}");
+            let share = osd.get("share").unwrap().as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&share), "share out of range: {share}");
+        }
+        let rsd_model = v.get("rsd_model").unwrap().as_f64().unwrap();
+        assert!(rsd_model.is_finite() && rsd_model >= 0.0);
     }
 
     #[test]

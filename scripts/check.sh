@@ -15,6 +15,8 @@
 #   check.sh spec    edm-spec conformance replay of smoke + corpus journals
 #   check.sh serve   edm-serve daemon: ingest pipeline, kill/resume, replay digest
 #   check.sh fuzz    edm-fuzz smoke batch (+ fuzz_throughput bench cell)
+#   check.sh model   analytic-model differential gate (edm-exp model-diff
+#                    vs scripts/model_tolerances.json, + model_* bench cells)
 #   check.sh tsan    ThreadSanitizer lane over shard + serve tests (advisory;
 #                    skips cleanly without a nightly toolchain + rust-src)
 #
@@ -23,8 +25,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STEPS="fmt lint audit build test smoke scale spec serve fuzz tsan"
+STEPS="fmt lint audit build test smoke scale spec serve fuzz model tsan"
 QUICK="${EDM_CHECK_QUICK:-0}"
+
+# Resolve a release binary inside the active target directory. The steps
+# used to hardcode ./target/release/<bin>, which ran stale (or missing)
+# binaries whenever CARGO_TARGET_DIR pointed the build somewhere else.
+bin() {
+    printf '%s/release/%s' "${CARGO_TARGET_DIR:-target}" "$1"
+}
 
 # Temp dirs live in an array cleaned by a single EXIT trap, so any number
 # of steps can allocate scratch space without a later `trap ... EXIT`
@@ -84,7 +93,7 @@ step_smoke() {
         return 0
     fi
     echo "==> edm-perf --smoke"
-    ./target/release/edm-perf --smoke
+    "$(bin edm-perf)" --smoke
 
     echo "==> obs smoke (edm-sim --obs-level events + edm-probe --journal)"
     local obs_dir
@@ -98,11 +107,11 @@ policy EDM-HDF
 schedule midpoint
 force true
 EOF
-    ./target/release/edm-sim "$obs_dir/smoke.scn" \
+    "$(bin edm-sim)" "$obs_dir/smoke.scn" \
         --obs "$obs_dir/smoke.jsonl" --obs-level events > /dev/null
     # The probe exits nonzero if any journal line fails to parse.
     local probe_out
-    probe_out="$(./target/release/edm-probe --journal "$obs_dir/smoke.jsonl")"
+    probe_out="$("$(bin edm-probe)" --journal "$obs_dir/smoke.jsonl")"
     echo "$probe_out" | grep -q "trigger evaluations" \
         || { echo "obs smoke: no trigger evaluations in journal"; exit 1; }
     echo "$probe_out" | grep -q "ftl.block_erases" \
@@ -129,7 +138,7 @@ policy EDM-CDF
 schedule every-tick
 fail 150000 1 rebuild
 EOF
-    ./target/release/edm-sim "$ckpt_dir/ckpt.scn" \
+    "$(bin edm-sim)" "$ckpt_dir/ckpt.scn" \
         --checkpoint-every 0 --checkpoint-dir "$ckpt_dir/ckpts" \
         > "$ckpt_dir/uninterrupted.txt" 2> /dev/null
     local snap_count mid_snap
@@ -137,14 +146,14 @@ EOF
     [ "$snap_count" -ge 2 ] \
         || { echo "ckpt smoke: want >=2 checkpoints, got $snap_count"; exit 1; }
     mid_snap="$(ls "$ckpt_dir"/ckpts/*.snap | sed -n "$(( (snap_count + 1) / 2 ))p")"
-    ./target/release/edm-sim --resume "$mid_snap" \
+    "$(bin edm-sim)" --resume "$mid_snap" \
         > "$ckpt_dir/resumed.txt" 2> /dev/null
     diff "$ckpt_dir/uninterrupted.txt" "$ckpt_dir/resumed.txt" \
         || { echo "ckpt smoke: resumed run diverged from uninterrupted run"; exit 1; }
     grep -q "determinism digest 0x" "$ckpt_dir/resumed.txt" \
         || { echo "ckpt smoke: no determinism digest printed"; exit 1; }
     local probe_snap
-    probe_snap="$(./target/release/edm-probe --snapshot "$mid_snap")"
+    probe_snap="$("$(bin edm-probe)" --snapshot "$mid_snap")"
     echo "$probe_snap" | grep -q "embedded scenario" \
         || { echo "ckpt smoke: probe found no embedded scenario"; exit 1; }
     echo "$probe_snap" | grep -q "policy          EDM-CDF" \
@@ -175,9 +184,9 @@ schedule every-tick
 stride 2
 affinity component
 EOF
-    ./target/release/edm-sim "$scale_dir/scale.scn" \
+    "$(bin edm-sim)" "$scale_dir/scale.scn" \
         > "$scale_dir/sequential.txt" 2> /dev/null
-    ./target/release/edm-sim "$scale_dir/scale.scn" --shards 2 \
+    "$(bin edm-sim)" "$scale_dir/scale.scn" --shards 2 \
         > "$scale_dir/sharded.txt" 2> "$scale_dir/sharded.log"
     grep -q "shard-plan: components=2 threads=2 active=true" "$scale_dir/sharded.log" \
         || { echo "scale smoke: sharded run fell back to the sequential path"; \
@@ -212,9 +221,9 @@ EOF
     local n=0 scn name
     for scn in "$spec_dir/smoke.scn" fuzz/corpus/*.scn; do
         name="$(basename "$scn" .scn)"
-        ./target/release/edm-sim "$scn" \
+        "$(bin edm-sim)" "$scn" \
             --obs "$spec_dir/$name.jsonl" --obs-level events > /dev/null
-        ./target/release/edm-probe --verify "$spec_dir/$name.jsonl" \
+        "$(bin edm-probe)" --verify "$spec_dir/$name.jsonl" \
             | grep -q "conformant" \
             || { echo "spec: $name journal violates the EDM spec"; exit 1; }
         n=$((n + 1))
@@ -236,13 +245,13 @@ schedule every-tick
 stride 4
 affinity component
 EOF
-    ./target/release/edm-sim "$spec_dir/dc.scn" \
+    "$(bin edm-sim)" "$spec_dir/dc.scn" \
         --obs "$spec_dir/dc-seq.jsonl" --obs-level events > /dev/null
-    ./target/release/edm-sim "$spec_dir/dc.scn" --shards 4 \
+    "$(bin edm-sim)" "$spec_dir/dc.scn" --shards 4 \
         --obs "$spec_dir/dc-par.jsonl" --obs-level events > /dev/null
     cmp "$spec_dir/dc-seq.jsonl" "$spec_dir/dc-par.jsonl" \
         || { echo "spec: sharded journal diverged from sequential bytes"; exit 1; }
-    ./target/release/edm-probe --verify "$spec_dir/dc-par.jsonl" > /dev/null \
+    "$(bin edm-probe)" --verify "$spec_dir/dc-par.jsonl" > /dev/null \
         || { echo "spec: 1024-OSD sharded journal violates the EDM spec"; exit 1; }
     echo "spec: 1024-OSD sharded journal byte-identical and conformant"
 }
@@ -319,7 +328,7 @@ scale 0.002
 schedule every-tick
 lambda 0.05
 EOF
-    ./target/release/edm-serve --dump-ops "$serve_dir/live.scn" > "$serve_dir/ops.txt"
+    "$(bin edm-serve)" --dump-ops "$serve_dir/live.scn" > "$serve_dir/ops.txt"
     local total_ops
     total_ops="$(wc -l < "$serve_dir/ops.txt")"
     [ "$total_ops" -gt 500 ] || { echo "serve: suspiciously short op stream"; exit 1; }
@@ -327,10 +336,10 @@ EOF
     # (1) Dilated live replay must reproduce the batch digest, and its
     # journal must conform to the EDM spec.
     local batch_digest
-    batch_digest="$(./target/release/edm-sim "$serve_dir/live.scn" 2> /dev/null \
+    batch_digest="$("$(bin edm-sim)" "$serve_dir/live.scn" 2> /dev/null \
         | grep -o "determinism digest 0x[0-9a-f]*" | grep -o "0x[0-9a-f]*")"
     [ -n "$batch_digest" ] || { echo "serve: edm-sim printed no digest"; exit 1; }
-    ./target/release/edm-serve "$serve_dir/live.scn" --speed 100000 \
+    "$(bin edm-serve)" "$serve_dir/live.scn" --speed 100000 \
         --port-file "$serve_dir/replay.port" --journal "$serve_dir/replay.jsonl" \
         > /dev/null &
     local replay_pid=$!
@@ -342,12 +351,12 @@ EOF
     grep -q "\"digest\":\"$batch_digest\"" "$serve_dir/replay-stats.json" \
         || { echo "serve: live replay digest diverged from edm-sim $batch_digest"; \
              cat "$serve_dir/replay-stats.json"; exit 1; }
-    ./target/release/edm-probe --verify "$serve_dir/replay.jsonl" | grep -q "conformant" \
+    "$(bin edm-probe)" --verify "$serve_dir/replay.jsonl" | grep -q "conformant" \
         || { echo "serve: replay journal violates the EDM spec"; exit 1; }
 
     # (2) Uninterrupted ingest run: the full stream through POST /ingest.
     # Its journal must also verify, and /plan must carry a real plan.
-    ./target/release/edm-serve "$serve_dir/live.scn" --mode ingest \
+    "$(bin edm-serve)" "$serve_dir/live.scn" --mode ingest \
         --port-file "$serve_dir/a.port" --journal "$serve_dir/ingest.jsonl" \
         > /dev/null &
     local a_pid=$!
@@ -365,7 +374,7 @@ EOF
     wait "$a_pid"
     grep -q "\"applied_ops\":$total_ops" "$serve_dir/stats-uninterrupted.json" \
         || { echo "serve: ingest run did not apply all $total_ops ops"; exit 1; }
-    ./target/release/edm-probe --verify "$serve_dir/ingest.jsonl" | grep -q "conformant" \
+    "$(bin edm-probe)" --verify "$serve_dir/ingest.jsonl" | grep -q "conformant" \
         || { echo "serve: ingest journal violates the EDM spec"; exit 1; }
 
     # (3) Kill-and-resume: feed a third of the stream, cut a checkpoint,
@@ -375,7 +384,7 @@ EOF
     local part
     part=$(( total_ops / 3 ))
     head -n "$part" "$serve_dir/ops.txt" > "$serve_dir/ops-part.txt"
-    ./target/release/edm-serve "$serve_dir/live.scn" --mode ingest \
+    "$(bin edm-serve)" "$serve_dir/live.scn" --mode ingest \
         --port-file "$serve_dir/b.port" --checkpoint-dir "$serve_dir/ckpts" \
         > /dev/null &
     local b_pid=$!
@@ -390,7 +399,7 @@ EOF
     local snap
     snap="$(ls "$serve_dir"/ckpts/*.snap | tail -n1)"
     [ -n "$snap" ] || { echo "serve: no checkpoint survived the kill"; exit 1; }
-    ./target/release/edm-serve --resume "$snap" --mode ingest \
+    "$(bin edm-serve)" --resume "$snap" --mode ingest \
         --port-file "$serve_dir/c.port" > /dev/null &
     local c_pid=$!
     serve_wait_port "$serve_dir/c.port"
@@ -416,7 +425,21 @@ step_fuzz() {
     # A fixed seed-1 batch through the full differential-oracle battery;
     # merges the fuzz_throughput cell into BENCH_edm.json. Nightly CI
     # runs the long-budget variant.
-    ./target/release/edm-fuzz --bench
+    "$(bin edm-fuzz)" --bench
+}
+
+step_model() {
+    if [ "$QUICK" = "1" ]; then
+        echo "==> model skipped (EDM_CHECK_QUICK=1)"
+        return 0
+    fi
+    echo "==> model-diff gate (edm-exp model-diff vs scripts/model_tolerances.json)"
+    # Differential cross-validation of the analytic mean-field model
+    # (edm-model) against the simulator over every fuzz-corpus scenario:
+    # per-scenario KS distance, max relative erase error, and GC-rate
+    # error must stay within the committed tolerances. Also merges the
+    # model_* cells into BENCH_edm.json.
+    "$(bin edm-exp)" model-diff
 }
 
 step_tsan() {
@@ -467,6 +490,7 @@ run_step() {
         spec)  step_spec ;;
         serve) step_serve ;;
         fuzz)  step_fuzz ;;
+        model) step_model ;;
         tsan)  step_tsan ;;
         all)
             for s in $STEPS; do
